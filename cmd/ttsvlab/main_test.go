@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing experiment accepted")
+	}
+	if err := run([]string{"fig4", "fig5"}); err == nil {
+		t.Error("two experiments accepted")
+	}
+	if err := run([]string{"nonsense"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-bogus", "fig4"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunQuickSweeps(t *testing.T) {
+	for _, exp := range []string{"fig4", "fig6", "fig7"} {
+		if err := run([]string{"-quick", exp}); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunQuickTable1AndCaseStudy(t *testing.T) {
+	if err := run([]string{"-quick", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "casestudy"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQuickCalibrate(t *testing.T) {
+	if err := run([]string{"-quick", "calibrate"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-csv", dir, "fig7"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig7.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(string(data), "\n", 2)[0]
+	for _, col := range []string{"n", "A", "B(100)", "1D", "FVM"} {
+		if !strings.Contains(head, col) {
+			t.Errorf("CSV header %q missing column %q", head, col)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig7_errors.csv")); err != nil {
+		t.Errorf("error table CSV missing: %v", err)
+	}
+}
+
+func TestRunPlotFlag(t *testing.T) {
+	if err := run([]string{"-quick", "-plot", "fig7"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExtensionExperiments(t *testing.T) {
+	if err := run([]string{"-quick", "planes"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "transient"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Command ttsvplan runs budget-driven TTSV insertion planning on a tiled
+// power map and optionally verifies the plan with the full-chip 3-D solver.
+//
+//	ttsvplan -floorplan chip.json -budget 14
+//	ttsvplan -floorplan chip.json -budget 14 -model 1D      # the paper's warning
+//	ttsvplan -floorplan chip.json -budget 14 -verify        # 3-D check
+//
+// The floorplan file is a JSON plan.Floorplan (SI units):
+//
+//	{
+//	  "TileSide": 0.00075,
+//	  "PlanePowers": [[[0.4, 0.05, 0.05], [0.4, 0.05, 0.05]]]
+//	}
+//
+// PlanePowers is indexed [row][col][plane] in watts, plane 0 adjacent to the
+// heat sink.
+//
+// The -verify solve is calibrated against Model B, so a plan computed with
+// Model A (whose fitted coefficients run a few percent cooler) may draw a
+// warning even though it meets its own model's budget — plan with -model B
+// for a self-consistent verification.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	ttsv "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "ttsvplan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ttsvplan", flag.ContinueOnError)
+	fpPath := fs.String("floorplan", "", "JSON floorplan file (required)")
+	budget := fs.Float64("budget", 15, "maximum allowed temperature rise [K]")
+	model := fs.String("model", "A", "thermal model: A, B or 1D")
+	segments := fs.Int("segments", 100, "Model B segments per plane")
+	k1 := fs.Float64("k1", 1.6, "Model A coefficient k1 (system default)")
+	k2 := fs.Float64("k2", 0.8, "Model A coefficient k2 (system default)")
+	c1 := fs.Float64("c1", 3.5, "Model A plane-1 spreading coefficient")
+	verify := fs.Bool("verify", false, "run the full-chip 3-D verification solve")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fpPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-floorplan is required")
+	}
+	f, err := loadFloorplan(*fpPath)
+	if err != nil {
+		return err
+	}
+
+	var m ttsv.Model
+	switch *model {
+	case "A":
+		m = ttsv.ModelA{Coeffs: ttsv.Coeffs{K1: *k1, K2: *k2, C1: *c1}}
+	case "B":
+		m = ttsv.NewModelB(*segments)
+	case "1D":
+		m = ttsv.Model1D{}
+	default:
+		return fmt.Errorf("unknown model %q (want A, B or 1D)", *model)
+	}
+
+	tech := ttsv.DefaultTechnology()
+	res, err := ttsv.PlanInsertion(f, tech, *budget, m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "plan (%s, budget %.1f K): %d vias, %.3f mm² via metal, max ΔT %.2f K\n",
+		m.Name(), *budget, res.TotalVias, res.ViaArea*1e6, res.MaxDT)
+	fmt.Fprintln(out, "via counts per tile:")
+	for _, row := range res.Counts {
+		for _, n := range row {
+			fmt.Fprintf(out, "%4d", n)
+		}
+		fmt.Fprintln(out)
+	}
+	if *verify {
+		full, err := ttsv.VerifyPlan(f, tech, res.Counts, ttsv.DefaultPowerMapResolution())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "full-chip 3-D verification (%d cells): max ΔT %.2f K\n", full.Cells, full.MaxDT)
+		if full.MaxDT > *budget {
+			fmt.Fprintln(out, "WARNING: chip-wide peak exceeds the budget")
+		} else {
+			fmt.Fprintln(out, "plan holds chip-wide")
+		}
+	}
+	return nil
+}
+
+func loadFloorplan(path string) (*ttsv.Floorplan, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	dec := json.NewDecoder(fh)
+	dec.DisallowUnknownFields()
+	var f ttsv.Floorplan
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("decoding floorplan %s: %w", path, err)
+	}
+	return &f, nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFloorplan(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fp.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const demoFP = `{
+  "TileSide": 0.00075,
+  "PlanePowers": [
+    [[0.4, 0.05, 0.05], [0.4, 0.05, 0.05]],
+    [[0.8, 0.1, 0.1], [0.4, 0.05, 0.05]]
+  ]
+}`
+
+func TestPlanCLI(t *testing.T) {
+	path := writeFloorplan(t, demoFP)
+	var buf bytes.Buffer
+	if err := run([]string{"-floorplan", path, "-budget", "12"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "vias") || !strings.Contains(out, "max ΔT") {
+		t.Errorf("output:\n%s", out)
+	}
+	// Four tile rows of counts printed (2x2 grid => 2 lines of 2 numbers).
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Errorf("expected plan header + grid, got:\n%s", out)
+	}
+}
+
+func TestPlanCLIModels(t *testing.T) {
+	path := writeFloorplan(t, demoFP)
+	var a, d bytes.Buffer
+	if err := run([]string{"-floorplan", path, "-budget", "12", "-model", "A"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-floorplan", path, "-budget", "12", "-model", "1D"}, &d); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == d.String() {
+		t.Error("A and 1D plans identical")
+	}
+	var b bytes.Buffer
+	if err := run([]string{"-floorplan", path, "-budget", "12", "-model", "B", "-segments", "40"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "B(40)") {
+		t.Errorf("Model B output: %s", b.String())
+	}
+}
+
+func TestPlanCLIVerify(t *testing.T) {
+	// Plan with Model B so the plan's own model matches the verifier's
+	// calibration target; a Model A plan may legitimately draw a warning
+	// since the verifier is calibrated against Model B.
+	path := writeFloorplan(t, demoFP)
+	var buf bytes.Buffer
+	if err := run([]string{"-floorplan", path, "-budget", "13", "-model", "B", "-verify"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "full-chip 3-D verification") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "plan holds chip-wide") {
+		t.Errorf("verification did not confirm the plan:\n%s", buf.String())
+	}
+}
+
+func TestPlanCLIErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("missing floorplan accepted")
+	}
+	if err := run([]string{"-floorplan", "/does/not/exist.json"}, &buf); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeFloorplan(t, `{"TileSide": 0.00075, "Rows": 1}`)
+	if err := run([]string{"-floorplan", bad}, &buf); err == nil {
+		t.Error("unknown JSON field accepted")
+	}
+	path := writeFloorplan(t, demoFP)
+	if err := run([]string{"-floorplan", path, "-model", "zzz"}, &buf); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run([]string{"-floorplan", path, "-budget", "0.01"}, &buf); err == nil {
+		t.Error("impossible budget accepted")
+	}
+}

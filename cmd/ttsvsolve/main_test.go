@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAllModels(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-model", "all", "-r", "8", "-segments", "20"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"A", "B(20)", "1D", "max ΔT", "block: 3 planes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSingleModels(t *testing.T) {
+	for _, m := range []string{"A", "B", "1D"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-model", m, "-r", "6", "-segments", "10"}, &buf); err != nil {
+			t.Fatalf("model %s: %v", m, err)
+		}
+		if !strings.Contains(buf.String(), "max ΔT") {
+			t.Errorf("model %s: no result printed", m)
+		}
+	}
+}
+
+func TestRunReference(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-model", "ref", "-r", "10"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FVM reference") {
+		t.Errorf("output: %s", buf.String())
+	}
+}
+
+func TestRunCluster(t *testing.T) {
+	var one, four bytes.Buffer
+	if err := run([]string{"-model", "A", "-r", "10", "-tsi", "20", "-td", "4", "-tl", "1"}, &one); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", "A", "-r", "10", "-tsi", "20", "-td", "4", "-tl", "1", "-vias", "4"}, &four); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(four.String(), "×4") {
+		t.Errorf("cluster count not reported: %s", four.String())
+	}
+	if one.String() == four.String() {
+		t.Error("cluster split changed nothing")
+	}
+}
+
+func TestRunAspectRatioWarning(t *testing.T) {
+	var buf bytes.Buffer
+	// r = 1 µm with thick planes: aspect ratio way past 10.
+	if err := run([]string{"-model", "1D", "-r", "1", "-tsi", "45"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "warning") {
+		t.Errorf("no aspect-ratio warning:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-model", "bogus"}, &buf); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run([]string{"-r", "-5"}, &buf); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if err := run([]string{"-planes", "1"}, &buf); err == nil {
+		t.Error("single plane accepted")
+	}
+	if err := run([]string{"-not-a-flag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "block.json")
+	if err := os.WriteFile(path, []byte(`{"R": 8e-6, "NumPlanes": 4, "Fill": "W"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-config", path, "-model", "1D"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "4 planes") || !strings.Contains(out, "r = 8 µm") {
+		t.Errorf("config not applied:\n%s", out)
+	}
+	// An explicit flag overrides the config.
+	buf.Reset()
+	if err := run([]string{"-config", path, "-model", "1D", "-r", "12"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "r = 12 µm") {
+		t.Errorf("flag did not override config:\n%s", buf.String())
+	}
+	if err := run([]string{"-config", filepath.Join(dir, "missing.json")}, &buf); err == nil {
+		t.Error("missing config accepted")
+	}
+}

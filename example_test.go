@@ -1,0 +1,77 @@
+package ttsv_test
+
+import (
+	"fmt"
+
+	ttsv "repro"
+)
+
+// ExampleModelA solves the paper's standard block with the compact fitted
+// network model.
+func ExampleModelA() {
+	s, err := ttsv.Fig4Block(10e-6) // 10 µm via
+	if err != nil {
+		panic(err)
+	}
+	res, err := ttsv.ModelA{Coeffs: ttsv.PaperBlockCoeffs()}.Solve(s)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("max ΔT = %.2f K\n", res.MaxDT)
+	// Output: max ΔT = 17.37 K
+}
+
+// ExampleNewModelB solves the same block with the distributed model, which
+// needs no fitting coefficients.
+func ExampleNewModelB() {
+	s, err := ttsv.Fig4Block(10e-6)
+	if err != nil {
+		panic(err)
+	}
+	res, err := ttsv.NewModelB(100).Solve(s)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("max ΔT = %.2f K with %d unknowns\n", res.MaxDT, res.Unknowns)
+	// Output: max ΔT = 19.70 K with 421 unknowns
+}
+
+// ExampleStack_WithViaCount splits a via into an equal-metal-area cluster
+// (paper §IV-D): four thinner vias cool better than one fat one.
+func ExampleStack_WithViaCount() {
+	s, err := ttsv.Fig7Block(1)
+	if err != nil {
+		panic(err)
+	}
+	m := ttsv.ModelA{Coeffs: ttsv.PaperBlockCoeffs()}
+	one, _ := m.Solve(s)
+	four, _ := m.Solve(s.WithViaCount(4))
+	fmt.Printf("1 via: %.2f K, 4 vias: %.2f K\n", one.MaxDT, four.MaxDT)
+	// Output: 1 via: 18.73 K, 4 vias: 16.11 K
+}
+
+// ExampleResistances evaluates the paper's closed-form network elements.
+func ExampleResistances() {
+	s, err := ttsv.Fig4Block(10e-6)
+	if err != nil {
+		panic(err)
+	}
+	res, rs, err := ttsv.Resistances(s, ttsv.UnitCoeffs())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("R1 = %.0f K/W, R2 = %.0f K/W, R3 = %.0f K/W, Rs = %.0f K/W\n",
+		res[0].Surround, res[0].Metal, res[0].Liner, rs)
+	// Output: R1 = 297 K/W, R2 = 40 K/W, R3 = 1109 K/W, Rs = 384 K/W
+}
+
+// ExampleSystem_Analyze runs the paper's DRAM-µP case study (§IV-E).
+func ExampleSystem_Analyze() {
+	sys := ttsv.DRAMuP()
+	res, err := sys.Analyze(ttsv.Model1D{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("traditional 1-D model: %.1f K (the paper's FEM says ~12)\n", res.MaxDT)
+	// Output: traditional 1-D model: 18.6 K (the paper's FEM says ~12)
+}

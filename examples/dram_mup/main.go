@@ -1,0 +1,58 @@
+// DRAM-µP system analysis: the paper's §IV-E case study. A 10 mm × 10 mm
+// processor with two stacked DRAM planes dissipates 70 + 7 + 7 W through a
+// uniform array of ~177 TTSVs (0.5% area density). By symmetry, the system
+// reduces to one unit cell per via; the analytical models solve it in
+// micro-to-milliseconds where a full FEM run takes an hour, and the
+// traditional 1-D model overestimates the temperature by ~65% — which in a
+// TTSV planning flow would mean wasting silicon on vias the chip does not
+// need.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	ttsv "repro"
+)
+
+func main() {
+	sys := ttsv.DRAMuP()
+	cell, err := sys.UnitCell()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system: %d TTSVs (r = 30 µm) at %.1f%% density, %.0f W total\n",
+		sys.ViaCount(), 100*sys.ViaDensity, 84.0)
+	fmt.Printf("unit cell: %.0f µm × %.0f µm footprint, %.3f W\n\n",
+		1e6*side(cell.Footprint), 1e6*side(cell.Footprint), cell.TotalPower())
+
+	run := func(name string, m ttsv.Model) float64 {
+		t0 := time.Now()
+		res, err := sys.Analyze(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s max ΔT = %6.2f K   solved in %v\n", name, res.MaxDT, time.Since(t0).Round(time.Microsecond))
+		return res.MaxDT
+	}
+	a := run("Model A", ttsv.ModelA{Coeffs: ttsv.PaperSystemCoeffs()})
+	b := run("Model B", ttsv.NewModelB(1000))
+	d := run("1-D", ttsv.Model1D{})
+
+	t0 := time.Now()
+	ref, err := ttsv.SolveReference(cell, ttsv.DefaultResolution())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-9s max ΔT = %6.2f K   solved in %v\n\n", "reference", ref, time.Since(t0).Round(time.Millisecond))
+
+	fmt.Printf("Model A vs reference: %+.1f%%   Model B: %+.1f%%   1-D: %+.1f%%\n",
+		100*(a-ref)/ref, 100*(b-ref)/ref, 100*(d-ref)/ref)
+	fmt.Println("\nthe 1-D model's overestimate would drive a planner to insert far more")
+	fmt.Println("TTSVs than needed — the paper's core argument for lateral-aware models")
+}
+
+// side reports the square cell's edge length for an area.
+func side(area float64) float64 { return math.Sqrt(area) }

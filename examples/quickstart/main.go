@@ -1,0 +1,50 @@
+// Quickstart: build the paper's standard three-plane block, run all three
+// TTSV thermal models and the finite-volume reference on it, and print the
+// resulting maximum temperature rise.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ttsv "repro"
+)
+
+func main() {
+	// The paper's Fig. 4 block with a 10 µm via: three planes on a 100 µm ×
+	// 100 µm footprint, heat sink under the 500 µm first substrate.
+	s, err := ttsv.Fig4Block(10e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("three-plane block, total power %.1f mW, via r = 10 µm\n\n", 1e3*s.TotalPower())
+
+	models := []ttsv.Model{
+		ttsv.ModelA{Coeffs: ttsv.PaperBlockCoeffs()}, // compact fitted network (§II)
+		ttsv.NewModelB(100),                          // distributed, no fitting (§III)
+		ttsv.Model1D{},                               // traditional baseline
+	}
+	for _, m := range models {
+		res, err := m.Solve(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model %-7s max ΔT = %6.2f K   per-plane rises: %v\n",
+			m.Name(), res.MaxDT, rounded(res.PlaneDT))
+	}
+
+	ref, err := ttsv.SolveReference(s, ttsv.DefaultResolution())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference    max ΔT = %6.2f K   (finite-volume solve)\n", ref)
+	fmt.Printf("\nabsolute hottest spot: %.2f °C above a %.0f °C heat sink\n", ref, s.SinkTemp)
+}
+
+func rounded(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(int(x*100)) / 100
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+// Transient response: how fast does a 3-D stack heat up when the workload
+// steps on? The same networks that solve the paper's steady-state models
+// carry the structure's thermal masses, so a power step integrates in
+// milliseconds of simulated time — useful for sizing thermal throttling
+// windows. A larger via lowers the final temperature, but the settling time
+// is dominated by the thick first substrate's thermal mass, which the via
+// cannot bypass — so faster-settling designs need thinner substrates, not
+// just bigger vias.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ttsv "repro"
+)
+
+func main() {
+	spec := ttsv.TransientSpec{Dt: 100e-6, Steps: 400} // 40 ms horizon
+	model := ttsv.NewModelB(60)
+
+	fmt.Println("power-step response of the three-plane block (Model B, 60 segments):")
+	fmt.Println()
+	fmt.Println("via radius   final ΔT   5% settling time")
+	for _, rUM := range []float64{2, 5, 10, 20} {
+		s, err := ttsv.Fig4Block(rUM * 1e-6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := model.SolveTransient(s, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		settle := "beyond horizon"
+		if tr.Settled {
+			settle = fmt.Sprintf("%.2f ms", tr.SettlingTime*1e3)
+		}
+		fmt.Printf("%7.0f µm   %6.2f K   %s\n", rUM, tr.FinalDT, settle)
+	}
+
+	// Trace the r = 10 µm heating curve.
+	s, err := ttsv.Fig4Block(10e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := model.SolveTransient(s, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nheating curve at r = 10 µm (top plane):")
+	for _, ms := range []float64{0.5, 1, 2, 5, 10, 20, 40} {
+		k := int(ms*1e-3/spec.Dt) - 1
+		fmt.Printf("  t = %5.1f ms   ΔT = %6.2f K  (%.0f%% of final)\n",
+			ms, tr.TopDT[k], 100*tr.TopDT[k]/tr.FinalDT)
+	}
+}

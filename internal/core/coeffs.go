@@ -1,0 +1,56 @@
+// Package core implements the paper's contribution: the compact analytical
+// TTSV thermal model (Model A, paper §II), the distributed π-segment model
+// (Model B, §III), the traditional 1-D baseline the paper compares against,
+// and the equal-metal-area cluster transform (§IV-D).
+//
+// All models consume a stack.Stack and report steady-state temperature rise
+// above the heat sink. Temperatures are obtained by solving the nodal
+// heat-balance (KCL) equations of a thermal resistive network; heat flow is
+// the analogue of electrical current and temperature of voltage.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Coeffs holds the fitting coefficients of Model A. The lateral heat flow
+// within a plane is richer than the three discrete paths of the compact
+// network, so the paper calibrates two coefficients against a reference FEM
+// simulation: k1 scales the vertical conductances (eqs. (7)-(16)) and k2 the
+// lateral liner conductances (eqs. (9), (12), (15)). C1 is the additional
+// spreading coefficient c_{1,2} the paper introduces for the DRAM-µP case
+// study (Fig. 8 caption); it boosts the first plane's surroundings
+// conductance to account for the lateral spreading a thick first substrate
+// provides right above the heat sink. C1 = 1 disables it.
+type Coeffs struct {
+	K1 float64
+	K2 float64
+	C1 float64
+}
+
+// UnitCoeffs returns the identity coefficients (k1 = k2 = 1) used by
+// Model B, which by construction needs no fitting.
+func UnitCoeffs() Coeffs { return Coeffs{K1: 1, K2: 1, C1: 1} }
+
+// PaperBlockCoeffs returns the coefficients the paper uses for all the
+// 100 µm × 100 µm block experiments (Figs. 4-7): k1 = 1.3, k2 = 0.55.
+func PaperBlockCoeffs() Coeffs { return Coeffs{K1: 1.3, K2: 0.55, C1: 1} }
+
+// PaperSystemCoeffs returns the coefficients of the DRAM-µP case study
+// (§IV-E, Fig. 8): k1 = 1.6, k2 = 0.8, c_{1,2} = 3.5.
+func PaperSystemCoeffs() Coeffs { return Coeffs{K1: 1.6, K2: 0.8, C1: 3.5} }
+
+// Validate reports an error for non-physical coefficients.
+func (c Coeffs) Validate() error {
+	if c.K1 <= 0 || math.IsNaN(c.K1) || math.IsInf(c.K1, 0) {
+		return fmt.Errorf("core: coefficient k1 = %g must be positive and finite", c.K1)
+	}
+	if c.K2 <= 0 || math.IsNaN(c.K2) || math.IsInf(c.K2, 0) {
+		return fmt.Errorf("core: coefficient k2 = %g must be positive and finite", c.K2)
+	}
+	if c.C1 <= 0 || math.IsNaN(c.C1) || math.IsInf(c.C1, 0) {
+		return fmt.Errorf("core: coefficient c1 = %g must be positive and finite", c.C1)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stack"
+)
+
+// NoViaDT computes the stack's maximum temperature rise with the TTSV
+// removed entirely: a plain series stack of full-footprint slabs. This is
+// the baseline against which a via's benefit is measured — the motivation
+// for inserting TTSVs in the first place.
+func NoViaDT(s *stack.Stack) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	n := len(s.Planes)
+	crossing := make([]float64, n)
+	var sum float64
+	for i := n - 1; i >= 0; i-- {
+		sum += s.Planes[i].TotalPower()
+		crossing[i] = sum
+	}
+	area := s.Footprint
+	p0 := s.Planes[0]
+	dt := sum * p0.SiThickness / (p0.Si.K * area)
+	for i, p := range s.Planes {
+		var vertical float64
+		if i == 0 {
+			vertical = p.ILDThickness / p.ILD.K
+		} else {
+			vertical = p.ILDThickness/p.ILD.K + p.SiThickness/p.Si.K + p.BondThickness/p.Bond.K
+		}
+		dt += crossing[i] * vertical / area
+	}
+	return dt, nil
+}
+
+// Effectiveness reports how much a TTSV design improves the stack:
+// the temperature rise without any via, with the via (per the given model),
+// and the reduction between them.
+type Effectiveness struct {
+	// WithoutVia is the no-via baseline maximum rise (K).
+	WithoutVia float64
+	// WithVia is the modeled maximum rise with the TTSV (K).
+	WithVia float64
+	// Reduction = WithoutVia - WithVia (K).
+	Reduction float64
+	// Fraction = Reduction / WithoutVia.
+	Fraction float64
+}
+
+// ViaEffectiveness evaluates the temperature reduction the stack's TTSV
+// buys according to the given model.
+func ViaEffectiveness(m Model, s *stack.Stack) (*Effectiveness, error) {
+	base, err := NoViaDT(s)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Solve(s)
+	if err != nil {
+		return nil, err
+	}
+	if base <= 0 {
+		return nil, fmt.Errorf("core: no-via baseline ΔT %g is not positive", base)
+	}
+	e := &Effectiveness{
+		WithoutVia: base,
+		WithVia:    res.MaxDT,
+		Reduction:  base - res.MaxDT,
+	}
+	e.Fraction = e.Reduction / base
+	return e, nil
+}

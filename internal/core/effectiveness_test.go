@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stack"
+	"repro/internal/units"
+)
+
+func TestNoViaDTHandComputed(t *testing.T) {
+	s := fig4Stack(t)
+	got, err := NoViaDT(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s.Planes[0].TotalPower()
+	a := s.Footprint
+	want := 3 * q * 500e-6 / (130 * a)
+	want += 3 * q * (4e-6 / 1.4) / a
+	mid := 4e-6/1.4 + 45e-6/130 + 1e-6/0.15
+	want += 2 * q * mid / a
+	want += 1 * q * mid / a
+	if units.RelErr(got, want) > 1e-12 {
+		t.Fatalf("NoViaDT = %g, want %g", got, want)
+	}
+}
+
+func TestNoViaDTRejectsInvalid(t *testing.T) {
+	s := fig4Stack(t)
+	s.Footprint = -1
+	if _, err := NoViaDT(s); err == nil {
+		t.Fatal("invalid stack accepted")
+	}
+}
+
+func TestViaEffectivenessPositive(t *testing.T) {
+	s := fig4Stack(t)
+	for _, m := range []Model{ModelA{Coeffs: PaperBlockCoeffs()}, NewModelB(50), Model1D{}} {
+		e, err := ViaEffectiveness(m, s)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if e.Reduction <= 0 {
+			t.Errorf("%s: via does not help (reduction %g)", m.Name(), e.Reduction)
+		}
+		if e.Fraction <= 0 || e.Fraction >= 1 {
+			t.Errorf("%s: fraction %g outside (0,1)", m.Name(), e.Fraction)
+		}
+		if math.Abs(e.WithoutVia-e.WithVia-e.Reduction) > 1e-12 {
+			t.Errorf("%s: inconsistent fields %+v", m.Name(), e)
+		}
+	}
+}
+
+func TestViaEffectivenessGrowsWithRadius(t *testing.T) {
+	m := ModelA{Coeffs: PaperBlockCoeffs()}
+	var prev float64
+	for i, r := range []float64{6, 10, 16, 20} {
+		s, err := stack.Fig4Block(units.UM(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := ViaEffectiveness(m, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && e.Reduction <= prev {
+			t.Fatalf("reduction did not grow with radius at %g µm: %g then %g", r, prev, e.Reduction)
+		}
+		prev = e.Reduction
+	}
+}
+
+func TestViaEffectivenessPropagatesModelErrors(t *testing.T) {
+	s := fig4Stack(t)
+	if _, err := ViaEffectiveness(ModelA{}, s); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stack"
+	"repro/internal/units"
+)
+
+func solve1D(t *testing.T, s *stack.Stack) *Result {
+	t.Helper()
+	r, err := (Model1D{}).Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestModel1DName(t *testing.T) {
+	if (Model1D{}).Name() != "1D" {
+		t.Error("name wrong")
+	}
+}
+
+func TestModel1DHandComputed(t *testing.T) {
+	// Check the series/parallel chain directly against the resistance
+	// formulas for the Fig. 4 geometry with only the top plane powered.
+	s := fig4Stack(t)
+	for i := range s.Planes {
+		s.Planes[i].DevicePower = 0
+		s.Planes[i].ILDPower = 0
+	}
+	const q = 0.01
+	s.Planes[2].DevicePower = q
+	r := solve1D(t, s)
+
+	res, rs, err := Resistances(s, UnitCoeffs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rs * q
+	for j := 0; j < 3; j++ {
+		rp := res[j].Surround * res[j].Metal / (res[j].Surround + res[j].Metal)
+		want += rp * q
+	}
+	if units.RelErr(r.MaxDT, want) > 1e-12 {
+		t.Errorf("ΔT = %g, want %g", r.MaxDT, want)
+	}
+}
+
+func TestModel1DAllPlanesPowered(t *testing.T) {
+	// With all planes powered, plane j carries the cumulative heat of the
+	// planes at and above it.
+	s := fig4Stack(t)
+	r := solve1D(t, s)
+	res, rs, err := Resistances(s, UnitCoeffs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s.Planes[0].TotalPower() // identical planes in this stack
+	want := rs * 3 * q
+	for j := 0; j < 3; j++ {
+		rp := res[j].Surround * res[j].Metal / (res[j].Surround + res[j].Metal)
+		want += rp * q * float64(3-j)
+	}
+	if units.RelErr(r.MaxDT, want) > 1e-12 {
+		t.Errorf("ΔT = %g, want %g", r.MaxDT, want)
+	}
+	if units.RelErr(r.BaseDT, rs*3*q) > 1e-12 {
+		t.Errorf("T0 = %g, want %g", r.BaseDT, rs*3*q)
+	}
+}
+
+func TestModel1DBlindToLiner(t *testing.T) {
+	// Fig. 5: the 1-D model cannot see the liner thickness (the only
+	// residual coupling is the negligible change in surroundings area).
+	thin, err := stack.Fig5Block(units.UM(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	thick, err := stack.Fig5Block(units.UM(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := solve1D(t, thin).MaxDT, solve1D(t, thick).MaxDT
+	if units.RelErr(a, b) > 0.015 {
+		t.Errorf("1-D model sensitive to liner: %g vs %g", a, b)
+	}
+}
+
+func TestModel1DBlindToClusterSplit(t *testing.T) {
+	// Fig. 7: equal metal area means the 1-D model sees an identical
+	// network for every n.
+	s1, err := stack.Fig7Block(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s16, err := stack.Fig7Block(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := solve1D(t, s1).MaxDT, solve1D(t, s16).MaxDT
+	if units.RelErr(a, b) > 1e-12 {
+		t.Errorf("1-D model sensitive to cluster split: %g vs %g", a, b)
+	}
+}
+
+func TestModel1DMonotoneInSiliconThickness(t *testing.T) {
+	// Fig. 6: the 1-D model increases monotonically with t_Si — it cannot
+	// reproduce the interior minimum Models A/B capture.
+	var prev float64
+	for i, tsi := range []float64{5, 10, 20, 40, 60, 80} {
+		s, err := stack.Fig6Block(units.UM(tsi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt := solve1D(t, s).MaxDT
+		if i > 0 && dt <= prev {
+			t.Fatalf("1-D not monotone at t_Si = %g µm: %g then %g", tsi, prev, dt)
+		}
+		prev = dt
+	}
+}
+
+func TestModel1DMonotoneInRadius(t *testing.T) {
+	// The 1-D model does capture the radius trend (Fig. 4): a wider via
+	// column conducts more.
+	var prev float64
+	for i, r := range []float64{6, 8, 10, 14, 20} {
+		s, err := stack.Fig4Block(units.UM(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt := solve1D(t, s).MaxDT
+		if i > 0 && dt >= prev {
+			t.Fatalf("1-D not decreasing with radius at %g µm", r)
+		}
+		prev = dt
+	}
+}
+
+func TestModel1DPlaneOrdering(t *testing.T) {
+	s := fig4Stack(t)
+	r := solve1D(t, s)
+	if len(r.PlaneDT) != 3 {
+		t.Fatalf("PlaneDT = %v", r.PlaneDT)
+	}
+	prev := 0.0
+	for i, dt := range r.PlaneDT {
+		if dt <= prev {
+			t.Fatalf("plane %d ΔT %g not above %g", i+1, dt, prev)
+		}
+		prev = dt
+	}
+	if r.MaxDT != r.PlaneDT[2] {
+		t.Errorf("MaxDT = %g, top plane %g", r.MaxDT, r.PlaneDT[2])
+	}
+}
+
+func TestModel1DLinearInPower(t *testing.T) {
+	s := fig4Stack(t)
+	base := solve1D(t, s).MaxDT
+	s2 := s.Clone()
+	for i := range s2.Planes {
+		s2.Planes[i].DevicePower *= 5
+		s2.Planes[i].ILDPower *= 5
+	}
+	if got := solve1D(t, s2).MaxDT; units.RelErr(got, 5*base) > 1e-12 {
+		t.Errorf("5x power: %g, want %g", got, 5*base)
+	}
+}
+
+func TestModel1DCrossoverVsDistributed(t *testing.T) {
+	// At high aspect ratio (r = 1 µm) the via column is a poor conductor, so
+	// ignoring the lateral path makes the 1-D model overestimate; at r =
+	// 20 µm the column dominates and the 1-D model underestimates (the
+	// "error is higher when the aspect ratio is high" behavior of Fig. 4).
+	mb := NewModelB(100)
+	thin, err := stack.Fig4Block(units.UM(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := stack.Fig4Block(units.UM(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bThin, err := mb.Solve(thin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bWide, err := mb.Solve(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := solve1D(t, thin).MaxDT; d <= bThin.MaxDT {
+		t.Errorf("r=1µm: 1-D %g not above distributed %g", d, bThin.MaxDT)
+	}
+	if d := solve1D(t, wide).MaxDT; d >= bWide.MaxDT {
+		t.Errorf("r=20µm: 1-D %g not below distributed %g", d, bWide.MaxDT)
+	}
+}
+
+func TestModel1DRejectsInvalidStack(t *testing.T) {
+	s := fig4Stack(t)
+	s.Via.Radius = -1
+	if _, err := (Model1D{}).Solve(s); err == nil {
+		t.Error("invalid stack accepted")
+	}
+}
+
+func TestModelInterfaceCompliance(t *testing.T) {
+	var models = []Model{
+		ModelA{Coeffs: PaperBlockCoeffs()},
+		NewModelB(10),
+		Model1D{},
+	}
+	s := fig4Stack(t)
+	for _, m := range models {
+		r, err := m.Solve(s)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if r.MaxDT <= 0 || len(r.PlaneDT) != 3 {
+			t.Errorf("%s: implausible result %+v", m.Name(), r)
+		}
+	}
+}

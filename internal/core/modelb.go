@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netlist"
+	"repro/internal/stack"
+)
+
+// ModelB is the paper's distributed TTSV model (§III, Fig. 3). Each plane is
+// sliced into π-segments — n_D in the ILD sub-layer and n_S in the silicon
+// sub-layer — each carrying a vertical surroundings resistor, a vertical via
+// fill resistor R_M/n and a lateral liner resistor n·R_L (eq. (21)). No
+// fitting coefficients are used: the distributed lateral coupling itself
+// captures the multi-dimensional heat flow that Model A's k1/k2 absorb.
+//
+// The resulting 2·n_A node system (eq. (19)) is assembled as a thermal
+// network and solved; accuracy rises with the segment count at increasing
+// solve cost (paper Table I).
+type ModelB struct {
+	// Plane1Segments is the segment count of the first plane, whose via
+	// column only spans the ILD plus the extension l_ext (its thick
+	// substrate is the lumped R_s).
+	Plane1Segments int
+	// PlaneSegments is the per-plane segment count n_j of every other plane,
+	// split between ILD and silicon proportionally to thickness.
+	PlaneSegments int
+}
+
+// NewModelB returns a Model B instance with the paper's segment pairing:
+// for "Model B (n)" the paper uses n segments in planes 2..N and n/10
+// (at least 1) in the first plane — (1,1), (2,20), (10,100), (50,500).
+func NewModelB(n int) ModelB {
+	n1 := n / 10
+	if n1 < 1 {
+		n1 = 1
+	}
+	return ModelB{Plane1Segments: n1, PlaneSegments: n}
+}
+
+// Name implements Model.
+func (m ModelB) Name() string { return fmt.Sprintf("B(%d)", m.PlaneSegments) }
+
+// segmentation describes how one plane is sliced.
+type segmentation struct {
+	nILD, nSi int
+}
+
+// splitSegments divides n segments between the ILD and silicon sub-layers of
+// a plane proportionally to their thickness, guaranteeing at least one ILD
+// segment (heat is injected there, eq. (20)) and, when n > 1, at least one
+// silicon segment.
+func splitSegments(n int, tILD, tSi float64) segmentation {
+	if n <= 1 {
+		return segmentation{nILD: 1, nSi: 0}
+	}
+	nILD := int(math.Round(float64(n) * tILD / (tILD + tSi)))
+	if nILD < 1 {
+		nILD = 1
+	}
+	if nILD > n-1 {
+		nILD = n - 1
+	}
+	return segmentation{nILD: nILD, nSi: n - nILD}
+}
+
+// Solve implements Model.
+func (m ModelB) Solve(s *stack.Stack) (*Result, error) {
+	net, nodes, err := m.buildNetwork(s)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := net.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("core: model B solve: %w", err)
+	}
+	out := &Result{
+		Model:    m.Name(),
+		PlaneDT:  make([]float64, len(s.Planes)),
+		BaseDT:   sol.Temp(nodes.base),
+		Unknowns: 2*nodes.totalSegments + 1,
+	}
+	for i, id := range nodes.planeTop {
+		out.PlaneDT[i] = sol.Temp(id)
+	}
+	_, out.MaxDT = sol.MaxTemp()
+	return out, nil
+}
+
+// modelBNodes records the node handles of a built Model B network.
+type modelBNodes struct {
+	sink, base    netlist.NodeID
+	planeTop      []netlist.NodeID
+	totalSegments int
+}
+
+// buildNetwork assembles the distributed π-segment network (Fig. 3) with
+// per-node thermal masses attached for transient analysis.
+func (m ModelB) buildNetwork(s *stack.Stack) (*netlist.Network, modelBNodes, error) {
+	var nodes modelBNodes
+	if m.Plane1Segments < 1 || m.PlaneSegments < 1 {
+		return nil, nodes, fmt.Errorf("core: model B needs positive segment counts, got (%d, %d)",
+			m.Plane1Segments, m.PlaneSegments)
+	}
+	// Element values follow the Model A formulas with k1 = k2 = 1 (§III).
+	res, rs, err := Resistances(s, UnitCoeffs())
+	if err != nil {
+		return nil, nodes, err
+	}
+
+	net := netlist.New()
+	sink := net.Node("sink")
+	if err := net.Fix(sink, 0); err != nil {
+		return nil, nodes, err
+	}
+	base := net.Node("T0")
+	if err := net.AddResistor("Rs", sink, base, rs); err != nil {
+		return nil, nodes, err
+	}
+
+	area := s.SurroundArea()
+	metalArea := s.Via.MetalArea()
+	rl := s.Via.SplitRadius() + s.Via.LinerThickness
+	linerArea := float64(s.Via.EffectiveCount())*math.Pi*rl*rl - metalArea
+	// The first plane's bulk substrate mass sits on T0 (transient only).
+	p0 := s.Planes[0]
+	if err := net.SetCapacitance(base, (p0.SiThickness-s.Via.Extension)*s.Footprint*p0.Si.C); err != nil {
+		return nil, nodes, err
+	}
+	// Both chains grow upward from T0.
+	prevS, prevM := base, base
+
+	planeTop := make([]netlist.NodeID, len(s.Planes))
+	totalSegments := 0
+
+	for i, p := range s.Planes {
+		var seg segmentation
+		if i == 0 {
+			seg = segmentation{nILD: m.Plane1Segments, nSi: 0}
+		} else {
+			seg = splitSegments(m.PlaneSegments, p.ILDThickness, p.SiThickness)
+		}
+		nj := seg.nILD + seg.nSi
+		totalSegments += nj
+		metalSeg := res[i].Metal / float64(nj) // R_M/n_j, eq. (21)
+		linerSeg := res[i].Liner * float64(nj) // n_j·R_L, eq. (21)
+
+		// Vertical surroundings resistances of the sub-layers (no k1).
+		var rILDseg, rSiSeg, rBond float64
+		if i == 0 {
+			// The first plane's column is ILD + l_ext; slice it uniformly.
+			full := (p.ILDThickness/p.ILD.K + s.Via.Extension/p.Si.K) / area
+			rILDseg = full / float64(seg.nILD)
+		} else {
+			rILDseg = p.ILDThickness / (p.ILD.K * area * float64(seg.nILD))
+			if seg.nSi > 0 {
+				rSiSeg = p.SiThickness / (p.Si.K * area * float64(seg.nSi))
+			}
+			rBond = p.BondThickness / (p.Bond.K * area)
+			if seg.nSi == 0 {
+				// Single-segment plane: fold silicon and bond into the one
+				// ILD segment so the vertical path is complete.
+				rILDseg += (p.SiThickness/p.Si.K + p.BondThickness/p.Bond.K) / area
+				rBond = 0
+			}
+		}
+
+		qPerILD := p.TotalPower() / float64(seg.nILD) // eq. (20)
+
+		// Per-segment thermal masses (used only by transient analysis).
+		h := s.ColumnHeight(i)
+		metalCap := h / float64(nj) * (metalArea*s.Via.Fill.C + linerArea*s.Via.Liner.C)
+		var ildSurrCap, siSurrCap, bondCap float64
+		if i == 0 {
+			ildSurrCap = area * (p.ILDThickness*p.ILD.C + s.Via.Extension*p.Si.C) / float64(seg.nILD)
+		} else {
+			ildSurrCap = area * p.ILDThickness * p.ILD.C / float64(seg.nILD)
+			bondCap = area * p.BondThickness * p.Bond.C
+			if seg.nSi > 0 {
+				siSurrCap = area * p.SiThickness * p.Si.C / float64(seg.nSi)
+			} else {
+				// Single-segment plane: silicon and bond mass fold into the
+				// one ILD segment like their resistances do.
+				ildSurrCap += area * (p.SiThickness*p.Si.C + p.BondThickness*p.Bond.C)
+				bondCap = 0
+			}
+		}
+
+		// Build segments bottom-to-top: bond (folded into the first silicon
+		// segment), silicon, then ILD (paper Fig. 3).
+		segIdx := 0
+		addSegment := func(vertical, inject, surrCap float64) error {
+			segIdx++
+			sn := net.Node(fmt.Sprintf("p%d/s%d/T", i+1, segIdx))
+			mn := net.Node(fmt.Sprintf("p%d/s%d/M", i+1, segIdx))
+			if err := net.AddResistor(fmt.Sprintf("p%d/s%d/vert", i+1, segIdx), prevS, sn, vertical); err != nil {
+				return err
+			}
+			if err := net.AddResistor(fmt.Sprintf("p%d/s%d/metal", i+1, segIdx), prevM, mn, metalSeg); err != nil {
+				return err
+			}
+			if err := net.AddResistor(fmt.Sprintf("p%d/s%d/liner", i+1, segIdx), sn, mn, linerSeg); err != nil {
+				return err
+			}
+			if inject != 0 {
+				if err := net.AddSource(fmt.Sprintf("p%d/s%d/q", i+1, segIdx), sn, inject); err != nil {
+					return err
+				}
+			}
+			if err := net.SetCapacitance(sn, surrCap); err != nil {
+				return err
+			}
+			if err := net.SetCapacitance(mn, metalCap); err != nil {
+				return err
+			}
+			prevS, prevM = sn, mn
+			return nil
+		}
+
+		for k := 0; k < seg.nSi; k++ {
+			vertical := rSiSeg
+			cap := siSurrCap
+			if k == 0 {
+				vertical += rBond // first silicon segment carries the bond
+				cap += bondCap
+			}
+			if err := addSegment(vertical, 0, cap); err != nil {
+				return nil, nodes, err
+			}
+		}
+		for k := 0; k < seg.nILD; k++ {
+			if err := addSegment(rILDseg, qPerILD, ildSurrCap); err != nil {
+				return nil, nodes, err
+			}
+		}
+		planeTop[i] = prevS
+	}
+
+	nodes = modelBNodes{sink: sink, base: base, planeTop: planeTop, totalSegments: totalSegments}
+
+	return net, nodes, nil
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/materials"
+	"repro/internal/stack"
+)
+
+// SolveNonlinear iterates a model to self-consistency when material
+// conductivities depend on temperature (materials.Material.TempCoeff). Each
+// pass evaluates every plane's layer conductivities at that plane's last
+// solved temperature (absolute, i.e. rise + sink temperature), the via fill
+// and liner at the mean plane temperature, re-solves, and repeats until the
+// maximum temperature rise changes by less than tol (relative) or maxIter
+// passes elapse.
+//
+// With temperature-independent materials the first pass is already exact and
+// the function returns after the second (confirmation) pass. The returned
+// int is the number of solves performed.
+func SolveNonlinear(m Model, s *stack.Stack, maxIter int, tol float64) (*Result, int, error) {
+	if maxIter < 1 {
+		return nil, 0, fmt.Errorf("core: nonlinear solve needs maxIter >= 1, got %d", maxIter)
+	}
+	if tol <= 0 || math.IsNaN(tol) {
+		return nil, 0, fmt.Errorf("core: nonlinear solve needs a positive tolerance, got %g", tol)
+	}
+	work := s.Clone()
+	var last *Result
+	for iter := 1; iter <= maxIter; iter++ {
+		res, err := m.Solve(work)
+		if err != nil {
+			return nil, iter, err
+		}
+		if last != nil {
+			if math.Abs(res.MaxDT-last.MaxDT) <= tol*(math.Abs(last.MaxDT)+tol) {
+				return res, iter, nil
+			}
+		}
+		last = res
+		// Re-evaluate conductivities at the solved temperatures.
+		var meanDT float64
+		for _, dt := range res.PlaneDT {
+			meanDT += dt
+		}
+		meanDT /= float64(len(res.PlaneDT))
+		for i := range work.Planes {
+			tAbs := s.SinkTemp + res.PlaneDT[i]
+			work.Planes[i].Si = updatedAt(s.Planes[i].Si, tAbs)
+			work.Planes[i].ILD = updatedAt(s.Planes[i].ILD, tAbs)
+			if i > 0 {
+				work.Planes[i].Bond = updatedAt(s.Planes[i].Bond, tAbs)
+			}
+		}
+		viaT := s.SinkTemp + meanDT
+		work.Via.Fill = updatedAt(s.Via.Fill, viaT)
+		work.Via.Liner = updatedAt(s.Via.Liner, viaT)
+	}
+	return last, maxIter, fmt.Errorf("core: nonlinear solve did not converge in %d iterations (last ΔT %g)",
+		maxIter, last.MaxDT)
+}
+
+// updatedAt returns a copy of the base material with its conductivity
+// evaluated at temperature t. The base (not the previous iterate) supplies
+// the temperature law, so every pass re-evaluates from the original data.
+func updatedAt(base materials.Material, t float64) materials.Material {
+	return base.WithConductivity(base.Conductivity(t))
+}

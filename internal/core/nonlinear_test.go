@@ -1,0 +1,117 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestNonlinearConstantMaterialsMatchesLinear(t *testing.T) {
+	s := fig4Stack(t)
+	m := ModelA{Coeffs: PaperBlockCoeffs()}
+	linear, err := m.Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, iters, err := SolveNonlinear(m, s, 10, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters != 2 {
+		t.Errorf("constant materials took %d iterations, want 2", iters)
+	}
+	if units.RelErr(nl.MaxDT, linear.MaxDT) > 1e-12 {
+		t.Errorf("nonlinear %g vs linear %g", nl.MaxDT, linear.MaxDT)
+	}
+}
+
+func TestNonlinearSiliconDegradation(t *testing.T) {
+	// Silicon conductivity falls with temperature (~ -0.4%/K near 300 K).
+	// A self-consistent solve must therefore run hotter than the linear one.
+	s := fig4Stack(t)
+	for i := range s.Planes {
+		s.Planes[i].Si.TempCoeff = -0.004
+		s.Planes[i].Si.RefTemp = 27
+	}
+	m := ModelA{Coeffs: PaperBlockCoeffs()}
+	linear, err := m.Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, iters, err := SolveNonlinear(m, s, 25, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.MaxDT <= linear.MaxDT {
+		t.Errorf("degrading silicon did not raise ΔT: %g vs %g", nl.MaxDT, linear.MaxDT)
+	}
+	// The feedback is modest at these temperatures — not a runaway.
+	if nl.MaxDT > 1.5*linear.MaxDT {
+		t.Errorf("implausible feedback: %g vs %g", nl.MaxDT, linear.MaxDT)
+	}
+	if iters < 3 {
+		t.Errorf("temperature feedback resolved suspiciously fast (%d iterations)", iters)
+	}
+}
+
+func TestNonlinearWorksWithAllModels(t *testing.T) {
+	s := fig4Stack(t)
+	for i := range s.Planes {
+		s.Planes[i].Si.TempCoeff = -0.003
+	}
+	for _, m := range []Model{
+		ModelA{Coeffs: PaperBlockCoeffs()},
+		NewModelB(20),
+		Model1D{},
+	} {
+		nl, _, err := SolveNonlinear(m, s, 25, 1e-8)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if nl.MaxDT <= 0 {
+			t.Errorf("%s: ΔT %g", m.Name(), nl.MaxDT)
+		}
+	}
+}
+
+func TestNonlinearDoesNotMutateInput(t *testing.T) {
+	s := fig4Stack(t)
+	for i := range s.Planes {
+		s.Planes[i].Si.TempCoeff = -0.004
+	}
+	before := s.Planes[1].Si.K
+	if _, _, err := SolveNonlinear(ModelA{Coeffs: PaperBlockCoeffs()}, s, 10, 1e-8); err != nil {
+		t.Fatal(err)
+	}
+	if s.Planes[1].Si.K != before {
+		t.Error("input stack mutated")
+	}
+}
+
+func TestNonlinearValidation(t *testing.T) {
+	s := fig4Stack(t)
+	m := ModelA{Coeffs: PaperBlockCoeffs()}
+	if _, _, err := SolveNonlinear(m, s, 0, 1e-8); err == nil {
+		t.Error("zero maxIter accepted")
+	}
+	if _, _, err := SolveNonlinear(m, s, 5, 0); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	// Propagates model errors.
+	if _, _, err := SolveNonlinear(ModelA{}, s, 5, 1e-8); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestNonlinearNonConvergenceReported(t *testing.T) {
+	s := fig4Stack(t)
+	for i := range s.Planes {
+		s.Planes[i].Si.TempCoeff = -0.004
+	}
+	// One iteration cannot confirm convergence.
+	_, _, err := SolveNonlinear(ModelA{Coeffs: PaperBlockCoeffs()}, s, 1, 1e-12)
+	if err == nil || !strings.Contains(err.Error(), "converge") {
+		t.Fatalf("err = %v, want non-convergence", err)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stack"
+	"repro/internal/units"
+)
+
+// randomBlock derives a valid block geometry from quick-check seed bytes,
+// spanning the paper's parameter ranges.
+func randomBlock(seed int64) (*stack.Stack, bool) {
+	pick := func(shift uint, lo, hi float64) float64 {
+		x := float64((seed>>shift)&0xff) / 255.0
+		return lo + (hi-lo)*x
+	}
+	c := stack.DefaultBlock()
+	c.R = units.UM(pick(0, 1, 18))
+	c.TL = units.UM(pick(8, 0.3, 3))
+	c.TD = units.UM(pick(16, 2, 10))
+	c.TSi = units.UM(pick(24, 5, 80))
+	c.TB = units.UM(pick(32, 0.5, 4))
+	c.ViaCount = 1 + int((seed>>40)&0x3)
+	s, err := c.Build()
+	if err != nil {
+		return nil, false
+	}
+	return s, true
+}
+
+// Property: all three models produce positive, finite, ordered temperatures
+// on any valid geometry, and base ≤ every plane.
+func TestModelsWellBehavedProperty(t *testing.T) {
+	models := []Model{ModelA{Coeffs: PaperBlockCoeffs()}, NewModelB(20), Model1D{}}
+	f := func(seed int64) bool {
+		s, ok := randomBlock(seed)
+		if !ok {
+			return true
+		}
+		for _, m := range models {
+			r, err := m.Solve(s)
+			if err != nil {
+				return false
+			}
+			if !(r.MaxDT > 0) || r.MaxDT > 1e4 {
+				return false
+			}
+			if !(r.BaseDT > 0) {
+				return false
+			}
+			for _, dt := range r.PlaneDT {
+				if dt < r.BaseDT-1e-12 || dt > r.MaxDT+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: increasing k1 (better vertical conduction everywhere) can only
+// lower Model A's temperature; increasing k2 (better lateral liner
+// conduction) likewise.
+func TestModelACoefficientMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s, ok := randomBlock(seed)
+		if !ok {
+			return true
+		}
+		base, err := (ModelA{Coeffs: Coeffs{K1: 1, K2: 1, C1: 1}}).Solve(s)
+		if err != nil {
+			return false
+		}
+		hiK1, err := (ModelA{Coeffs: Coeffs{K1: 1.5, K2: 1, C1: 1}}).Solve(s)
+		if err != nil {
+			return false
+		}
+		hiK2, err := (ModelA{Coeffs: Coeffs{K1: 1, K2: 1.5, C1: 1}}).Solve(s)
+		if err != nil {
+			return false
+		}
+		return hiK1.MaxDT < base.MaxDT && hiK2.MaxDT <= base.MaxDT+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the equal-metal-area cluster transform never makes things worse
+// for the lateral-aware models and never changes the 1-D model.
+func TestClusterTransformProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s, ok := randomBlock(seed)
+		if !ok {
+			return true
+		}
+		s1 := s.Clone()
+		s1.Via.Count = 1
+		s4 := s1.WithViaCount(4)
+		if s4.Validate() != nil {
+			return true
+		}
+		a1, err := (ModelA{Coeffs: PaperBlockCoeffs()}).Solve(s1)
+		if err != nil {
+			return false
+		}
+		a4, err := (ModelA{Coeffs: PaperBlockCoeffs()}).Solve(s4)
+		if err != nil {
+			return false
+		}
+		if a4.MaxDT > a1.MaxDT+1e-12 {
+			return false
+		}
+		d1, err := (Model1D{}).Solve(s1)
+		if err != nil {
+			return false
+		}
+		d4, err := (Model1D{}).Solve(s4)
+		if err != nil {
+			return false
+		}
+		return units.RelErr(d4.MaxDT, d1.MaxDT) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding power to any single plane raises every plane temperature
+// (monotone response; the conductance matrix inverse is entrywise positive
+// on a connected network).
+func TestPowerMonotonicityProperty(t *testing.T) {
+	f := func(seed int64, plane uint8) bool {
+		s, ok := randomBlock(seed)
+		if !ok {
+			return true
+		}
+		m := NewModelB(10)
+		base, err := m.Solve(s)
+		if err != nil {
+			return false
+		}
+		s2 := s.Clone()
+		p := int(plane) % len(s2.Planes)
+		s2.Planes[p].DevicePower *= 1.5
+		more, err := m.Solve(s2)
+		if err != nil {
+			return false
+		}
+		for i := range base.PlaneDT {
+			if more.PlaneDT[i] <= base.PlaneDT[i] {
+				return false
+			}
+		}
+		return more.MaxDT > base.MaxDT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stack"
+)
+
+// Result reports a solved steady-state temperature field of one model run.
+// All temperatures are rises (K) above the heat-sink reference; add
+// stack.SinkTemp for absolute temperatures.
+type Result struct {
+	// Model names the producing model ("A", "B(100)", "1D", ...).
+	Model string
+	// MaxDT is the maximum temperature rise anywhere in the model (K) —
+	// the quantity every figure of the paper plots.
+	MaxDT float64
+	// PlaneDT is the temperature rise of each plane's representative node
+	// (the surroundings node T1, T3, T5, ... in Model A; the hottest node of
+	// the plane in Model B; the device layer in the 1-D model).
+	PlaneDT []float64
+	// BaseDT is the rise of the common substrate node T0 (eq. (6)).
+	BaseDT float64
+	// Unknowns is the size of the linear system that was solved.
+	Unknowns int
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: maxΔT = %.3f K (planes %v, base %.3f K, %d unknowns)",
+		r.Model, r.MaxDT, r.PlaneDT, r.BaseDT, r.Unknowns)
+}
+
+// Model is a TTSV thermal model: given a stack it produces temperatures.
+type Model interface {
+	// Name identifies the model in tables and figures.
+	Name() string
+	// Solve computes steady-state temperature rises for the stack.
+	Solve(s *stack.Stack) (*Result, error)
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/stack"
+)
+
+// TransientSpec configures a transient (step-power) simulation: the heat
+// sources switch on at t = 0 with the stack at the heat-sink temperature,
+// and the network integrates forward with the implicit Euler method.
+type TransientSpec struct {
+	// Dt is the time step (s).
+	Dt float64
+	// Steps is the number of steps; the simulated horizon is Dt·Steps.
+	Steps int
+}
+
+// Validate checks the specification.
+func (ts TransientSpec) Validate() error {
+	if ts.Dt <= 0 {
+		return fmt.Errorf("core: transient step %g must be positive", ts.Dt)
+	}
+	if ts.Steps < 1 {
+		return fmt.Errorf("core: transient needs at least 1 step, got %d", ts.Steps)
+	}
+	return nil
+}
+
+// TransientResult is the time response of a TTSV model to a power step.
+type TransientResult struct {
+	// Model names the producing model.
+	Model string
+	// Times lists the simulated instants (s).
+	Times []float64
+	// TopDT is the top plane's temperature rise at each instant (K) — the
+	// transient counterpart of Result.MaxDT.
+	TopDT []float64
+	// FinalDT is the last sample of TopDT.
+	FinalDT float64
+	// SettlingTime is the first time the top plane stays within 5% of its
+	// final value; Settled is false when the horizon was too short.
+	SettlingTime float64
+	// Settled reports whether the 5% band was reached before the horizon.
+	Settled bool
+}
+
+// transientFromNetwork runs the shared integration and extraction.
+func transientFromNetwork(model string, net *netlist.Network, top netlist.NodeID, spec TransientSpec) (*TransientResult, error) {
+	sol, err := net.SolveTransient(spec.Dt, spec.Steps, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s transient: %w", model, err)
+	}
+	times, temps := sol.History(top)
+	out := &TransientResult{
+		Model:   model,
+		Times:   times,
+		TopDT:   temps,
+		FinalDT: temps[len(temps)-1],
+	}
+	out.SettlingTime, out.Settled = sol.SettlingTime(top, 0.05)
+	return out, nil
+}
+
+// SolveTransient simulates the stack's step response with Model A's network.
+// Each node carries the thermal mass of the structure it lumps (plane bulk,
+// via column, first-plane substrate), so the response exposes the stack's
+// dominant thermal time constants — an extension beyond the paper's
+// steady-state scope, built on the same networks.
+func (m ModelA) SolveTransient(s *stack.Stack, spec TransientSpec) (*TransientResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	res, rs, err := Resistances(s, m.Coeffs)
+	if err != nil {
+		return nil, err
+	}
+	net, nodes, err := buildModelANetwork(s, res, rs)
+	if err != nil {
+		return nil, err
+	}
+	return transientFromNetwork(m.Name(), net, nodes.surround[len(s.Planes)-1], spec)
+}
+
+// SolveTransient simulates the stack's step response with Model B's
+// distributed network; segment-resolved masses make it the more faithful
+// transient model of the two.
+func (m ModelB) SolveTransient(s *stack.Stack, spec TransientSpec) (*TransientResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	net, nodes, err := m.buildNetwork(s)
+	if err != nil {
+		return nil, err
+	}
+	return transientFromNetwork(m.Name(), net, nodes.planeTop[len(nodes.planeTop)-1], spec)
+}

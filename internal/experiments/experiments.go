@@ -1,0 +1,324 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV): the TTSV radius sweep (Fig. 4), the liner thickness
+// sweep (Fig. 5), the accuracy/runtime trade-off of Model B's segmentation
+// (Table I), the substrate thickness sweep (Fig. 6), the via cluster sweep
+// (Fig. 7) and the 3-D DRAM-µP case study (§IV-E). Each experiment runs the
+// analytical models against the finite-volume reference solver and reports
+// the same rows/series as the paper.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fem"
+	"repro/internal/report"
+	"repro/internal/stack"
+	"repro/internal/units"
+)
+
+// RefName is the reference column's model name in sweeps.
+const RefName = "FVM"
+
+// Config controls experiment fidelity.
+type Config struct {
+	// Resolution is the reference solver mesh density.
+	Resolution fem.Resolution
+	// BlockCoeffs are Model A's coefficients for the block experiments
+	// (the paper's k1 = 1.3, k2 = 0.55 by default).
+	BlockCoeffs core.Coeffs
+	// SystemCoeffs are the case-study coefficients (k1 = 1.6, k2 = 0.8,
+	// c_{1,2} = 3.5 by default).
+	SystemCoeffs core.Coeffs
+	// SegmentsB is the per-plane segment count of the headline Model B runs
+	// ("Model B (100)" in the figures).
+	SegmentsB int
+	// CalibratedA optionally adds a second Model A column, "A(cal)", run
+	// with these coefficients — typically the output of Calibrate, i.e.
+	// Model A fitted to this repository's own reference the way the paper's
+	// A was fitted to COMSOL.
+	CalibratedA *core.Coeffs
+	// Quick thins the sweeps for fast runs (tests); the full grids match
+	// the paper's.
+	Quick bool
+}
+
+// Default returns the paper-faithful configuration.
+func Default() Config {
+	return Config{
+		Resolution:   fem.DefaultResolution(),
+		BlockCoeffs:  core.PaperBlockCoeffs(),
+		SystemCoeffs: core.PaperSystemCoeffs(),
+		SegmentsB:    100,
+	}
+}
+
+// Quick returns a thinned configuration for fast smoke runs.
+func Quick() Config {
+	c := Default()
+	c.Quick = true
+	c.Resolution = fem.Resolution{RadialVia: 4, RadialLiner: 2, RadialOuter: 12, AxialPerLayer: 4, AxialMin: 2, Bulk: 10}
+	return c
+}
+
+// Point is one sweep sample: the sweep variable plus each model's result.
+type Point struct {
+	// X is the sweep variable in display units (µm for lengths, count for
+	// cluster size).
+	X float64
+	// DT maps model name to maximum temperature rise (K).
+	DT map[string]float64
+	// Runtime maps model name to its solve wall time.
+	Runtime map[string]time.Duration
+}
+
+// Sweep is one figure-shaped experiment result.
+type Sweep struct {
+	// ID is the experiment identifier ("fig4", ...).
+	ID string
+	// Title describes the sweep.
+	Title string
+	// XLabel names the sweep variable.
+	XLabel string
+	// Models lists the model names in display order (reference last).
+	Models []string
+	// Points are the sweep samples in X order.
+	Points []Point
+}
+
+// ErrStat summarizes one model's deviation from the reference over a sweep.
+type ErrStat struct {
+	// Max and Avg are the maximum and mean |relative error| vs the
+	// reference.
+	Max, Avg float64
+	// AvgRuntime is the mean solve time.
+	AvgRuntime time.Duration
+}
+
+// models bundles a named solver.
+type namedModel struct {
+	name  string
+	model core.Model
+}
+
+// run executes all models plus the reference on one stack.
+func runPoint(x float64, s *stack.Stack, ms []namedModel, res fem.Resolution) (Point, error) {
+	p := Point{X: x, DT: make(map[string]float64), Runtime: make(map[string]time.Duration)}
+	for _, nm := range ms {
+		t0 := time.Now()
+		r, err := nm.model.Solve(s)
+		if err != nil {
+			return Point{}, fmt.Errorf("experiments: %s at x=%g: %w", nm.name, x, err)
+		}
+		p.Runtime[nm.name] = time.Since(t0)
+		p.DT[nm.name] = r.MaxDT
+	}
+	t0 := time.Now()
+	sol, err := fem.SolveStack(s, res)
+	if err != nil {
+		return Point{}, fmt.Errorf("experiments: reference at x=%g: %w", x, err)
+	}
+	p.Runtime[RefName] = time.Since(t0)
+	max, _, _ := sol.MaxT()
+	p.DT[RefName] = max
+	return p, nil
+}
+
+// standardModels returns the figure lineup: Model A (fitted), Model B, 1-D,
+// plus the re-calibrated Model A when configured.
+func standardModels(cfg Config) []namedModel {
+	ms := []namedModel{
+		{"A", core.ModelA{Coeffs: cfg.BlockCoeffs}},
+	}
+	if cfg.CalibratedA != nil {
+		ms = append(ms, namedModel{"A(cal)", core.ModelA{Coeffs: *cfg.CalibratedA}})
+	}
+	return append(ms,
+		namedModel{fmt.Sprintf("B(%d)", cfg.SegmentsB), core.NewModelB(cfg.SegmentsB)},
+		namedModel{"1D", core.Model1D{}},
+	)
+}
+
+func modelNames(ms []namedModel) []string {
+	names := make([]string, 0, len(ms)+1)
+	for _, m := range ms {
+		names = append(names, m.name)
+	}
+	return append(names, RefName)
+}
+
+// Fig4 sweeps the TTSV radius from 1 µm to 20 µm (paper Fig. 4): ΔT falls
+// with the radius; the substrate thickness switches at r = 5 µm to respect
+// the aspect-ratio limit.
+func Fig4(cfg Config) (*Sweep, error) {
+	radii := []float64{1, 2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 18, 20}
+	if cfg.Quick {
+		radii = []float64{1, 5, 10, 20}
+	}
+	ms := standardModels(cfg)
+	sw := &Sweep{ID: "fig4", Title: "Fig. 4: max ΔT vs TTSV radius", XLabel: "r [µm]", Models: modelNames(ms)}
+	for _, r := range radii {
+		s, err := stack.Fig4Block(units.UM(r))
+		if err != nil {
+			return nil, err
+		}
+		p, err := runPoint(r, s, ms, cfg.Resolution)
+		if err != nil {
+			return nil, err
+		}
+		sw.Points = append(sw.Points, p)
+	}
+	return sw, nil
+}
+
+// Fig5 sweeps the liner thickness from 0.5 µm to 3 µm (paper Fig. 5),
+// running Model B at every segmentation of Table I alongside Model A and
+// the 1-D model.
+func Fig5(cfg Config) (*Sweep, error) {
+	liners := []float64{0.5, 1, 1.5, 2, 2.5, 3}
+	segments := []int{1, 20, 100, 500}
+	if cfg.Quick {
+		liners = []float64{0.5, 1.5, 3}
+		segments = []int{1, 20, 100}
+	}
+	ms := []namedModel{{"A", core.ModelA{Coeffs: cfg.BlockCoeffs}}}
+	for _, n := range segments {
+		m := core.NewModelB(n)
+		ms = append(ms, namedModel{m.Name(), m})
+	}
+	ms = append(ms, namedModel{"1D", core.Model1D{}})
+	sw := &Sweep{ID: "fig5", Title: "Fig. 5: max ΔT vs liner thickness", XLabel: "t_L [µm]", Models: modelNames(ms)}
+	for _, tl := range liners {
+		s, err := stack.Fig5Block(units.UM(tl))
+		if err != nil {
+			return nil, err
+		}
+		p, err := runPoint(tl, s, ms, cfg.Resolution)
+		if err != nil {
+			return nil, err
+		}
+		sw.Points = append(sw.Points, p)
+	}
+	return sw, nil
+}
+
+// Fig6 sweeps the upper-plane substrate thickness from 5 µm to 80 µm (paper
+// Fig. 6), the sweep exposing the non-monotonic ΔT the 1-D model misses.
+func Fig6(cfg Config) (*Sweep, error) {
+	thicknesses := []float64{5, 10, 15, 20, 30, 40, 50, 60, 70, 80}
+	if cfg.Quick {
+		thicknesses = []float64{5, 20, 80}
+	}
+	ms := standardModels(cfg)
+	sw := &Sweep{ID: "fig6", Title: "Fig. 6: max ΔT vs substrate thickness", XLabel: "t_Si2,3 [µm]", Models: modelNames(ms)}
+	for _, tsi := range thicknesses {
+		s, err := stack.Fig6Block(units.UM(tsi))
+		if err != nil {
+			return nil, err
+		}
+		p, err := runPoint(tsi, s, ms, cfg.Resolution)
+		if err != nil {
+			return nil, err
+		}
+		sw.Points = append(sw.Points, p)
+	}
+	return sw, nil
+}
+
+// Fig7 sweeps the number of equal-total-metal-area TTSVs the original via is
+// divided into (paper Fig. 7, §IV-D): n = 1, 2, 4, 9, 16.
+func Fig7(cfg Config) (*Sweep, error) {
+	counts := []int{1, 2, 4, 9, 16}
+	if cfg.Quick {
+		counts = []int{1, 4, 16}
+	}
+	ms := standardModels(cfg)
+	sw := &Sweep{ID: "fig7", Title: "Fig. 7: max ΔT vs number of TTSVs", XLabel: "n", Models: modelNames(ms)}
+	for _, n := range counts {
+		s, err := stack.Fig7Block(n)
+		if err != nil {
+			return nil, err
+		}
+		p, err := runPoint(float64(n), s, ms, cfg.Resolution)
+		if err != nil {
+			return nil, err
+		}
+		sw.Points = append(sw.Points, p)
+	}
+	return sw, nil
+}
+
+// ErrorStats computes each model's max/avg relative error against the
+// sweep's reference column, plus mean runtimes.
+func (sw *Sweep) ErrorStats() map[string]ErrStat {
+	out := make(map[string]ErrStat)
+	for _, name := range sw.Models {
+		var stat ErrStat
+		var n int
+		var totalRT time.Duration
+		for _, p := range sw.Points {
+			ref, okRef := p.DT[RefName]
+			got, ok := p.DT[name]
+			if !ok || !okRef {
+				continue
+			}
+			totalRT += p.Runtime[name]
+			if name == RefName {
+				n++
+				continue
+			}
+			e := units.RelErr(got, ref)
+			stat.Avg += e
+			if e > stat.Max {
+				stat.Max = e
+			}
+			n++
+		}
+		if n > 0 {
+			stat.Avg /= float64(n)
+			stat.AvgRuntime = totalRT / time.Duration(n)
+		}
+		out[name] = stat
+	}
+	return out
+}
+
+// Table renders the sweep as a table with one column per model.
+func (sw *Sweep) Table() *report.Table {
+	cols := append([]string{sw.XLabel}, sw.Models...)
+	t := report.NewTable(sw.Title, cols...)
+	for _, p := range sw.Points {
+		row := make([]string, 0, len(cols))
+		row = append(row, trimFloat(p.X))
+		for _, m := range sw.Models {
+			row = append(row, fmt.Sprintf("%.2f", p.DT[m]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Plot renders the sweep as an ASCII figure.
+func (sw *Sweep) Plot() *report.Plot {
+	pl := &report.Plot{Title: sw.Title, XLabel: sw.XLabel, YLabel: "max ΔT [°C]"}
+	for _, m := range sw.Models {
+		s := report.Series{Name: m}
+		for _, p := range sw.Points {
+			if dt, ok := p.DT[m]; ok {
+				s.X = append(s.X, p.X)
+				s.Y = append(s.Y, dt)
+			}
+		}
+		pl.Series = append(pl.Series, s)
+	}
+	return pl
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%.0f", x)
+	}
+	return fmt.Sprintf("%.2g", x)
+}

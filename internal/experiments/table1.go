@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fem"
+	"repro/internal/report"
+	"repro/internal/stack"
+	"repro/internal/units"
+)
+
+// Table1Row is one column of the paper's Table I transposed into a row:
+// a model with its error statistics over the Fig. 5 sweep and its runtime.
+type Table1Row struct {
+	Model      string
+	MaxErr     float64
+	AvgErr     float64
+	AvgRuntime time.Duration
+}
+
+// Table1Result reproduces Table I: accuracy and runtime of Model B versus
+// segment count, with Model A and the 1-D model for context.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 runs the Fig. 5 liner sweep for Model B at the paper's four
+// segmentations — (1, 1), (2, 20), (10, 100), (50, 500) — plus Model A and
+// the 1-D baseline, and reports max/avg error versus the reference solver
+// and the average solve runtime (paper Table I).
+func Table1(cfg Config) (*Table1Result, error) {
+	liners := []float64{0.5, 1, 1.5, 2, 2.5, 3}
+	segments := []int{1, 20, 100, 500}
+	if cfg.Quick {
+		liners = []float64{0.5, 1.5, 3}
+		segments = []int{1, 20, 100}
+	}
+	ms := make([]namedModel, 0, len(segments)+2)
+	for _, n := range segments {
+		m := core.NewModelB(n)
+		ms = append(ms, namedModel{m.Name(), m})
+	}
+	ms = append(ms,
+		namedModel{"A", core.ModelA{Coeffs: cfg.BlockCoeffs}},
+		namedModel{"1D", core.Model1D{}},
+	)
+
+	stats := make(map[string]*Table1Row)
+	order := make([]string, 0, len(ms))
+	for _, nm := range ms {
+		stats[nm.name] = &Table1Row{Model: nm.name}
+		order = append(order, nm.name)
+	}
+	for _, tl := range liners {
+		s, err := stack.Fig5Block(units.UM(tl))
+		if err != nil {
+			return nil, err
+		}
+		sol, err := fem.SolveStack(s, cfg.Resolution)
+		if err != nil {
+			return nil, err
+		}
+		ref, _, _ := sol.MaxT()
+		for _, nm := range ms {
+			t0 := time.Now()
+			r, err := nm.model.Solve(s)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table1 %s: %w", nm.name, err)
+			}
+			rt := time.Since(t0)
+			row := stats[nm.name]
+			e := units.RelErr(r.MaxDT, ref)
+			row.AvgErr += e
+			if e > row.MaxErr {
+				row.MaxErr = e
+			}
+			row.AvgRuntime += rt
+		}
+	}
+	out := &Table1Result{}
+	for _, name := range order {
+		row := stats[name]
+		row.AvgErr /= float64(len(liners))
+		row.AvgRuntime /= time.Duration(len(liners))
+		out.Rows = append(out.Rows, *row)
+	}
+	return out, nil
+}
+
+// Table renders the result in the paper's layout (models as columns become
+// rows here for readability).
+func (t *Table1Result) Table() *report.Table {
+	tb := report.NewTable("Table I: error and runtime vs. number of segments in Model B",
+		"model", "max error", "avg error", "avg runtime")
+	for _, r := range t.Rows {
+		tb.AddRow(r.Model,
+			fmt.Sprintf("%.1f%%", 100*r.MaxErr),
+			fmt.Sprintf("%.1f%%", 100*r.AvgErr),
+			r.AvgRuntime.Round(time.Microsecond).String())
+	}
+	return tb
+}
+
+// Row returns the row for the named model.
+func (t *Table1Result) Row(model string) (Table1Row, bool) {
+	for _, r := range t.Rows {
+		if r.Model == model {
+			return r, true
+		}
+	}
+	return Table1Row{}, false
+}

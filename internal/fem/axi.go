@@ -1,0 +1,292 @@
+package fem
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mesh"
+	"repro/internal/sparse"
+)
+
+// AxiProblem is a steady heat-conduction problem on an axisymmetric (r, z)
+// structured mesh. The axis r = 0 is always a symmetry (zero-flux) boundary.
+type AxiProblem struct {
+	// REdges and ZEdges are the strictly increasing cell edge coordinates.
+	// REdges[0] must be 0 (the symmetry axis).
+	REdges, ZEdges []float64
+	// K returns the thermal conductivity (W/m·K) at a cell center.
+	K func(r, z float64) float64
+	// Q returns the volumetric heat source (W/m³) at a cell center; may be
+	// nil for a source-free problem.
+	Q func(r, z float64) float64
+	// Cap returns the volumetric heat capacity (J/m³·K) at a cell center.
+	// It is only consulted by SolveAxiTransient and may be nil otherwise.
+	Cap func(r, z float64) float64
+	// Bottom, Top and Outer are the boundary conditions at z = ZEdges[0],
+	// z = ZEdges[end] and r = REdges[end]. At least one must be Dirichlet.
+	Bottom, Top, Outer BC
+}
+
+// AxiSolution is a solved axisymmetric temperature field.
+type AxiSolution struct {
+	p *AxiProblem
+	// T holds cell-center temperatures indexed [iz][ir].
+	T [][]float64
+	// RCenters and ZCenters are the cell center coordinates.
+	RCenters, ZCenters []float64
+	// Stats reports the linear solve.
+	Stats sparse.Stats
+}
+
+// Validate checks the problem definition.
+func (p *AxiProblem) Validate() error {
+	if err := mesh.Validate(p.REdges); err != nil {
+		return fmt.Errorf("fem: r edges: %w", err)
+	}
+	if err := mesh.Validate(p.ZEdges); err != nil {
+		return fmt.Errorf("fem: z edges: %w", err)
+	}
+	if p.REdges[0] != 0 {
+		return fmt.Errorf("fem: axisymmetric mesh must start at the axis r = 0, got %g", p.REdges[0])
+	}
+	if p.K == nil {
+		return fmt.Errorf("fem: conductivity function K is nil")
+	}
+	if p.Bottom.Kind != Dirichlet && p.Top.Kind != Dirichlet && p.Outer.Kind != Dirichlet {
+		return fmt.Errorf("fem: at least one boundary must be Dirichlet (temperature would be undefined)")
+	}
+	return nil
+}
+
+// axiSystem is the assembled finite-volume system of an AxiProblem.
+type axiSystem struct {
+	nr, nz  int
+	rc, zc  []float64
+	matrix  *sparse.CSR
+	rhs     []float64
+	volumes []float64 // cell volumes, row-major like the unknowns
+}
+
+// assembleAxi discretizes the problem; shared by the steady and transient
+// solvers.
+func assembleAxi(p *AxiProblem) (*axiSystem, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	nr := len(p.REdges) - 1
+	nz := len(p.ZEdges) - 1
+	rc := mesh.Centers(p.REdges)
+	zc := mesh.Centers(p.ZEdges)
+
+	// Cache cell conductivities and geometry.
+	k := make([][]float64, nz)
+	for j := 0; j < nz; j++ {
+		k[j] = make([]float64, nr)
+		for i := 0; i < nr; i++ {
+			v := p.K(rc[i], zc[j])
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("fem: conductivity %g at (r=%g, z=%g) must be positive and finite", v, rc[i], zc[j])
+			}
+			k[j][i] = v
+		}
+	}
+
+	idx := func(i, j int) int { return j*nr + i }
+	n := nr * nz
+	coo := sparse.NewCOO(n, n)
+	rhs := make([]float64, n)
+	volumes := make([]float64, n)
+
+	// faceG computes the conductance between two cell centers through a
+	// shared face of area a, with center-to-face distances d1, d2 and
+	// conductivities k1, k2 (series/harmonic combination).
+	faceG := func(a, d1, k1, d2, k2 float64) float64 {
+		return a / (d1/k1 + d2/k2)
+	}
+
+	for j := 0; j < nz; j++ {
+		zs, zn := p.ZEdges[j], p.ZEdges[j+1]
+		dz := zn - zs
+		for i := 0; i < nr; i++ {
+			rw, re := p.REdges[i], p.REdges[i+1]
+			ring := math.Pi * (re*re - rw*rw) // axial face area
+			row := idx(i, j)
+			kc := k[j][i]
+			volumes[row] = ring * dz
+
+			// Volumetric source.
+			if p.Q != nil {
+				rhs[row] += p.Q(rc[i], zc[j]) * volumes[row]
+			}
+
+			// East neighbor (radial outward).
+			if i+1 < nr {
+				a := 2 * math.Pi * re * dz
+				g := faceG(a, re-rc[i], kc, rc[i+1]-re, k[j][i+1])
+				coo.Add(row, row, g)
+				coo.Add(row, idx(i+1, j), -g)
+				coo.Add(idx(i+1, j), idx(i+1, j), g)
+				coo.Add(idx(i+1, j), row, -g)
+			} else if p.Outer.Kind == Dirichlet {
+				a := 2 * math.Pi * re * dz
+				g := a * kc / (re - rc[i])
+				coo.Add(row, row, g)
+				rhs[row] += g * p.Outer.Temp
+			}
+			// West face: interior handled by the east sweep of cell i-1; the
+			// axis (i == 0) is a natural symmetry boundary with zero area
+			// contribution beyond r = 0, i.e. adiabatic.
+
+			// North neighbor (axial upward).
+			if j+1 < nz {
+				g := faceG(ring, zn-zc[j], kc, zc[j+1]-zn, k[j+1][i])
+				coo.Add(row, row, g)
+				coo.Add(row, idx(i, j+1), -g)
+				coo.Add(idx(i, j+1), idx(i, j+1), g)
+				coo.Add(idx(i, j+1), row, -g)
+			} else if p.Top.Kind == Dirichlet {
+				g := ring * kc / (zn - zc[j])
+				coo.Add(row, row, g)
+				rhs[row] += g * p.Top.Temp
+			}
+
+			// South boundary.
+			if j == 0 && p.Bottom.Kind == Dirichlet {
+				g := ring * kc / (zc[j] - zs)
+				coo.Add(row, row, g)
+				rhs[row] += g * p.Bottom.Temp
+			}
+		}
+	}
+
+	return &axiSystem{nr: nr, nz: nz, rc: rc, zc: zc, matrix: coo.ToCSR(), rhs: rhs, volumes: volumes}, nil
+}
+
+// solveDefaults fills in the solver settings this package uses.
+func solveDefaults(opt sparse.Options, sys *axiSystem) sparse.Options {
+	if opt.Tol == 0 {
+		opt.Tol = 1e-10
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 40 * (sys.nr + sys.nz) * 10
+	}
+	if opt.Precond == sparse.PrecondDefault {
+		opt.Precond = sparse.PrecondSSOR
+	}
+	return opt
+}
+
+// fieldFrom reshapes a flat unknown vector into the [iz][ir] grid.
+func (sys *axiSystem) fieldFrom(x []float64) [][]float64 {
+	t := make([][]float64, sys.nz)
+	for j := 0; j < sys.nz; j++ {
+		t[j] = make([]float64, sys.nr)
+		for i := 0; i < sys.nr; i++ {
+			t[j][i] = x[j*sys.nr+i]
+		}
+	}
+	return t
+}
+
+// SolveAxi assembles and solves the finite-volume system. The zero Options
+// value selects defaults appropriate for the meshes in this repository.
+func SolveAxi(p *AxiProblem, opt sparse.Options) (*AxiSolution, error) {
+	sys, err := assembleAxi(p)
+	if err != nil {
+		return nil, err
+	}
+	o := solveDefaults(opt, sys)
+	x, st, err := sparse.SolveCG(sys.matrix, sys.rhs, o)
+	if err != nil {
+		return nil, fmt.Errorf("fem: axisymmetric solve (%d cells): %w", len(sys.rhs), err)
+	}
+	return &AxiSolution{p: p, RCenters: sys.rc, ZCenters: sys.zc, Stats: st, T: sys.fieldFrom(x)}, nil
+}
+
+// MaxT returns the maximum cell temperature and its location.
+func (s *AxiSolution) MaxT() (tmax, r, z float64) {
+	tmax = math.Inf(-1)
+	for j := range s.T {
+		for i, t := range s.T[j] {
+			if t > tmax {
+				tmax, r, z = t, s.RCenters[i], s.ZCenters[j]
+			}
+		}
+	}
+	return tmax, r, z
+}
+
+// At returns the temperature of the cell containing (r, z).
+func (s *AxiSolution) At(r, z float64) (float64, error) {
+	i := mesh.Locate(s.p.REdges, r)
+	j := mesh.Locate(s.p.ZEdges, z)
+	if i < 0 || j < 0 {
+		return 0, fmt.Errorf("fem: point (r=%g, z=%g) outside mesh", r, z)
+	}
+	return s.T[j][i], nil
+}
+
+// TotalSource integrates the volumetric source over the mesh (W).
+func (s *AxiSolution) TotalSource() float64 {
+	if s.p.Q == nil {
+		return 0
+	}
+	var q float64
+	for j := range s.T {
+		dz := s.p.ZEdges[j+1] - s.p.ZEdges[j]
+		for i := range s.T[j] {
+			rw, re := s.p.REdges[i], s.p.REdges[i+1]
+			q += s.p.Q(s.RCenters[i], s.ZCenters[j]) * math.Pi * (re*re - rw*rw) * dz
+		}
+	}
+	return q
+}
+
+// BoundaryOutflow integrates the conductive heat flow leaving the domain
+// through the Dirichlet boundaries (W). For a converged solution it matches
+// TotalSource.
+func (s *AxiSolution) BoundaryOutflow() float64 {
+	p := s.p
+	nr := len(p.REdges) - 1
+	nz := len(p.ZEdges) - 1
+	var out float64
+	if p.Bottom.Kind == Dirichlet {
+		for i := 0; i < nr; i++ {
+			rw, re := p.REdges[i], p.REdges[i+1]
+			a := math.Pi * (re*re - rw*rw)
+			kc := p.K(s.RCenters[i], s.ZCenters[0])
+			g := a * kc / (s.ZCenters[0] - p.ZEdges[0])
+			out += g * (s.T[0][i] - p.Bottom.Temp)
+		}
+	}
+	if p.Top.Kind == Dirichlet {
+		for i := 0; i < nr; i++ {
+			rw, re := p.REdges[i], p.REdges[i+1]
+			a := math.Pi * (re*re - rw*rw)
+			kc := p.K(s.RCenters[i], s.ZCenters[nz-1])
+			g := a * kc / (p.ZEdges[nz] - s.ZCenters[nz-1])
+			out += g * (s.T[nz-1][i] - p.Top.Temp)
+		}
+	}
+	if p.Outer.Kind == Dirichlet {
+		re := p.REdges[nr]
+		for j := 0; j < nz; j++ {
+			dz := p.ZEdges[j+1] - p.ZEdges[j]
+			a := 2 * math.Pi * re * dz
+			kc := p.K(s.RCenters[nr-1], s.ZCenters[j])
+			g := a * kc / (re - s.RCenters[nr-1])
+			out += g * (s.T[j][nr-1] - p.Outer.Temp)
+		}
+	}
+	return out
+}
+
+// FluxBalanceError returns |outflow - source| / max(source, 1e-300), the
+// relative energy-conservation defect of the solution.
+func (s *AxiSolution) FluxBalanceError() float64 {
+	src := s.TotalSource()
+	if src == 0 {
+		return math.Abs(s.BoundaryOutflow())
+	}
+	return math.Abs(s.BoundaryOutflow()-src) / math.Abs(src)
+}

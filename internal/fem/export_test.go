@@ -1,0 +1,100 @@
+package fem
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func solvedFig4(t *testing.T) *AxiSolution {
+	t.Helper()
+	s, err := fig4At(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveStack(s, coarse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	sol := solvedFig4(t)
+	var buf bytes.Buffer
+	if err := sol.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	wantRows := len(sol.RCenters)*len(sol.ZCenters) + 1
+	if len(lines) != wantRows {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), wantRows)
+	}
+	if lines[0] != "r_m,z_m,dT_K" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ",") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestAxialProfile(t *testing.T) {
+	sol := solvedFig4(t)
+	z, temp := sol.AxialProfile()
+	if len(z) != len(sol.ZCenters) || len(temp) != len(z) {
+		t.Fatalf("profile lengths %d, %d", len(z), len(temp))
+	}
+	// Temperature must rise monotonically along the axis (heat flows down
+	// through the via column).
+	for j := 1; j < len(temp); j++ {
+		if temp[j] < temp[j-1]-1e-9 {
+			t.Fatalf("axial profile not monotone at %d: %g then %g", j, temp[j-1], temp[j])
+		}
+	}
+	// Mutating the returned slices must not corrupt the solution.
+	temp[0] = 1e9
+	if sol.T[0][0] == 1e9 {
+		t.Error("AxialProfile aliases internal storage")
+	}
+}
+
+func TestRadialProfile(t *testing.T) {
+	sol := solvedFig4(t)
+	top := sol.ZCenters[len(sol.ZCenters)-1]
+	r, temp, err := sol.RadialProfile(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != len(sol.RCenters) {
+		t.Fatalf("radial profile length %d", len(r))
+	}
+	// Near the top, the via region (small r) is cooler than the far bulk:
+	// the via drains heat down. Compare innermost vs outermost.
+	if temp[0] >= temp[len(temp)-1] {
+		t.Errorf("via not cooler than surroundings at the top: %g vs %g", temp[0], temp[len(temp)-1])
+	}
+	// Out-of-range z0 snaps to the closest height rather than failing.
+	if _, _, err := sol.RadialProfile(1e9); err != nil {
+		t.Errorf("RadialProfile snap failed: %v", err)
+	}
+}
+
+func TestProfilesOnAnalyticSlab(t *testing.T) {
+	// Uniform slab: the radial profile must be flat.
+	p := uniformAxiProblem(t, 6, 20, 5, 1e7)
+	sol, err := SolveAxi(p, sparse.Options{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, temp, err := sol.RadialProfile(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(temp); i++ {
+		if abs(temp[i]-temp[0]) > 1e-9*(1+abs(temp[0])) {
+			t.Fatalf("radial profile of a uniform slab not flat: %v", temp)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+package fem
+
+import "repro/internal/sparse"
+
+// sparseDefaults returns the iterative-solver settings used by the stack
+// reference solves: tight tolerance (the reference must out-resolve the
+// models it judges) with a generous iteration budget.
+func sparseDefaults() sparse.Options {
+	return sparse.Options{Tol: 1e-10, Precond: sparse.PrecondSSOR}
+}

@@ -1,0 +1,182 @@
+package fem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/sparse"
+	"repro/internal/stack"
+	"repro/internal/units"
+)
+
+func TestAxiTransientSlabDecayTimeConstant(t *testing.T) {
+	// A uniform slab (bottom fixed at 0, top adiabatic) relaxing from T = 1
+	// decays with the fundamental time constant tau = (2H/π)²/α.
+	const (
+		k, c = 10.0, 2e6
+		h    = 1e-3
+	)
+	alpha := k / c
+	tau := (2 * h / math.Pi) * (2 * h / math.Pi) / alpha
+	r, _ := mesh.Uniform(0, 1e-4, 2)
+	z, _ := mesh.Uniform(0, h, 60)
+	p := &AxiProblem{
+		REdges: r, ZEdges: z,
+		K:      func(_, _ float64) float64 { return k },
+		Cap:    func(_, _ float64) float64 { return c },
+		Bottom: Fixed(0), Top: Insulated(), Outer: Insulated(),
+	}
+	// Run from a heated steady state: first heat with a source to steady,
+	// then remove the source and watch the decay. Simpler: heat step and
+	// compare against the complementary behavior — the rise towards steady
+	// has the same fundamental time constant.
+	p.Q = func(_, _ float64) float64 { return 1e7 }
+	dt := tau / 50
+	steps := int(6 * tau / dt)
+	tr, err := SolveAxiTransient(p, dt, steps, sparse.Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := tr.MaxT[len(tr.MaxT)-1]
+	// Steady max: qH²/2k.
+	if want := 1e7 * h * h / (2 * k); units.RelErr(final, want) > 0.02 {
+		t.Fatalf("final %g, want %g", final, want)
+	}
+	// Find when the max reaches (1 - 1/e·8/π²) of steady: for the dominant
+	// mode, T_top(t) = T_ss·(1 - (8/π²)·exp(-t/tau) + ...). Measure the time
+	// where the deficit drops by e and compare to tau.
+	deficit0 := final - tr.MaxT[0]
+	var tAtE float64
+	for i, v := range tr.MaxT {
+		if final-v <= deficit0/math.E {
+			tAtE = tr.Times[i] - tr.Times[0]
+			break
+		}
+	}
+	if tAtE == 0 {
+		t.Fatal("never decayed by 1/e")
+	}
+	if tAtE < 0.6*tau || tAtE > 1.6*tau {
+		t.Errorf("1/e time %g, analytic tau %g", tAtE, tau)
+	}
+}
+
+func TestAxiTransientConvergesToSteady(t *testing.T) {
+	s, err := fig4At(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildAxiProblem(s, coarse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := SolveAxi(p, sparse.Options{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _ := static.MaxT()
+	// The block's slowest constant is ~ms (500 µm silicon); 40 ms suffices.
+	tr, err := SolveAxiTransient(p, 1e-3, 40, sparse.Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.MaxT[len(tr.MaxT)-1]
+	if units.RelErr(got, want) > 0.01 {
+		t.Fatalf("transient final %g vs steady %g", got, want)
+	}
+	fmax, _, _ := tr.Final.MaxT()
+	if units.RelErr(fmax, got) > 1e-12 {
+		t.Errorf("Final field max %g vs trace %g", fmax, got)
+	}
+}
+
+func TestAxiTransientMonotoneRise(t *testing.T) {
+	s, err := fig4At(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildAxiProblem(s, coarse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := SolveAxiTransient(p, 2e-4, 60, sparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i, v := range tr.MaxT {
+		if v < prev-1e-9 {
+			t.Fatalf("max T dropped at step %d: %g after %g", i, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestAxiTransientMatchesModelTimescale(t *testing.T) {
+	// The distributed model's settling time and the reference solver's must
+	// agree within a factor ~2 — the transient extension's key validation.
+	if testing.Short() {
+		t.Skip("transient cross-validation is slow")
+	}
+	s, err := fig4At(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildAxiProblem(s, coarse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := SolveAxiTransient(p, 2.5e-4, 160, sparse.Options{}) // 40 ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSettle, ok := tr.SettlingTime(0.05)
+	if !ok {
+		t.Fatal("reference did not settle")
+	}
+	mb, err := core.NewModelB(30).SolveTransient(s, core.TransientSpec{Dt: 2.5e-4, Steps: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mb.Settled {
+		t.Fatal("Model B did not settle")
+	}
+	ratio := mb.SettlingTime / refSettle
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("settling times diverge: model %g s vs reference %g s", mb.SettlingTime, refSettle)
+	}
+}
+
+func TestAxiTransientValidation(t *testing.T) {
+	s, err := fig4At(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildAxiProblem(s, coarse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveAxiTransient(p, 0, 10, sparse.Options{}); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := SolveAxiTransient(p, 1e-3, 0, sparse.Options{}); err == nil {
+		t.Error("zero steps accepted")
+	}
+	noCap := *p
+	noCap.Cap = nil
+	if _, err := SolveAxiTransient(&noCap, 1e-3, 5, sparse.Options{}); err == nil {
+		t.Error("missing Cap accepted")
+	}
+	badCap := *p
+	badCap.Cap = func(_, _ float64) float64 { return -1 }
+	if _, err := SolveAxiTransient(&badCap, 1e-3, 5, sparse.Options{}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+// fig4At builds the Fig. 4 stack at a radius in µm (shared test helper).
+func fig4At(rUM float64) (*stack.Stack, error) {
+	return stack.Fig4Block(units.UM(rUM))
+}

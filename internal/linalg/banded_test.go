@@ -1,0 +1,198 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomBandedSystem(rng *rand.Rand, n, b int) (*Banded, *Matrix, []float64) {
+	bd := NewBanded(n, b)
+	dense := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := maxInt(0, i-b); j <= minInt(n-1, i+b); j++ {
+			if j == i {
+				continue
+			}
+			v := rng.Float64()*2 - 1
+			bd.Add(i, j, v)
+			dense.Set(i, j, v)
+			rowSum += math.Abs(v)
+		}
+		d := rowSum + 0.5 + rng.Float64()
+		bd.Add(i, i, d)
+		dense.Set(i, i, d)
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	return bd, dense, rhs
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestBandedSolveMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		b := rng.Intn(5)
+		bd, dense, rhs := randomBandedSystem(rng, n, b)
+		xb, err := bd.SolveBanded(rhs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		xd, err := Solve(dense, rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xb {
+			if math.Abs(xb[i]-xd[i]) > 1e-9*(1+math.Abs(xd[i])) {
+				t.Fatalf("trial %d (n=%d b=%d): x[%d] = %g vs dense %g", trial, n, b, i, xb[i], xd[i])
+			}
+		}
+	}
+}
+
+func TestBandedAtAndMulVec(t *testing.T) {
+	bd := NewBanded(4, 1)
+	bd.Add(0, 0, 2)
+	bd.Add(0, 1, -1)
+	bd.Add(1, 0, -1)
+	bd.Add(1, 1, 2)
+	bd.Add(2, 2, 3)
+	bd.Add(3, 3, 4)
+	if bd.At(0, 1) != -1 || bd.At(0, 2) != 0 || bd.At(2, 2) != 3 {
+		t.Fatal("At wrong")
+	}
+	y := bd.MulVec([]float64{1, 1, 1, 1})
+	want := []float64{1, 1, 3, 4}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-15 {
+			t.Fatalf("MulVec = %v", y)
+		}
+	}
+}
+
+func TestBandedOutsideBandPanics(t *testing.T) {
+	bd := NewBanded(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-band Add")
+		}
+	}()
+	bd.Add(0, 3, 1)
+}
+
+func TestBandedIndexPanics(t *testing.T) {
+	bd := NewBanded(3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range index")
+		}
+	}()
+	bd.At(5, 0)
+}
+
+func TestBandedSingular(t *testing.T) {
+	bd := NewBanded(2, 0)
+	bd.Add(0, 0, 1)
+	// Row 1 left zero.
+	if _, err := bd.SolveBanded([]float64{1, 1}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+	empty := NewBanded(2, 1)
+	if _, err := empty.SolveBanded([]float64{1, 1}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("zero matrix err = %v", err)
+	}
+}
+
+func TestBandedDimensionChecks(t *testing.T) {
+	bd := NewBanded(3, 1)
+	if _, err := bd.SolveBanded([]float64{1}); err == nil {
+		t.Error("short rhs accepted")
+	}
+	func() {
+		defer func() { recover() }()
+		NewBanded(0, 1)
+		t.Error("NewBanded(0,1) did not panic")
+	}()
+	// Bandwidth clamps to n-1.
+	wide := NewBanded(3, 10)
+	if wide.Bandwidth() != 2 {
+		t.Errorf("bandwidth = %d", wide.Bandwidth())
+	}
+}
+
+func TestBandedResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		b := rng.Intn(4)
+		bd, _, rhs := randomBandedSystem(rng, n, b)
+		x, err := bd.SolveBanded(rhs)
+		if err != nil {
+			return false
+		}
+		ax := bd.MulVec(x)
+		for i := range ax {
+			if math.Abs(ax[i]-rhs[i]) > 1e-8*(1+math.Abs(rhs[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandedTridiagonalAgreesWithThomas(t *testing.T) {
+	n := 30
+	bd := NewBanded(n, 1)
+	lower := make([]float64, n)
+	diag := make([]float64, n)
+	upper := make([]float64, n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = 4
+		bd.Add(i, i, 4)
+		if i > 0 {
+			lower[i] = -1
+			bd.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			upper[i] = -1.2
+			bd.Add(i, i+1, -1.2)
+		}
+		rhs[i] = float64(i%5) - 2
+	}
+	xb, err := bd.SolveBanded(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt, err := SolveTridiag(lower, diag, upper, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xb {
+		if math.Abs(xb[i]-xt[i]) > 1e-10 {
+			t.Fatalf("banded vs Thomas at %d: %g vs %g", i, xb[i], xt[i])
+		}
+	}
+}

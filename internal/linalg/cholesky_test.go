@@ -1,0 +1,170 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func spdTestMatrix() *Matrix {
+	return NewMatrixFromRows([][]float64{
+		{4, 1, 0},
+		{1, 3, -1},
+		{0, -1, 2},
+	})
+}
+
+func TestCholeskySolve(t *testing.T) {
+	a := spdTestMatrix()
+	b := []float64{1, 2, 3}
+	x, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(a, x, b); r > 1e-12 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestCholeskyMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(15)
+		// Build SPD as Mᵀ·M + I.
+		m := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		a := m.Transpose().Mul(m)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xc, err := SolveSPD(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		xl, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xc {
+			if math.Abs(xc[i]-xl[i]) > 1e-8*(1+math.Abs(xl[i])) {
+				t.Fatalf("trial %d: Cholesky %g vs LU %g at %d", trial, xc[i], xl[i], i)
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{
+		{1, 0},
+		{0, -1},
+	})
+	if _, err := SolveSPD(a, []float64{1, 1}); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("err = %v, want ErrNotSPD", err)
+	}
+}
+
+func TestCholeskyRejectsSingular(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{
+		{1, 1},
+		{1, 1},
+	})
+	if _, err := FactorizeCholesky(a); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("err = %v, want ErrNotSPD", err)
+	}
+}
+
+func TestCholeskyRejectsNonSquare(t *testing.T) {
+	if _, err := FactorizeCholesky(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestCholeskySolveDimensionMismatch(t *testing.T) {
+	f, err := FactorizeCholesky(spdTestMatrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1}); err == nil {
+		t.Fatal("bad rhs accepted")
+	}
+}
+
+func TestCholeskyDet(t *testing.T) {
+	a := spdTestMatrix()
+	fc, err := FactorizeCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fc.Det()-fl.Det()) > 1e-10*math.Abs(fl.Det()) {
+		t.Fatalf("Cholesky det %g vs LU det %g", fc.Det(), fl.Det())
+	}
+}
+
+func TestCholeskyReuse(t *testing.T) {
+	a := spdTestMatrix()
+	f, err := FactorizeCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range [][]float64{{1, 0, 0}, {0, 1, 0}, {3, -2, 5}} {
+		x, err := f.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := Residual(a, x, b); r > 1e-12 {
+			t.Fatalf("residual %g for rhs %v", r, b)
+		}
+	}
+}
+
+// Property: diagonally dominant symmetric matrices with positive diagonal
+// are SPD and solvable via Cholesky with tiny residuals.
+func TestCholeskyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := rng.Float64() - 0.5
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		for i := 0; i < n; i++ {
+			var rowSum float64
+			for j := 0; j < n; j++ {
+				if j != i {
+					rowSum += math.Abs(a.At(i, j))
+				}
+			}
+			a.Set(i, i, rowSum+0.5)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		return Residual(a, x, b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

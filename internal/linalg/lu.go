@@ -1,0 +1,169 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or solve encounters a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LU holds the LU factorization of a square matrix with partial pivoting:
+// P·A = L·U where L is unit-lower-triangular and U is upper-triangular,
+// stored compactly in a single matrix.
+type LU struct {
+	lu    *Matrix
+	pivot []int
+	// signDet is +1 or -1 depending on the number of row swaps.
+	signDet float64
+}
+
+// Factorize computes the LU factorization of a. The input matrix is not
+// modified. It returns ErrSingular (wrapped with the pivot column) if a
+// pivot is exactly zero or smaller than a conservative threshold relative to
+// the matrix scale.
+func Factorize(a *Matrix) (*LU, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("linalg: cannot factorize non-square %dx%d matrix", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	lu := a.Clone()
+	pivot := make([]int, n)
+	sign := 1.0
+	scale := lu.MaxAbs()
+	if scale == 0 {
+		return nil, fmt.Errorf("%w: zero matrix", ErrSingular)
+	}
+	tiny := scale * 1e-300 // only exact/underflow-level singularity is fatal
+	for k := 0; k < n; k++ {
+		// Find pivot row.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				max = v
+				p = i
+			}
+		}
+		pivot[k] = p
+		if max <= tiny {
+			return nil, fmt.Errorf("%w: pivot %d (|pivot|=%g)", ErrSingular, k, max)
+		}
+		if p != k {
+			swapRows(lu, p, k)
+			sign = -sign
+		}
+		pk := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pk
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Add(i, j, -m*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, signDet: sign}, nil
+}
+
+func swapRows(m *Matrix, a, b int) {
+	for j := 0; j < m.Cols(); j++ {
+		va, vb := m.At(a, j), m.At(b, j)
+		m.Set(a, j, vb)
+		m.Set(b, j, va)
+	}
+}
+
+// Solve solves A·x = b using the factorization. b is not modified.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: LU solve dimension mismatch: matrix %d, rhs %d", n, len(b))
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// Apply the full permutation first: row swaps performed at later
+	// elimination steps also moved the already-stored multipliers of earlier
+	// columns, so the compact L is expressed in the final row order.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward-substitute the unit-lower-triangular L.
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			x[i] -= f.lu.At(i, k) * x[k]
+		}
+	}
+	// Back-substitute U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		x[i] = s / f.lu.At(i, i)
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	d := f.signDet
+	for i := 0; i < f.lu.Rows(); i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve solves A·x = b with a fresh LU factorization. Use Factorize + LU.Solve
+// to reuse the factorization across multiple right-hand sides.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns A^-1 or ErrSingular.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows()
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// Residual returns the max-norm of A·x - b, used by solvers to verify their
+// own output.
+func Residual(a *Matrix, x, b []float64) float64 {
+	ax := a.MulVec(x)
+	var max float64
+	for i := range ax {
+		if d := math.Abs(ax[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}

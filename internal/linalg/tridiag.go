@@ -1,0 +1,43 @@
+package linalg
+
+import "fmt"
+
+// SolveTridiag solves a tridiagonal system using the Thomas algorithm.
+//
+//	lower[i]·x[i-1] + diag[i]·x[i] + upper[i]·x[i+1] = rhs[i]
+//
+// lower[0] and upper[n-1] are ignored. The inputs are not modified.
+// The Thomas algorithm is only stable for diagonally dominant or symmetric
+// positive definite systems, which is what 1-D heat-conduction chains
+// produce; a zero pivot returns ErrSingular.
+func SolveTridiag(lower, diag, upper, rhs []float64) ([]float64, error) {
+	n := len(diag)
+	if n == 0 {
+		return nil, fmt.Errorf("linalg: SolveTridiag: empty system")
+	}
+	if len(lower) != n || len(upper) != n || len(rhs) != n {
+		return nil, fmt.Errorf("linalg: SolveTridiag: inconsistent lengths (lower=%d diag=%d upper=%d rhs=%d)",
+			len(lower), n, len(upper), len(rhs))
+	}
+	cp := make([]float64, n) // modified upper coefficients
+	dp := make([]float64, n) // modified rhs
+	if diag[0] == 0 {
+		return nil, fmt.Errorf("%w: zero pivot at row 0", ErrSingular)
+	}
+	cp[0] = upper[0] / diag[0]
+	dp[0] = rhs[0] / diag[0]
+	for i := 1; i < n; i++ {
+		den := diag[i] - lower[i]*cp[i-1]
+		if den == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at row %d", ErrSingular, i)
+		}
+		cp[i] = upper[i] / den
+		dp[i] = (rhs[i] - lower[i]*dp[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return x, nil
+}

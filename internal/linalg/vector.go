@@ -1,0 +1,90 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	// Scale to avoid overflow for extreme inputs.
+	var max float64
+	for _, x := range v {
+		if a := math.Abs(x); a > max {
+			max = a
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		r := x / max
+		s += r * r
+	}
+	return max * math.Sqrt(s)
+}
+
+// NormInf returns the max-norm of v.
+func NormInf(v []float64) float64 {
+	var max float64
+	for _, x := range v {
+		if a := math.Abs(x); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// AXPY computes y += alpha*x in place.
+func AXPY(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: AXPY length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies every element of v by alpha in place.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// MaxIndex returns the index and value of the largest element of v.
+// It panics on an empty slice.
+func MaxIndex(v []float64) (int, float64) {
+	if len(v) == 0 {
+		panic("linalg: MaxIndex of empty vector")
+	}
+	idx, max := 0, v[0]
+	for i, x := range v {
+		if x > max {
+			idx, max = i, x
+		}
+	}
+	return idx, max
+}
+
+// Sum returns the sum of the elements of v.
+func Sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,28 @@
+package materials
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// UnmarshalJSON accepts either a stock material name ("Cu", "SiO2", …) or a
+// full material object ({"Name": "...", "K": ..., "C": ...}).
+func (m *Material) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err == nil {
+		found, err := Lookup(name)
+		if err != nil {
+			return err
+		}
+		*m = found
+		return nil
+	}
+	// plain is Material without methods, so the standard decoder applies.
+	type plain Material
+	var p plain
+	if err := json.Unmarshal(data, &p); err != nil {
+		return fmt.Errorf("materials: material must be a stock name or an object: %w", err)
+	}
+	*m = Material(p)
+	return m.Validate()
+}

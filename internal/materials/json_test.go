@@ -1,0 +1,56 @@
+package materials
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestUnmarshalStockName(t *testing.T) {
+	var m Material
+	if err := json.Unmarshal([]byte(`"Cu"`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "Cu" || m.K != 400 {
+		t.Fatalf("m = %+v", m)
+	}
+}
+
+func TestUnmarshalObject(t *testing.T) {
+	var m Material
+	if err := json.Unmarshal([]byte(`{"Name":"AlN","K":285,"C":2.4e6}`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "AlN" || m.K != 285 || m.C != 2.4e6 {
+		t.Fatalf("m = %+v", m)
+	}
+}
+
+func TestUnmarshalRejections(t *testing.T) {
+	var m Material
+	if err := json.Unmarshal([]byte(`"kryptonite"`), &m); err == nil {
+		t.Error("unknown stock name accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"Name":"bad","K":-1}`), &m); err == nil {
+		t.Error("invalid object accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"Name":""}`), &m); err == nil {
+		t.Error("nameless material accepted")
+	}
+	if err := json.Unmarshal([]byte(`42`), &m); err == nil {
+		t.Error("number accepted")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	data, err := json.Marshal(Silicon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Material
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != Silicon {
+		t.Fatalf("round trip: %+v vs %+v", back, Silicon)
+	}
+}

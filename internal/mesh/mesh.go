@@ -1,0 +1,133 @@
+// Package mesh builds the structured, boundary-aligned grids the
+// finite-volume reference solver runs on. Grids are described by their cell
+// edge coordinates along each axis; all generators guarantee strictly
+// increasing edges that hit material interfaces exactly.
+package mesh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Uniform subdivides [lo, hi] into n equal cells and returns the n+1 edges.
+func Uniform(lo, hi float64, n int) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mesh: Uniform needs n >= 1, got %d", n)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("mesh: Uniform needs hi > lo, got [%g, %g]", lo, hi)
+	}
+	e := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		e[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	e[n] = hi
+	return e, nil
+}
+
+// Graded subdivides [lo, hi] into n cells whose widths form a geometric
+// progression with the given ratio between successive cells (ratio > 1 makes
+// cells grow from lo towards hi; ratio < 1 shrink). ratio == 1 is uniform.
+func Graded(lo, hi float64, n int, ratio float64) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mesh: Graded needs n >= 1, got %d", n)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("mesh: Graded needs hi > lo, got [%g, %g]", lo, hi)
+	}
+	if ratio <= 0 || math.IsNaN(ratio) || math.IsInf(ratio, 0) {
+		return nil, fmt.Errorf("mesh: Graded ratio %g must be positive and finite", ratio)
+	}
+	if ratio == 1 {
+		return Uniform(lo, hi, n)
+	}
+	// First width w satisfies w·(ratio^n - 1)/(ratio - 1) = hi - lo.
+	w := (hi - lo) * (ratio - 1) / (math.Pow(ratio, float64(n)) - 1)
+	e := make([]float64, n+1)
+	e[0] = lo
+	width := w
+	for i := 1; i <= n; i++ {
+		e[i] = e[i-1] + width
+		width *= ratio
+	}
+	e[n] = hi
+	return e, nil
+}
+
+// Interval is one segment of a composite 1-D mesh.
+type Interval struct {
+	// Hi is the upper edge of the interval; the lower edge is the previous
+	// interval's Hi (or the line's origin).
+	Hi float64
+	// Cells is the number of cells in the interval.
+	Cells int
+	// Ratio optionally grades the interval (see Graded); 0 means uniform.
+	Ratio float64
+}
+
+// Line builds a composite 1-D mesh starting at origin through the given
+// intervals. Edges at interval boundaries are shared, so material interfaces
+// always coincide with cell faces.
+func Line(origin float64, intervals []Interval) ([]float64, error) {
+	if len(intervals) == 0 {
+		return nil, fmt.Errorf("mesh: Line needs at least one interval")
+	}
+	edges := []float64{origin}
+	lo := origin
+	for i, iv := range intervals {
+		ratio := iv.Ratio
+		if ratio == 0 {
+			ratio = 1
+		}
+		seg, err := Graded(lo, iv.Hi, iv.Cells, ratio)
+		if err != nil {
+			return nil, fmt.Errorf("mesh: Line interval %d: %w", i, err)
+		}
+		edges = append(edges, seg[1:]...)
+		lo = iv.Hi
+	}
+	return edges, nil
+}
+
+// Centers returns the midpoints of the cells defined by edges.
+func Centers(edges []float64) []float64 {
+	if len(edges) < 2 {
+		return nil
+	}
+	c := make([]float64, len(edges)-1)
+	for i := range c {
+		c[i] = 0.5 * (edges[i] + edges[i+1])
+	}
+	return c
+}
+
+// Validate checks that edges are strictly increasing and at least one cell
+// exists.
+func Validate(edges []float64) error {
+	if len(edges) < 2 {
+		return fmt.Errorf("mesh: need at least 2 edges, have %d", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if !(edges[i] > edges[i-1]) {
+			return fmt.Errorf("mesh: edges not strictly increasing at %d: %g then %g", i, edges[i-1], edges[i])
+		}
+	}
+	return nil
+}
+
+// Locate returns the index of the cell containing x (edges[i] <= x <
+// edges[i+1]); x exactly at the last edge maps to the last cell. It returns
+// -1 when x lies outside the mesh.
+func Locate(edges []float64, x float64) int {
+	n := len(edges)
+	if n < 2 || x < edges[0] || x > edges[n-1] {
+		return -1
+	}
+	if x == edges[n-1] {
+		return n - 2
+	}
+	// Find the first edge strictly greater than x; the cell is just below it.
+	i := sort.Search(n, func(k int) bool { return edges[k] > x })
+	return i - 1
+}

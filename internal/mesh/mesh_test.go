@@ -1,0 +1,207 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniform(t *testing.T) {
+	e, err := Uniform(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(e[i]-want[i]) > 1e-15 {
+			t.Fatalf("edges = %v", e)
+		}
+	}
+}
+
+func TestUniformErrors(t *testing.T) {
+	if _, err := Uniform(0, 1, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Uniform(1, 1, 3); err == nil {
+		t.Error("empty interval accepted")
+	}
+	if _, err := Uniform(2, 1, 3); err == nil {
+		t.Error("reversed interval accepted")
+	}
+}
+
+func TestGradedGeometricWidths(t *testing.T) {
+	e, err := Graded(0, 15, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Widths 1, 2, 4, 8 sum to 15.
+	widths := []float64{1, 2, 4, 8}
+	for i, w := range widths {
+		if got := e[i+1] - e[i]; math.Abs(got-w) > 1e-12 {
+			t.Fatalf("width %d = %g, want %g (edges %v)", i, got, w, e)
+		}
+	}
+	if e[4] != 15 {
+		t.Fatalf("last edge %g", e[4])
+	}
+}
+
+func TestGradedRatioOneIsUniform(t *testing.T) {
+	e, err := Graded(0, 1, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := Uniform(0, 1, 5)
+	for i := range u {
+		if math.Abs(e[i]-u[i]) > 1e-15 {
+			t.Fatalf("graded(1) != uniform: %v vs %v", e, u)
+		}
+	}
+}
+
+func TestGradedShrinking(t *testing.T) {
+	e, err := Graded(0, 1, 6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < len(e); i++ {
+		w1 := e[i-1] - e[i-2]
+		w2 := e[i] - e[i-1]
+		if w2 >= w1 {
+			t.Fatalf("widths not shrinking: %v", e)
+		}
+	}
+}
+
+func TestGradedErrors(t *testing.T) {
+	if _, err := Graded(0, 1, 3, -1); err == nil {
+		t.Error("negative ratio accepted")
+	}
+	if _, err := Graded(0, 1, 0, 2); err == nil {
+		t.Error("zero cells accepted")
+	}
+	if _, err := Graded(0, 1, 3, math.Inf(1)); err == nil {
+		t.Error("infinite ratio accepted")
+	}
+}
+
+func TestLineCompositeSharedEdges(t *testing.T) {
+	e, err := Line(0, []Interval{
+		{Hi: 1, Cells: 2},
+		{Hi: 3, Cells: 4, Ratio: 1.5},
+		{Hi: 3.5, Cells: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(e); err != nil {
+		t.Fatal(err)
+	}
+	if len(e) != 2+4+1+1 {
+		t.Fatalf("edge count = %d (%v)", len(e), e)
+	}
+	// Interface edges present exactly.
+	found1, found3 := false, false
+	for _, x := range e {
+		if x == 1 {
+			found1 = true
+		}
+		if x == 3 {
+			found3 = true
+		}
+	}
+	if !found1 || !found3 {
+		t.Fatalf("interval boundaries not in edges: %v", e)
+	}
+	if e[len(e)-1] != 3.5 {
+		t.Fatalf("last edge %g", e[len(e)-1])
+	}
+}
+
+func TestLineErrors(t *testing.T) {
+	if _, err := Line(0, nil); err == nil {
+		t.Error("empty interval list accepted")
+	}
+	if _, err := Line(0, []Interval{{Hi: -1, Cells: 2}}); err == nil {
+		t.Error("backwards interval accepted")
+	}
+}
+
+func TestCenters(t *testing.T) {
+	c := Centers([]float64{0, 1, 3})
+	if len(c) != 2 || c[0] != 0.5 || c[1] != 2 {
+		t.Fatalf("Centers = %v", c)
+	}
+	if Centers([]float64{1}) != nil {
+		t.Error("degenerate input not nil")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]float64{0, 1, 2}); err != nil {
+		t.Errorf("valid edges rejected: %v", err)
+	}
+	if err := Validate([]float64{0, 1, 1}); err == nil {
+		t.Error("repeated edge accepted")
+	}
+	if err := Validate([]float64{0, 2, 1}); err == nil {
+		t.Error("decreasing edges accepted")
+	}
+	if err := Validate([]float64{0}); err == nil {
+		t.Error("single edge accepted")
+	}
+}
+
+func TestLocate(t *testing.T) {
+	e := []float64{0, 1, 2.5, 4}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{-0.1, -1}, {0, 0}, {0.5, 0}, {1, 1}, {2.4, 1}, {2.5, 2}, {3.9, 2}, {4, 2}, {4.1, -1},
+	}
+	for _, c := range cases {
+		if got := Locate(e, c.x); got != c.want {
+			t.Errorf("Locate(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+// Property: Locate is consistent with the edge array for random points.
+func TestLocateProperty(t *testing.T) {
+	e, err := Line(0, []Interval{{Hi: 1, Cells: 7}, {Hi: 2, Cells: 3, Ratio: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw float64) bool {
+		x := math.Mod(math.Abs(raw), 2)
+		i := Locate(e, x)
+		if i < 0 || i >= len(e)-1 {
+			return false
+		}
+		return e[i] <= x && (x < e[i+1] || (x == e[len(e)-1] && i == len(e)-2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGradedTotalLengthProperty(t *testing.T) {
+	f := func(seedN uint8, seedR uint8) bool {
+		n := 1 + int(seedN)%20
+		ratio := 0.3 + float64(seedR)/64.0
+		e, err := Graded(2, 7, n, ratio)
+		if err != nil {
+			return false
+		}
+		if len(e) != n+1 || e[0] != 2 || e[n] != 7 {
+			return false
+		}
+		return Validate(e) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

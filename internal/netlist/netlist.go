@@ -1,0 +1,438 @@
+// Package netlist implements a steady-state thermal resistive-network
+// solver. Heat transfer in the lumped models of the paper is the exact
+// analogue of a DC electrical circuit: heat flow plays the role of current,
+// temperature the role of node voltage, and thermal resistance the role of
+// electrical resistance. Both Model A's compact network (paper Fig. 2) and
+// Model B's distributed π-segment chains (paper Fig. 3) are instances of the
+// networks solved here.
+//
+// A network consists of named nodes, two-terminal thermal resistors, heat
+// sources injecting a fixed heat flow (W) into a node, and fixed-temperature
+// (Dirichlet) nodes. Solve assembles the nodal conductance system G·T = q
+// over the free nodes and solves it densely (small networks) or with
+// conjugate gradients (large networks).
+package netlist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/sparse"
+)
+
+// NodeID identifies a node within one Network.
+type NodeID int
+
+// Network is a thermal resistive network under construction.
+type Network struct {
+	nodeNames []string
+	nodeIndex map[string]NodeID
+	resistors []Resistor
+	sources   []source
+	fixed     map[NodeID]float64
+	// capacitance holds per-node thermal capacitances (J/K) for transient
+	// analysis; see SetCapacitance.
+	capacitance map[NodeID]float64
+}
+
+// Resistor is a two-terminal thermal resistance between nodes A and B.
+type Resistor struct {
+	// Name identifies the element in reports (e.g. "R4", "plane2/liner").
+	Name string
+	// A and B are the terminal nodes.
+	A, B NodeID
+	// R is the thermal resistance in K/W; must be positive and finite.
+	R float64
+}
+
+type source struct {
+	name string
+	node NodeID
+	q    float64
+}
+
+// ErrNoReference is returned by Solve when the network has no
+// fixed-temperature node: node temperatures would be defined only up to a
+// constant.
+var ErrNoReference = errors.New("netlist: network has no fixed-temperature node")
+
+// ErrDisconnected is returned by Solve when some free node has no resistive
+// path to any fixed-temperature node.
+var ErrDisconnected = errors.New("netlist: node is not connected to any fixed-temperature node")
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{
+		nodeIndex: make(map[string]NodeID),
+		fixed:     make(map[NodeID]float64),
+	}
+}
+
+// Node returns the node with the given name, creating it on first use.
+func (n *Network) Node(name string) NodeID {
+	if id, ok := n.nodeIndex[name]; ok {
+		return id
+	}
+	id := NodeID(len(n.nodeNames))
+	n.nodeNames = append(n.nodeNames, name)
+	n.nodeIndex[name] = id
+	return id
+}
+
+// NodeName returns the name of id.
+func (n *Network) NodeName(id NodeID) string {
+	if int(id) < 0 || int(id) >= len(n.nodeNames) {
+		return fmt.Sprintf("<invalid node %d>", int(id))
+	}
+	return n.nodeNames[id]
+}
+
+// NumNodes returns the number of nodes created so far.
+func (n *Network) NumNodes() int { return len(n.nodeNames) }
+
+// NumResistors returns the number of resistors added so far.
+func (n *Network) NumResistors() int { return len(n.resistors) }
+
+// AddResistor connects a and b with a thermal resistance r (K/W).
+func (n *Network) AddResistor(name string, a, b NodeID, r float64) error {
+	if err := n.checkNode(a); err != nil {
+		return fmt.Errorf("netlist: resistor %q: %w", name, err)
+	}
+	if err := n.checkNode(b); err != nil {
+		return fmt.Errorf("netlist: resistor %q: %w", name, err)
+	}
+	if a == b {
+		return fmt.Errorf("netlist: resistor %q connects node %q to itself", name, n.NodeName(a))
+	}
+	if r <= 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+		return fmt.Errorf("netlist: resistor %q has invalid resistance %g K/W", name, r)
+	}
+	n.resistors = append(n.resistors, Resistor{Name: name, A: a, B: b, R: r})
+	return nil
+}
+
+// AddSource injects q watts of heat into node (negative q removes heat).
+func (n *Network) AddSource(name string, node NodeID, q float64) error {
+	if err := n.checkNode(node); err != nil {
+		return fmt.Errorf("netlist: source %q: %w", name, err)
+	}
+	if math.IsInf(q, 0) || math.IsNaN(q) {
+		return fmt.Errorf("netlist: source %q has invalid heat flow %g W", name, q)
+	}
+	n.sources = append(n.sources, source{name: name, node: node, q: q})
+	return nil
+}
+
+// Fix pins node to the given temperature (the Dirichlet/heat-sink boundary).
+func (n *Network) Fix(node NodeID, temp float64) error {
+	if err := n.checkNode(node); err != nil {
+		return fmt.Errorf("netlist: fix: %w", err)
+	}
+	n.fixed[node] = temp
+	return nil
+}
+
+func (n *Network) checkNode(id NodeID) error {
+	if int(id) < 0 || int(id) >= len(n.nodeNames) {
+		return fmt.Errorf("unknown node id %d", int(id))
+	}
+	return nil
+}
+
+// denseCutoff is the free-node count above which Solve switches from dense
+// LU to sparse conjugate gradients. The nodal conductance matrix is SPD, so
+// CG applies; dense LU is faster (and exact) for the small networks of
+// Model A and modestly segmented Model B instances.
+const denseCutoff = 600
+
+// maxBandedWidth is the largest half-bandwidth for which the banded direct
+// solver is preferred over the dense/sparse paths.
+const maxBandedWidth = 16
+
+// bandwidth computes the free-index half-bandwidth of the network, or
+// reports false when the structure is not narrow-banded (or trivially
+// small, where the dense path's fixed costs win anyway).
+func bandwidth(resistors []Resistor, freeIndex []int) (int, bool) {
+	var bw, nf int
+	for _, fi := range freeIndex {
+		if fi >= 0 {
+			nf++
+		}
+	}
+	if nf < 32 {
+		return 0, false
+	}
+	for _, r := range resistors {
+		ia, ib := freeIndex[r.A], freeIndex[r.B]
+		if ia < 0 || ib < 0 {
+			continue
+		}
+		d := ia - ib
+		if d < 0 {
+			d = -d
+		}
+		if d > bw {
+			bw = d
+		}
+	}
+	return bw, bw <= maxBandedWidth
+}
+
+// Solution holds solved node temperatures and derived per-element flows.
+type Solution struct {
+	net   *Network
+	temps []float64
+}
+
+// Solve computes all node temperatures.
+func (n *Network) Solve() (*Solution, error) {
+	if len(n.fixed) == 0 {
+		return nil, ErrNoReference
+	}
+	if err := n.checkConnectivity(); err != nil {
+		return nil, err
+	}
+
+	// Index the free (non-fixed) nodes. Nodes without any attached resistor
+	// would produce an all-zero matrix row; connectivity checking already
+	// guarantees they carry no source either, so they stay at zero and are
+	// excluded from the system.
+	attached := make([]bool, len(n.nodeNames))
+	for _, r := range n.resistors {
+		attached[r.A], attached[r.B] = true, true
+	}
+	freeIndex := make([]int, len(n.nodeNames)) // node -> free slot, -1 when fixed/isolated
+	var freeNodes []NodeID
+	for id := range n.nodeNames {
+		if _, ok := n.fixed[NodeID(id)]; ok || !attached[id] {
+			freeIndex[id] = -1
+			continue
+		}
+		freeIndex[id] = len(freeNodes)
+		freeNodes = append(freeNodes, NodeID(id))
+	}
+
+	temps := make([]float64, len(n.nodeNames))
+	for id, t := range n.fixed {
+		temps[id] = t
+	}
+	nf := len(freeNodes)
+	if nf == 0 {
+		return &Solution{net: n, temps: temps}, nil
+	}
+
+	rhs := make([]float64, nf)
+	for _, s := range n.sources {
+		if fi := freeIndex[s.node]; fi >= 0 {
+			rhs[fi] += s.q
+		}
+	}
+
+	var x []float64
+	var err error
+	if bw, ok := bandwidth(n.resistors, freeIndex); ok {
+		// Chain-structured networks (Model B's π-segments) have a tiny
+		// bandwidth under their natural node order; the banded LU solves
+		// them in O(n·b²) — far cheaper than either dense LU or CG.
+		g := linalg.NewBanded(nf, bw)
+		for _, r := range n.resistors {
+			cond := 1 / r.R
+			ia, ib := freeIndex[r.A], freeIndex[r.B]
+			switch {
+			case ia >= 0 && ib >= 0:
+				g.Add(ia, ia, cond)
+				g.Add(ib, ib, cond)
+				g.Add(ia, ib, -cond)
+				g.Add(ib, ia, -cond)
+			case ia >= 0:
+				g.Add(ia, ia, cond)
+				rhs[ia] += cond * temps[r.B]
+			case ib >= 0:
+				g.Add(ib, ib, cond)
+				rhs[ib] += cond * temps[r.A]
+			}
+		}
+		x, err = g.SolveBanded(rhs)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: banded solve: %w", err)
+		}
+	} else if nf <= denseCutoff {
+		g := linalg.NewMatrix(nf, nf)
+		for _, r := range n.resistors {
+			cond := 1 / r.R
+			ia, ib := freeIndex[r.A], freeIndex[r.B]
+			switch {
+			case ia >= 0 && ib >= 0:
+				g.Add(ia, ia, cond)
+				g.Add(ib, ib, cond)
+				g.Add(ia, ib, -cond)
+				g.Add(ib, ia, -cond)
+			case ia >= 0:
+				g.Add(ia, ia, cond)
+				rhs[ia] += cond * temps[r.B]
+			case ib >= 0:
+				g.Add(ib, ib, cond)
+				rhs[ib] += cond * temps[r.A]
+			}
+		}
+		// The grounded conductance matrix is SPD, but the general LU solver
+		// is used here because it skips the zero multipliers of these
+		// banded/sparse-patterned matrices, which a dense Cholesky cannot
+		// (measured ~14x faster on Model B's chain networks). The transient
+		// path, which factors once and reuses, uses Cholesky and thereby
+		// also verifies positive definiteness.
+		x, err = linalg.Solve(g, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: dense solve: %w", err)
+		}
+	} else {
+		coo := sparse.NewCOO(nf, nf)
+		for _, r := range n.resistors {
+			cond := 1 / r.R
+			ia, ib := freeIndex[r.A], freeIndex[r.B]
+			switch {
+			case ia >= 0 && ib >= 0:
+				coo.Add(ia, ia, cond)
+				coo.Add(ib, ib, cond)
+				coo.Add(ia, ib, -cond)
+				coo.Add(ib, ia, -cond)
+			case ia >= 0:
+				coo.Add(ia, ia, cond)
+				rhs[ia] += cond * temps[r.B]
+			case ib >= 0:
+				coo.Add(ib, ib, cond)
+				rhs[ib] += cond * temps[r.A]
+			}
+		}
+		x, _, err = sparse.SolveCG(coo.ToCSR(), rhs, sparse.Options{Tol: 1e-12, Precond: sparse.PrecondSSOR})
+		if err != nil {
+			return nil, fmt.Errorf("netlist: sparse solve: %w", err)
+		}
+	}
+	for i, id := range freeNodes {
+		temps[id] = x[i]
+	}
+	return &Solution{net: n, temps: temps}, nil
+}
+
+// checkConnectivity verifies every node that participates in an element can
+// reach a fixed node through resistors. Isolated nodes that have neither
+// resistors nor sources are tolerated (they stay at temperature zero).
+func (n *Network) checkConnectivity() error {
+	adj := make([][]int, len(n.nodeNames))
+	for _, r := range n.resistors {
+		adj[r.A] = append(adj[r.A], int(r.B))
+		adj[r.B] = append(adj[r.B], int(r.A))
+	}
+	reached := make([]bool, len(n.nodeNames))
+	var queue []int
+	for id := range n.fixed {
+		reached[id] = true
+		queue = append(queue, int(id))
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[cur] {
+			if !reached[nb] {
+				reached[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	// Any node carrying a source or resistor must be reached.
+	needs := make([]bool, len(n.nodeNames))
+	for _, r := range n.resistors {
+		needs[r.A], needs[r.B] = true, true
+	}
+	for _, s := range n.sources {
+		needs[s.node] = true
+	}
+	for id, need := range needs {
+		if need && !reached[id] {
+			return fmt.Errorf("%w: node %q", ErrDisconnected, n.nodeNames[id])
+		}
+	}
+	return nil
+}
+
+// Temp returns the solved temperature of node.
+func (s *Solution) Temp(node NodeID) float64 {
+	if int(node) < 0 || int(node) >= len(s.temps) {
+		panic(fmt.Sprintf("netlist: Temp of unknown node %d", int(node)))
+	}
+	return s.temps[node]
+}
+
+// TempByName returns the solved temperature of the named node.
+func (s *Solution) TempByName(name string) (float64, error) {
+	id, ok := s.net.nodeIndex[name]
+	if !ok {
+		return 0, fmt.Errorf("netlist: unknown node %q", name)
+	}
+	return s.temps[id], nil
+}
+
+// MaxTemp returns the maximum node temperature and the corresponding node.
+func (s *Solution) MaxTemp() (NodeID, float64) {
+	best := NodeID(0)
+	max := math.Inf(-1)
+	for id, t := range s.temps {
+		if t > max {
+			best, max = NodeID(id), t
+		}
+	}
+	return best, max
+}
+
+// Flow returns the heat flow (W) through resistor r from terminal A to B.
+func (s *Solution) Flow(r Resistor) float64 {
+	return (s.temps[r.A] - s.temps[r.B]) / r.R
+}
+
+// FlowByName returns the heat flow through the first resistor with the
+// given name.
+func (s *Solution) FlowByName(name string) (float64, error) {
+	for _, r := range s.net.resistors {
+		if r.Name == name {
+			return s.Flow(r), nil
+		}
+	}
+	return 0, fmt.Errorf("netlist: unknown resistor %q", name)
+}
+
+// EnergyBalanceError returns the magnitude of the worst per-node heat-flow
+// imbalance (W) over the free nodes — a direct residual check of the solve.
+func (s *Solution) EnergyBalanceError() float64 {
+	n := s.net
+	imbalance := make([]float64, len(n.nodeNames))
+	for _, src := range n.sources {
+		imbalance[src.node] += src.q
+	}
+	for _, r := range n.resistors {
+		f := s.Flow(r)
+		imbalance[r.A] -= f
+		imbalance[r.B] += f
+	}
+	var worst float64
+	for id := range n.nodeNames {
+		if _, fixedNode := n.fixed[NodeID(id)]; fixedNode {
+			continue
+		}
+		if a := math.Abs(imbalance[id]); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
+
+// TotalSource returns the sum of all injected heat (W).
+func (n *Network) TotalSource() float64 {
+	var q float64
+	for _, s := range n.sources {
+		q += s.q
+	}
+	return q
+}

@@ -1,0 +1,569 @@
+package netlist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestVoltageDividerAnalogy(t *testing.T) {
+	// One source of 2 W through two series resistors (3 and 7 K/W) to a
+	// 0-degree sink: node temperatures must be 20 and 14 degrees.
+	n := New()
+	sink := n.Node("sink")
+	mid := n.Node("mid")
+	top := n.Node("top")
+	if err := n.Fix(sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddResistor("r1", sink, mid, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddResistor("r2", mid, top, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource("q", top, 2); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.Temp(mid); math.Abs(got-14) > 1e-10 {
+		t.Errorf("T(mid) = %g, want 14", got)
+	}
+	if got := sol.Temp(top); math.Abs(got-20) > 1e-10 {
+		t.Errorf("T(top) = %g, want 20", got)
+	}
+}
+
+func TestParallelResistors(t *testing.T) {
+	// 1 W through two parallel 4 K/W resistors => 2 K rise.
+	n := New()
+	sink := n.Node("sink")
+	hot := n.Node("hot")
+	n.Fix(sink, 0)
+	n.AddResistor("a", sink, hot, 4)
+	n.AddResistor("b", hot, sink, 4)
+	n.AddSource("q", hot, 1)
+	sol, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.Temp(hot); math.Abs(got-2) > 1e-10 {
+		t.Errorf("T(hot) = %g, want 2", got)
+	}
+}
+
+func TestNonZeroReference(t *testing.T) {
+	n := New()
+	sink := n.Node("sink")
+	hot := n.Node("hot")
+	n.Fix(sink, 27)
+	n.AddResistor("r", sink, hot, 10)
+	n.AddSource("q", hot, 0.5)
+	sol, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.Temp(hot); math.Abs(got-32) > 1e-10 {
+		t.Errorf("T(hot) = %g, want 32", got)
+	}
+}
+
+func TestNodeIdempotent(t *testing.T) {
+	n := New()
+	a := n.Node("x")
+	b := n.Node("x")
+	if a != b {
+		t.Fatalf("Node(x) returned different ids %d, %d", a, b)
+	}
+	if n.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d", n.NumNodes())
+	}
+	if n.NodeName(a) != "x" {
+		t.Fatalf("NodeName = %q", n.NodeName(a))
+	}
+}
+
+func TestErrNoReference(t *testing.T) {
+	n := New()
+	a := n.Node("a")
+	b := n.Node("b")
+	n.AddResistor("r", a, b, 1)
+	n.AddSource("q", a, 1)
+	if _, err := n.Solve(); !errors.Is(err, ErrNoReference) {
+		t.Fatalf("err = %v, want ErrNoReference", err)
+	}
+}
+
+func TestErrDisconnected(t *testing.T) {
+	n := New()
+	sink := n.Node("sink")
+	a := n.Node("a")
+	island1 := n.Node("i1")
+	island2 := n.Node("i2")
+	n.Fix(sink, 0)
+	n.AddResistor("r", sink, a, 1)
+	n.AddSource("qa", a, 1)
+	n.AddResistor("ri", island1, island2, 1) // floating pair
+	n.AddSource("qi", island1, 1)
+	if _, err := n.Solve(); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("err = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestIsolatedUnusedNodeTolerated(t *testing.T) {
+	n := New()
+	sink := n.Node("sink")
+	a := n.Node("a")
+	n.Node("never-used")
+	n.Fix(sink, 0)
+	n.AddResistor("r", sink, a, 1)
+	n.AddSource("q", a, 1)
+	if _, err := n.Solve(); err != nil {
+		t.Fatalf("unused isolated node rejected: %v", err)
+	}
+}
+
+func TestInvalidElements(t *testing.T) {
+	n := New()
+	a := n.Node("a")
+	b := n.Node("b")
+	if err := n.AddResistor("r", a, a, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := n.AddResistor("r", a, b, 0); err == nil {
+		t.Error("zero resistance accepted")
+	}
+	if err := n.AddResistor("r", a, b, -1); err == nil {
+		t.Error("negative resistance accepted")
+	}
+	if err := n.AddResistor("r", a, b, math.Inf(1)); err == nil {
+		t.Error("infinite resistance accepted")
+	}
+	if err := n.AddResistor("r", a, NodeID(99), 1); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := n.AddSource("q", NodeID(99), 1); err == nil {
+		t.Error("source on unknown node accepted")
+	}
+	if err := n.AddSource("q", a, math.NaN()); err == nil {
+		t.Error("NaN source accepted")
+	}
+	if err := n.Fix(NodeID(99), 0); err == nil {
+		t.Error("fixing unknown node accepted")
+	}
+}
+
+func TestFlowAndEnergyBalance(t *testing.T) {
+	n := New()
+	sink := n.Node("sink")
+	mid := n.Node("mid")
+	top := n.Node("top")
+	n.Fix(sink, 0)
+	n.AddResistor("lower", sink, mid, 2)
+	n.AddResistor("upper", mid, top, 5)
+	n.AddSource("q", top, 3)
+	sol, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 3 W must flow down through both resistors (A->B direction sign).
+	f, err := sol.FlowByName("upper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-(-3)) > 1e-10 { // mid -> top is A -> B, heat flows top->mid
+		t.Errorf("flow(upper) = %g, want -3", f)
+	}
+	f, err = sol.FlowByName("lower")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-(-3)) > 1e-10 {
+		t.Errorf("flow(lower) = %g, want -3", f)
+	}
+	if be := sol.EnergyBalanceError(); be > 1e-9 {
+		t.Errorf("energy balance error %g", be)
+	}
+	if _, err := sol.FlowByName("nope"); err == nil {
+		t.Error("unknown resistor name accepted")
+	}
+}
+
+func TestMaxTemp(t *testing.T) {
+	n := New()
+	sink := n.Node("sink")
+	a := n.Node("a")
+	b := n.Node("b")
+	n.Fix(sink, 0)
+	n.AddResistor("ra", sink, a, 1)
+	n.AddResistor("rb", sink, b, 10)
+	n.AddSource("qa", a, 1)
+	n.AddSource("qb", b, 1)
+	sol, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, max := sol.MaxTemp()
+	if id != b || math.Abs(max-10) > 1e-10 {
+		t.Errorf("MaxTemp = (%v, %g), want (b, 10)", n.NodeName(id), max)
+	}
+}
+
+func TestTempByName(t *testing.T) {
+	n := New()
+	sink := n.Node("sink")
+	n.Fix(sink, 5)
+	sol, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sol.TempByName("sink")
+	if err != nil || got != 5 {
+		t.Fatalf("TempByName = %g, %v", got, err)
+	}
+	if _, err := sol.TempByName("ghost"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+// ladder builds a 1-D resistor ladder with n rungs and unit elements; its
+// closed-form solution is quadratic in the rung index.
+func ladder(n int, q float64) (*Network, []NodeID) {
+	net := New()
+	prev := net.Node("sink")
+	net.Fix(prev, 0)
+	nodes := []NodeID{prev}
+	for i := 0; i < n; i++ {
+		cur := net.Node("n" + string(rune('0'+i%10)) + "_" + string(rune('a'+i/10%26)) + string(rune('a'+i/260)))
+		net.AddResistor("r", prev, cur, 1)
+		net.AddSource("q", cur, q)
+		nodes = append(nodes, cur)
+		prev = cur
+	}
+	return net, nodes
+}
+
+func TestLadderClosedForm(t *testing.T) {
+	// With unit resistors and unit sources on every rung, the temperature at
+	// rung k is sum_{j=1..k} (n - j + 1) = k*n - k(k-1)/2.
+	const nr = 20
+	net, nodes := ladder(nr, 1)
+	sol, err := net.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= nr; k++ {
+		want := float64(k*nr) - float64(k*(k-1))/2
+		if got := sol.Temp(nodes[k]); math.Abs(got-want) > 1e-8 {
+			t.Fatalf("rung %d: T = %g, want %g", k, got, want)
+		}
+	}
+}
+
+func TestDenseAndSparsePathsAgree(t *testing.T) {
+	// Build a ladder long enough to trigger the sparse path and compare
+	// against the closed form (which the dense path satisfies per the test
+	// above).
+	const nr = 700 // > denseCutoff
+	net, nodes := ladder(nr, 0.001)
+	sol, err := net.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, nr / 2, nr} {
+		want := 0.001 * (float64(k*nr) - float64(k*(k-1))/2)
+		if got := sol.Temp(nodes[k]); math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("sparse path rung %d: T = %g, want %g", k, got, want)
+		}
+	}
+	if be := sol.EnergyBalanceError(); be > 1e-8 {
+		t.Errorf("sparse path energy balance error %g", be)
+	}
+}
+
+// Property: temperatures scale linearly with all source magnitudes.
+func TestSolveLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := New()
+		sink := n.Node("sink")
+		n.Fix(sink, 0)
+		var nodes []NodeID
+		nodes = append(nodes, sink)
+		for i := 0; i < 12; i++ {
+			id := n.Node(nm("n", i))
+			// Attach to a random earlier node to keep everything connected.
+			other := nodes[rng.Intn(len(nodes))]
+			n.AddResistor(nm("r", i), other, id, 0.1+rng.Float64()*10)
+			nodes = append(nodes, id)
+		}
+		// A few extra cross links.
+		for i := 0; i < 5; i++ {
+			a := nodes[rng.Intn(len(nodes))]
+			b := nodes[rng.Intn(len(nodes))]
+			if a != b {
+				n.AddResistor(nm("x", i), a, b, 0.1+rng.Float64()*10)
+			}
+		}
+		q := rng.Float64() * 5
+		n.AddSource("q", nodes[len(nodes)-1], q)
+		sol1, err := n.Solve()
+		if err != nil {
+			return false
+		}
+
+		// Rebuild with doubled source.
+		n2 := New()
+		sink2 := n2.Node("sink")
+		n2.Fix(sink2, 0)
+		for _, r := range n.resistors {
+			n2.Node(n.NodeName(r.A))
+			n2.Node(n.NodeName(r.B))
+		}
+		for _, r := range n.resistors {
+			n2.AddResistor(r.Name, n2.Node(n.NodeName(r.A)), n2.Node(n.NodeName(r.B)), r.R)
+		}
+		n2.AddSource("q", n2.Node(n.NodeName(nodes[len(nodes)-1])), 2*q)
+		sol2, err := n2.Solve()
+		if err != nil {
+			return false
+		}
+		for _, id := range nodes {
+			t1 := sol1.Temp(id)
+			t2, err := sol2.TempByName(n.NodeName(id))
+			if err != nil {
+				return false
+			}
+			if math.Abs(t2-2*t1) > 1e-8*(1+math.Abs(t1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with non-negative sources and a zero reference, every
+// temperature is non-negative (discrete maximum principle).
+func TestNonNegativeTemperaturesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := New()
+		sink := n.Node("sink")
+		n.Fix(sink, 0)
+		nodes := []NodeID{sink}
+		for i := 0; i < 15; i++ {
+			id := n.Node(nm("n", i))
+			other := nodes[rng.Intn(len(nodes))]
+			n.AddResistor(nm("r", i), other, id, 0.5+rng.Float64()*3)
+			if rng.Float64() < 0.7 {
+				n.AddSource(nm("q", i), id, rng.Float64())
+			}
+			nodes = append(nodes, id)
+		}
+		sol, err := n.Solve()
+		if err != nil {
+			return false
+		}
+		for _, id := range nodes {
+			if sol.Temp(id) < -1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalSource(t *testing.T) {
+	n := New()
+	a := n.Node("a")
+	n.AddSource("q1", a, 2)
+	n.AddSource("q2", a, -0.5)
+	if got := n.TotalSource(); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("TotalSource = %g", got)
+	}
+}
+
+// nm builds small unique names without importing the fmt package in hot
+// property loops.
+func nm(prefix string, i int) string {
+	return prefix + strconv.Itoa(i)
+}
+
+// Property: thermal networks are reciprocal — the temperature at node i due
+// to unit heat injected at node j equals the temperature at j due to unit
+// heat at i (symmetry of the conductance matrix's inverse).
+func TestReciprocityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := New()
+		sink := n.Node("sink")
+		n.Fix(sink, 0)
+		nodes := []NodeID{sink}
+		for i := 0; i < 10; i++ {
+			id := n.Node(nm("n", i))
+			other := nodes[rng.Intn(len(nodes))]
+			if err := n.AddResistor(nm("r", i), other, id, 0.2+rng.Float64()*5); err != nil {
+				return false
+			}
+			nodes = append(nodes, id)
+		}
+		// Extra cross links for non-trivial topology.
+		for i := 0; i < 4; i++ {
+			a := nodes[rng.Intn(len(nodes))]
+			b := nodes[rng.Intn(len(nodes))]
+			if a != b {
+				n.AddResistor(nm("x", i), a, b, 0.2+rng.Float64()*5)
+			}
+		}
+		i := nodes[1+rng.Intn(len(nodes)-1)]
+		j := nodes[1+rng.Intn(len(nodes)-1)]
+		if i == j {
+			return true
+		}
+		solveWithSource := func(at NodeID) *Solution {
+			m := New()
+			m.Fix(m.Node("sink"), 0)
+			for _, r := range n.resistors {
+				m.AddResistor(r.Name, m.Node(n.NodeName(r.A)), m.Node(n.NodeName(r.B)), r.R)
+			}
+			m.AddSource("q", m.Node(n.NodeName(at)), 1)
+			sol, err := m.Solve()
+			if err != nil {
+				return nil
+			}
+			return sol
+		}
+		si := solveWithSource(i)
+		sj := solveWithSource(j)
+		if si == nil || sj == nil {
+			return false
+		}
+		tij, err1 := si.TempByName(n.NodeName(j))
+		tji, err2 := sj.TempByName(n.NodeName(i))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(tij-tji) <= 1e-9*(1+math.Abs(tij))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// grid builds an rows×cols grid network (bandwidth = cols under row-major
+// ordering) with unit resistors and a source in one corner.
+func grid(rows, cols int) (*Network, NodeID) {
+	net := New()
+	sink := net.Node("sink")
+	net.Fix(sink, 0)
+	ids := make([][]NodeID, rows)
+	for r := 0; r < rows; r++ {
+		ids[r] = make([]NodeID, cols)
+		for c := 0; c < cols; c++ {
+			ids[r][c] = net.Node(nm("g", r*cols+c))
+			if c > 0 {
+				net.AddResistor("h", ids[r][c-1], ids[r][c], 1)
+			}
+			if r > 0 {
+				net.AddResistor("v", ids[r-1][c], ids[r][c], 1)
+			}
+		}
+	}
+	net.AddResistor("gnd", sink, ids[0][0], 1)
+	net.AddSource("q", ids[rows-1][cols-1], 1)
+	return net, ids[rows-1][cols-1]
+}
+
+// TestAllSolverPathsAgree forces the banded, dense and sparse paths onto
+// grids of identical physics and checks they produce the same hot-node
+// temperature. A 40×8 grid (bandwidth 8, 320 nodes) goes banded; adding one
+// long-range resistor of huge resistance (physically negligible) breaks the
+// bandwidth and forces dense; a 40×30 grid (1200 nodes, bandwidth 30) goes
+// sparse and is compared against its own dense-forced twin.
+func TestAllSolverPathsAgree(t *testing.T) {
+	banded, hotB := grid(40, 8)
+	solB, err := banded.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dense, hotD := grid(40, 8)
+	// A practically-open long-range resistor changes only the structure.
+	dense.AddResistor("far", NodeID(1), NodeID(dense.NumNodes()-1), 1e12)
+	solD, err := dense.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := solB.Temp(hotB), solD.Temp(hotD); math.Abs(a-b) > 1e-6*(1+a) {
+		t.Fatalf("banded %g vs dense %g", a, b)
+	}
+
+	big, hotS := grid(40, 30) // sparse path
+	solS, err := big.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same grid forced dense via a negligible long-range resistor would
+	// exceed denseCutoff too; instead check energy balance and a coarse
+	// physical bound: all heat crosses the single ground resistor, so the
+	// corner temperature exceeds 1 K (the ground drop) and stays finite.
+	if be := solS.EnergyBalanceError(); be > 1e-7 {
+		t.Fatalf("sparse path energy balance %g", be)
+	}
+	if v := solS.Temp(hotS); v < 1 || v > 1e4 {
+		t.Fatalf("sparse path corner temperature %g implausible", v)
+	}
+}
+
+func TestBandedPathMatchesClosedFormLadder(t *testing.T) {
+	// The 700-rung ladder has bandwidth 1 and > 32 nodes: banded path.
+	const nr = 700
+	net, nodes := ladder(nr, 0.001)
+	sol, err := net.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, nr / 2, nr} {
+		want := 0.001 * (float64(k*nr) - float64(k*(k-1))/2)
+		if got := sol.Temp(nodes[k]); math.Abs(got-want) > 1e-8*(1+want) {
+			t.Fatalf("banded ladder rung %d: %g, want %g", k, got, want)
+		}
+	}
+}
+
+func TestAccessorsAndEdgeNames(t *testing.T) {
+	n := New()
+	a := n.Node("a")
+	b := n.Node("b")
+	n.AddResistor("r", a, b, 1)
+	if n.NumResistors() != 1 {
+		t.Errorf("NumResistors = %d", n.NumResistors())
+	}
+	if got := n.NodeName(NodeID(99)); !strings.Contains(got, "invalid") {
+		t.Errorf("NodeName(99) = %q", got)
+	}
+	n.Fix(a, 0)
+	sol, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Temp of unknown node did not panic")
+		}
+	}()
+	sol.Temp(NodeID(99))
+}

@@ -1,0 +1,242 @@
+package netlist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// SetCapacitance assigns a thermal capacitance (J/K) to a node for transient
+// analysis. Nodes without a capacitance are treated as massless (algebraic)
+// nodes; fixed-temperature nodes ignore their capacitance.
+func (n *Network) SetCapacitance(node NodeID, c float64) error {
+	if err := n.checkNode(node); err != nil {
+		return fmt.Errorf("netlist: capacitance: %w", err)
+	}
+	if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		return fmt.Errorf("netlist: capacitance %g J/K on node %q invalid", c, n.NodeName(node))
+	}
+	if n.capacitance == nil {
+		n.capacitance = make(map[NodeID]float64)
+	}
+	n.capacitance[node] = c
+	return nil
+}
+
+// TransientSolution holds a transient thermal simulation: node temperatures
+// at every time step.
+type TransientSolution struct {
+	net *Network
+	// Times lists the simulated instants, starting after the first step.
+	Times []float64
+	// Temps[k] holds all node temperatures at Times[k].
+	Temps [][]float64
+}
+
+// SolveTransient integrates C·dT/dt = q - G·T with the implicit (backward)
+// Euler method from the given initial node temperatures (nil means
+// everything starts at the fixed-node temperature level, i.e. zero rise).
+// The step size dt and step count must be positive. Heat sources are treated
+// as switched on at t = 0 and constant (a step input).
+//
+// Backward Euler is unconditionally stable, so dt may exceed the smallest RC
+// time constant; accuracy is first-order in dt.
+func (n *Network) SolveTransient(dt float64, steps int, initial []float64) (*TransientSolution, error) {
+	if dt <= 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
+		return nil, fmt.Errorf("netlist: transient step %g must be positive and finite", dt)
+	}
+	if steps < 1 {
+		return nil, fmt.Errorf("netlist: transient needs at least 1 step, got %d", steps)
+	}
+	if len(n.fixed) == 0 {
+		return nil, ErrNoReference
+	}
+	if err := n.checkConnectivity(); err != nil {
+		return nil, err
+	}
+	if initial != nil && len(initial) != len(n.nodeNames) {
+		return nil, fmt.Errorf("netlist: initial state has %d entries, network has %d nodes",
+			len(initial), len(n.nodeNames))
+	}
+
+	// Free-node indexing as in the static solve.
+	attached := make([]bool, len(n.nodeNames))
+	for _, r := range n.resistors {
+		attached[r.A], attached[r.B] = true, true
+	}
+	freeIndex := make([]int, len(n.nodeNames))
+	var freeNodes []NodeID
+	for id := range n.nodeNames {
+		if _, ok := n.fixed[NodeID(id)]; ok || !attached[id] {
+			freeIndex[id] = -1
+			continue
+		}
+		freeIndex[id] = len(freeNodes)
+		freeNodes = append(freeNodes, NodeID(id))
+	}
+	nf := len(freeNodes)
+
+	temps := make([]float64, len(n.nodeNames))
+	for id, t := range n.fixed {
+		temps[id] = t
+	}
+	if initial != nil {
+		for i, id := range freeNodes {
+			_ = i
+			temps[id] = initial[id]
+		}
+	}
+	if nf == 0 {
+		sol := &TransientSolution{net: n}
+		for k := 1; k <= steps; k++ {
+			sol.Times = append(sol.Times, float64(k)*dt)
+			sol.Temps = append(sol.Temps, append([]float64(nil), temps...))
+		}
+		return sol, nil
+	}
+
+	// Assemble the system matrix M = G + C/dt and the constant rhs
+	// contribution, then factor once and reuse every step. Chain networks
+	// (Model B) get the O(n·b²) banded factorization; everything else uses
+	// dense Cholesky, which also verifies positive definiteness.
+	caps := make([]float64, nf)
+	for i, id := range freeNodes {
+		caps[i] = n.capacitance[id]
+	}
+	rhs0 := make([]float64, nf)
+	for _, s := range n.sources {
+		if fi := freeIndex[s.node]; fi >= 0 {
+			rhs0[fi] += s.q
+		}
+	}
+	type factorization interface {
+		Solve(b []float64) ([]float64, error)
+	}
+	var f factorization
+	if bw, ok := bandwidth(n.resistors, freeIndex); ok {
+		g := linalg.NewBanded(nf, bw)
+		for _, r := range n.resistors {
+			cond := 1 / r.R
+			ia, ib := freeIndex[r.A], freeIndex[r.B]
+			switch {
+			case ia >= 0 && ib >= 0:
+				g.Add(ia, ia, cond)
+				g.Add(ib, ib, cond)
+				g.Add(ia, ib, -cond)
+				g.Add(ib, ia, -cond)
+			case ia >= 0:
+				g.Add(ia, ia, cond)
+				rhs0[ia] += cond * temps[r.B]
+			case ib >= 0:
+				g.Add(ib, ib, cond)
+				rhs0[ib] += cond * temps[r.A]
+			}
+		}
+		for i := range caps {
+			g.Add(i, i, caps[i]/dt)
+		}
+		lu, err := g.Factorize()
+		if err != nil {
+			return nil, fmt.Errorf("netlist: transient banded factorization: %w", err)
+		}
+		f = lu
+	} else {
+		g := linalg.NewMatrix(nf, nf)
+		for _, r := range n.resistors {
+			cond := 1 / r.R
+			ia, ib := freeIndex[r.A], freeIndex[r.B]
+			switch {
+			case ia >= 0 && ib >= 0:
+				g.Add(ia, ia, cond)
+				g.Add(ib, ib, cond)
+				g.Add(ia, ib, -cond)
+				g.Add(ib, ia, -cond)
+			case ia >= 0:
+				g.Add(ia, ia, cond)
+				rhs0[ia] += cond * temps[r.B]
+			case ib >= 0:
+				g.Add(ib, ib, cond)
+				rhs0[ib] += cond * temps[r.A]
+			}
+		}
+		for i := range caps {
+			g.Add(i, i, caps[i]/dt)
+		}
+		ch, err := linalg.FactorizeCholesky(g)
+		if err != nil {
+			if !errors.Is(err, linalg.ErrNotSPD) {
+				return nil, fmt.Errorf("netlist: transient factorization: %w", err)
+			}
+			return nil, fmt.Errorf("netlist: transient system not SPD (assembly bug?): %w", err)
+		}
+		f = ch
+	}
+
+	x := make([]float64, nf)
+	for i, id := range freeNodes {
+		x[i] = temps[id]
+	}
+	rhs := make([]float64, nf)
+	sol := &TransientSolution{net: n}
+	for k := 1; k <= steps; k++ {
+		for i := range rhs {
+			rhs[i] = rhs0[i] + caps[i]/dt*x[i]
+		}
+		next, err := f.Solve(rhs)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: transient step %d: %w", k, err)
+		}
+		x = next
+		for i, id := range freeNodes {
+			temps[id] = x[i]
+		}
+		sol.Times = append(sol.Times, float64(k)*dt)
+		sol.Temps = append(sol.Temps, append([]float64(nil), temps...))
+	}
+	return sol, nil
+}
+
+// Temp returns node's temperature at step k (0-based).
+func (s *TransientSolution) Temp(k int, node NodeID) float64 {
+	return s.Temps[k][node]
+}
+
+// Final returns the temperatures of the last step.
+func (s *TransientSolution) Final() []float64 {
+	return s.Temps[len(s.Temps)-1]
+}
+
+// History returns the (time, temperature) trace of one node.
+func (s *TransientSolution) History(node NodeID) (times, temps []float64) {
+	temps = make([]float64, len(s.Temps))
+	for k := range s.Temps {
+		temps[k] = s.Temps[k][node]
+	}
+	return s.Times, temps
+}
+
+// SettlingTime returns the first simulated time at which node stays within
+// the given fraction of its final value (e.g. 0.02 for 2%). It returns the
+// last time and false when the node never settles within the horizon.
+func (s *TransientSolution) SettlingTime(node NodeID, fraction float64) (float64, bool) {
+	final := s.Temps[len(s.Temps)-1][node]
+	band := math.Abs(final) * fraction
+	settledAt := -1
+	for k := range s.Temps {
+		if math.Abs(s.Temps[k][node]-final) <= band {
+			if settledAt < 0 {
+				settledAt = k
+			}
+		} else {
+			settledAt = -1
+		}
+	}
+	// The final sample always matches itself; settling only at the very last
+	// instant means the trajectory was still moving, so report not settled.
+	if settledAt < 0 || settledAt == len(s.Temps)-1 {
+		return s.Times[len(s.Times)-1], false
+	}
+	return s.Times[settledAt], true
+}

@@ -1,0 +1,243 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+)
+
+// rcNetwork builds a single RC: source q into a node with capacitance c,
+// resistance r to a zero-temperature sink.
+func rcNetwork(t *testing.T, r, c, q float64) (*Network, NodeID) {
+	t.Helper()
+	n := New()
+	sink := n.Node("sink")
+	hot := n.Node("hot")
+	if err := n.Fix(sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddResistor("r", sink, hot, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource("q", hot, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetCapacitance(hot, c); err != nil {
+		t.Fatal(err)
+	}
+	return n, hot
+}
+
+func TestTransientRCStepResponse(t *testing.T) {
+	// Analytic: T(t) = qR(1 - exp(-t/RC)). With R = 2, C = 3, q = 5:
+	// steady 10, time constant 6.
+	const r, c, q = 2.0, 3.0, 5.0
+	n, hot := rcNetwork(t, r, c, q)
+	dt := 0.01
+	steps := 6000 // t = 60 = 10 time constants
+	sol, err := n.SolveTransient(dt, steps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, tm := range sol.Times {
+		want := q * r * (1 - math.Exp(-tm/(r*c)))
+		got := sol.Temp(k, hot)
+		// Backward Euler is first order; 1% of the steady value is ample
+		// for dt = RC/600.
+		if math.Abs(got-want) > 0.01*q*r {
+			t.Fatalf("t=%g: T = %g, want %g", tm, got, want)
+		}
+	}
+	if final := sol.Final()[hot]; math.Abs(final-q*r) > 1e-3 {
+		t.Errorf("final %g, want %g", final, q*r)
+	}
+}
+
+func TestTransientDecay(t *testing.T) {
+	// No source, initial T = 7: pure exponential decay.
+	n := New()
+	sink := n.Node("sink")
+	hot := n.Node("hot")
+	n.Fix(sink, 0)
+	n.AddResistor("r", sink, hot, 4)
+	n.SetCapacitance(hot, 0.5) // tau = 2
+	init := make([]float64, n.NumNodes())
+	init[hot] = 7
+	sol, err := n.SolveTransient(0.002, 2000, init) // t = 4 = 2 tau
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, tm := range sol.Times {
+		want := 7 * math.Exp(-tm/2)
+		if got := sol.Temp(k, hot); math.Abs(got-want) > 0.02 {
+			t.Fatalf("t=%g: T = %g, want %g", tm, got, want)
+		}
+	}
+}
+
+func TestTransientReachesSteadyState(t *testing.T) {
+	// A 3-node chain with mixed capacitances must converge to the static
+	// solution.
+	n := New()
+	sink := n.Node("sink")
+	a := n.Node("a")
+	b := n.Node("b")
+	n.Fix(sink, 27)
+	n.AddResistor("r1", sink, a, 3)
+	n.AddResistor("r2", a, b, 5)
+	n.AddSource("qa", a, 0.5)
+	n.AddSource("qb", b, 1.5)
+	n.SetCapacitance(a, 2)
+	n.SetCapacitance(b, 0.1)
+	static, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trans, err := n.SolveTransient(0.5, 500, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := trans.Final()
+	for _, id := range []NodeID{a, b} {
+		if math.Abs(final[id]-static.Temp(id)) > 1e-6*(1+math.Abs(static.Temp(id))) {
+			t.Errorf("node %v: transient final %g vs static %g", n.NodeName(id), final[id], static.Temp(id))
+		}
+	}
+}
+
+func TestTransientMasslessNodes(t *testing.T) {
+	// A node without capacitance responds instantaneously (algebraic): in a
+	// divider fed by a capacitive node it always sits at the interpolated
+	// temperature.
+	n := New()
+	sink := n.Node("sink")
+	mid := n.Node("mid") // massless
+	top := n.Node("top") // capacitive
+	n.Fix(sink, 0)
+	n.AddResistor("r1", sink, mid, 1)
+	n.AddResistor("r2", mid, top, 1)
+	n.AddSource("q", top, 2)
+	n.SetCapacitance(top, 10)
+	sol, err := n.SolveTransient(0.05, 400, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range sol.Times {
+		tTop := sol.Temp(k, top)
+		tMid := sol.Temp(k, mid)
+		// All heat flowing into top's capacitance passes mid: KCL at mid
+		// gives T_mid = T_top/2 + ... actually with the source at top,
+		// current through r2 = current through r1, so T_mid = T_top/2.
+		if math.Abs(tMid-tTop/2) > 1e-9*(1+tTop) {
+			t.Fatalf("step %d: massless node off: mid %g, top %g", k, tMid, tTop)
+		}
+	}
+}
+
+func TestTransientMonotoneHeating(t *testing.T) {
+	// Step heating from zero: temperatures must rise monotonically.
+	n, hot := rcNetwork(t, 3, 1, 1)
+	sol, err := n.SolveTransient(0.1, 200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for k := range sol.Times {
+		got := sol.Temp(k, hot)
+		if got < prev-1e-12 {
+			t.Fatalf("temperature dropped at step %d: %g after %g", k, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestTransientSettlingTime(t *testing.T) {
+	n, hot := rcNetwork(t, 2, 3, 5) // tau = 6
+	sol, err := n.SolveTransient(0.05, 2400, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, ok := sol.SettlingTime(hot, 0.02)
+	if !ok {
+		t.Fatal("never settled")
+	}
+	// 2% settling of a first-order system: t = tau·ln(50) ≈ 23.5.
+	if ts < 18 || ts > 30 {
+		t.Errorf("settling time %g, want ≈23.5", ts)
+	}
+	// A tight band on a short horizon does not settle.
+	short, err := n.SolveTransient(0.05, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := short.SettlingTime(hot, 1e-9); ok {
+		t.Error("settled within an implausible band")
+	}
+}
+
+func TestTransientHistory(t *testing.T) {
+	n, hot := rcNetwork(t, 1, 1, 1)
+	sol, err := n.SolveTransient(0.1, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, temps := sol.History(hot)
+	if len(times) != 5 || len(temps) != 5 {
+		t.Fatalf("history lengths %d, %d", len(times), len(temps))
+	}
+	if math.Abs(times[4]-0.5) > 1e-12 {
+		t.Errorf("last time %g", times[4])
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	n, hot := rcNetwork(t, 1, 1, 1)
+	if _, err := n.SolveTransient(0, 10, nil); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := n.SolveTransient(0.1, 0, nil); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := n.SolveTransient(0.1, 10, []float64{1}); err == nil {
+		t.Error("short initial state accepted")
+	}
+	if err := n.SetCapacitance(hot, -1); err == nil {
+		t.Error("negative capacitance accepted")
+	}
+	if err := n.SetCapacitance(NodeID(99), 1); err == nil {
+		t.Error("capacitance on unknown node accepted")
+	}
+	// No reference node.
+	m := New()
+	a := m.Node("a")
+	b := m.Node("b")
+	m.AddResistor("r", a, b, 1)
+	if _, err := m.SolveTransient(0.1, 10, nil); err == nil {
+		t.Error("reference-free transient accepted")
+	}
+}
+
+func TestTransientTimestepConvergence(t *testing.T) {
+	// Halving dt must reduce the error against the analytic solution
+	// (first-order convergence of backward Euler).
+	const r, c, q = 1.0, 1.0, 1.0
+	errAt := func(dt float64) float64 {
+		n, hot := rcNetwork(t, r, c, q)
+		steps := int(math.Round(2 / dt)) // simulate to t = 2
+		sol, err := n.SolveTransient(dt, steps, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := q * r * (1 - math.Exp(-2/(r*c)))
+		return math.Abs(sol.Final()[hot] - want)
+	}
+	e1 := errAt(0.2)
+	e2 := errAt(0.1)
+	e3 := errAt(0.05)
+	if !(e2 < e1 && e3 < e2) {
+		t.Fatalf("no convergence: %g, %g, %g", e1, e2, e3)
+	}
+	// Roughly first order: the ratio should be near 2.
+	if ratio := e1 / e2; ratio < 1.5 || ratio > 3 {
+		t.Errorf("convergence ratio %g, want ≈2", ratio)
+	}
+}

@@ -1,0 +1,196 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// uniformFloorplan builds rows×cols tiles, each dissipating watts split as
+// 5/6 in plane 1 and 1/12 in each upper plane (processor-heavy like the
+// case study).
+func uniformFloorplan(rows, cols int, tileSide, watts float64) *Floorplan {
+	f := &Floorplan{TileSide: tileSide}
+	for r := 0; r < rows; r++ {
+		var row [][]float64
+		for c := 0; c < cols; c++ {
+			row = append(row, []float64{watts * 5 / 6, watts / 12, watts / 12})
+		}
+		f.PlanePowers = append(f.PlanePowers, row)
+	}
+	return f
+}
+
+func modelA() core.Model { return core.ModelA{Coeffs: core.PaperSystemCoeffs()} }
+
+func TestPlanUniformChip(t *testing.T) {
+	// ~the case-study chip: 13×13 tiles of 0.75 mm, 84 W total.
+	f := uniformFloorplan(13, 13, 0.75e-3, 84.0/169)
+	res, err := Plan(f, DefaultTechnology(), 13.0, modelA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxDT > 13.0 {
+		t.Errorf("planned max ΔT %g exceeds budget", res.MaxDT)
+	}
+	// Uniform power must give uniform counts.
+	first := res.Counts[0][0]
+	for r := range res.Counts {
+		for c := range res.Counts[r] {
+			if res.Counts[r][c] != first {
+				t.Fatalf("non-uniform plan for uniform power: %d vs %d at (%d,%d)",
+					res.Counts[r][c], first, r, c)
+			}
+		}
+	}
+	if first < 1 {
+		t.Errorf("uniform hot chip planned %d vias per tile", first)
+	}
+	if res.TotalVias != first*169 {
+		t.Errorf("TotalVias = %d", res.TotalVias)
+	}
+	if res.ViaArea <= 0 {
+		t.Error("via area missing")
+	}
+}
+
+func TestPlanMinimality(t *testing.T) {
+	// One via fewer than planned must violate the budget (the plan is the
+	// minimal feasible count).
+	f := uniformFloorplan(1, 1, 0.75e-3, 84.0/169)
+	tech := DefaultTechnology()
+	const budget = 13.0
+	res, err := Plan(f, tech, budget, modelA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.Counts[0][0]
+	if n < 2 {
+		t.Skipf("plan used %d vias; minimality check needs ≥ 2", n)
+	}
+	s, err := TileStack(f.PlanePowers[0][0], f.TileSide*f.TileSide, tech, n-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	under, err := modelA().Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if under.MaxDT <= budget {
+		t.Errorf("n-1 = %d vias still meet the budget (ΔT %g)", n-1, under.MaxDT)
+	}
+}
+
+func TestPlanHotTileGetsMoreVias(t *testing.T) {
+	f := uniformFloorplan(2, 2, 0.75e-3, 0.3)
+	// Make tile (0,0) three times hotter.
+	for p := range f.PlanePowers[0][0] {
+		f.PlanePowers[0][0][p] *= 3
+	}
+	res, err := Plan(f, DefaultTechnology(), 10.0, modelA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[0][0] <= res.Counts[1][1] {
+		t.Errorf("hot tile got %d vias, cool tile %d", res.Counts[0][0], res.Counts[1][1])
+	}
+}
+
+func TestPlanColdTileGetsNoVias(t *testing.T) {
+	f := uniformFloorplan(1, 2, 0.75e-3, 0.4)
+	for p := range f.PlanePowers[0][1] {
+		f.PlanePowers[0][1][p] = 0.0001 // nearly idle tile
+	}
+	res, err := Plan(f, DefaultTechnology(), 12.0, modelA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[0][1] != 0 {
+		t.Errorf("idle tile got %d vias", res.Counts[0][1])
+	}
+	if res.Counts[0][0] < 1 {
+		t.Errorf("hot tile got no vias")
+	}
+}
+
+func TestPlanImpossibleBudget(t *testing.T) {
+	f := uniformFloorplan(1, 1, 0.75e-3, 5) // 5 W on one tiny tile
+	_, err := Plan(f, DefaultTechnology(), 1.0, modelA())
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("err = %v, want unreachable-budget error", err)
+	}
+}
+
+func TestPlanOneDModelOverprovisions(t *testing.T) {
+	// The paper's conclusion, quantified: in the case-study regime the 1-D
+	// model overestimates ΔT, so planning with it inserts more vias than
+	// planning with Model A for the same budget.
+	f := uniformFloorplan(3, 3, 0.75e-3, 84.0/169)
+	budget := 13.0
+	withA, err := Plan(f, DefaultTechnology(), budget, modelA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	with1D, err := Plan(f, DefaultTechnology(), budget, core.Model1D{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with1D.TotalVias <= withA.TotalVias {
+		t.Errorf("1-D planned %d vias, Model A %d — expected overprovisioning",
+			with1D.TotalVias, withA.TotalVias)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	tech := DefaultTechnology()
+	good := uniformFloorplan(1, 1, 0.75e-3, 0.4)
+	if _, err := Plan(good, tech, 0, modelA()); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := Plan(&Floorplan{TileSide: 1e-3}, tech, 5, modelA()); err == nil {
+		t.Error("empty floorplan accepted")
+	}
+	bad := uniformFloorplan(1, 1, -1, 0.4)
+	if _, err := Plan(bad, tech, 5, modelA()); err == nil {
+		t.Error("negative tile side accepted")
+	}
+	wrongPlanes := &Floorplan{TileSide: 1e-3, PlanePowers: [][][]float64{{{1, 2}}}}
+	if err := wrongPlanes.Validate(tech); err == nil {
+		t.Error("wrong plane count accepted")
+	}
+	negPower := uniformFloorplan(1, 1, 1e-3, 0.4)
+	negPower.PlanePowers[0][0][1] = -1
+	if err := negPower.Validate(tech); err == nil {
+		t.Error("negative power accepted")
+	}
+	ragged := uniformFloorplan(2, 2, 1e-3, 0.4)
+	ragged.PlanePowers[1] = ragged.PlanePowers[1][:1]
+	if err := ragged.Validate(tech); err == nil {
+		t.Error("ragged floorplan accepted")
+	}
+	tiny := uniformFloorplan(1, 1, 50e-6, 0.01) // tile smaller than one via footprint at cap
+	if _, err := Plan(tiny, tech, 5, modelA()); err == nil {
+		t.Error("tile too small for one via accepted")
+	}
+}
+
+func TestNoViaDTMatchesSlabSum(t *testing.T) {
+	tech := DefaultTechnology()
+	powers := []float64{1, 0.5, 0.25}
+	area := 1e-6
+	got, err := noViaDT(powers, area, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand sum.
+	want := 1.75 * (tech.TSi1 - tech.Extension) / (tech.Si.K * area)
+	want += 1.75 * (tech.TD/tech.ILD.K + tech.Extension/tech.Si.K) / area
+	mid := tech.TD/tech.ILD.K + tech.TSi/tech.Si.K + tech.TB/tech.Bond.K
+	want += 0.75 * mid / area
+	want += 0.25 * mid / area
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("noViaDT = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,199 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func buildTestCSR(t *testing.T) *CSR {
+	t.Helper()
+	c := NewCOO(3, 3)
+	c.Add(0, 0, 4)
+	c.Add(0, 1, -1)
+	c.Add(1, 0, -1)
+	c.Add(1, 1, 4)
+	c.Add(1, 2, -1)
+	c.Add(2, 1, -1)
+	c.Add(2, 2, 4)
+	return c.ToCSR()
+}
+
+func TestCOOToCSRBasic(t *testing.T) {
+	m := buildTestCSR(t)
+	if m.Rows() != 3 || m.Cols() != 3 {
+		t.Fatalf("dims %dx%d", m.Rows(), m.Cols())
+	}
+	if m.NNZ() != 7 {
+		t.Fatalf("NNZ = %d, want 7", m.NNZ())
+	}
+	if m.At(0, 0) != 4 || m.At(0, 1) != -1 || m.At(0, 2) != 0 {
+		t.Fatal("entries wrong")
+	}
+}
+
+func TestCOODuplicatesSum(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(0, 0, 2.5)
+	c.Add(1, 1, -1)
+	c.Add(1, 1, 1) // sums to zero but stays stored
+	m := c.ToCSR()
+	if m.At(0, 0) != 3.5 {
+		t.Fatalf("At(0,0) = %g, want 3.5", m.At(0, 0))
+	}
+	if m.At(1, 1) != 0 {
+		t.Fatalf("At(1,1) = %g, want 0", m.At(1, 1))
+	}
+}
+
+func TestCOOIgnoresExplicitZero(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 0)
+	if c.NNZ() != 0 {
+		t.Fatalf("explicit zero stored, NNZ = %d", c.NNZ())
+	}
+}
+
+func TestCOOOutOfRangePanics(t *testing.T) {
+	c := NewCOO(2, 2)
+	for _, idx := range [][2]int{{2, 0}, {0, 2}, {-1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d,%d) did not panic", idx[0], idx[1])
+				}
+			}()
+			c.Add(idx[0], idx[1], 1)
+		}()
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := buildTestCSR(t)
+	y := m.MulVec([]float64{1, 2, 3}, nil)
+	want := []float64{2, 4, 10}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulVec = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestMulVecReusesBuffer(t *testing.T) {
+	m := buildTestCSR(t)
+	buf := make([]float64, 3)
+	y := m.MulVec([]float64{1, 0, 0}, buf)
+	if &y[0] != &buf[0] {
+		t.Fatal("MulVec did not reuse the provided buffer")
+	}
+}
+
+func TestDiagonal(t *testing.T) {
+	m := buildTestCSR(t)
+	d := m.Diagonal()
+	for i, v := range d {
+		if v != 4 {
+			t.Fatalf("diag[%d] = %g, want 4", i, v)
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if !buildTestCSR(t).IsSymmetric(0) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	c := NewCOO(2, 2)
+	c.Add(0, 1, 1)
+	c.Add(1, 1, 1)
+	if c.ToCSR().IsSymmetric(1e-12) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+}
+
+func TestResidual(t *testing.T) {
+	m := buildTestCSR(t)
+	x := []float64{1, 2, 3}
+	b := m.MulVec(x, nil)
+	if r := m.Residual(x, b); r != 0 {
+		t.Fatalf("residual of exact solution = %g", r)
+	}
+	b[0] += 0.5
+	if r := m.Residual(x, b); math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("residual = %g, want 0.5", r)
+	}
+}
+
+func TestCSRMatchesDenseRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 30
+	c := NewCOO(n, n)
+	dense := make([][]float64, n)
+	for i := range dense {
+		dense[i] = make([]float64, n)
+	}
+	for k := 0; k < 200; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		v := rng.NormFloat64()
+		c.Add(i, j, v)
+		dense[i][j] += v
+	}
+	m := c.ToCSR()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := m.MulVec(x, nil)
+	for i := 0; i < n; i++ {
+		var want float64
+		for j := 0; j < n; j++ {
+			want += dense[i][j] * x[j]
+		}
+		if math.Abs(y[i]-want) > 1e-10 {
+			t.Fatalf("row %d: %g vs dense %g", i, y[i], want)
+		}
+		for j := 0; j < n; j++ {
+			if math.Abs(m.At(i, j)-dense[i][j]) > 1e-12 {
+				t.Fatalf("At(%d,%d) = %g, dense %g", i, j, m.At(i, j), dense[i][j])
+			}
+		}
+	}
+}
+
+func TestEachVisitsAllEntries(t *testing.T) {
+	m := buildTestCSR(t)
+	var count int
+	var sum float64
+	m.Each(func(i, j int, v float64) {
+		count++
+		sum += v
+		if m.At(i, j) != v {
+			t.Fatalf("Each reported (%d,%d)=%g, At says %g", i, j, v, m.At(i, j))
+		}
+	})
+	if count != m.NNZ() {
+		t.Fatalf("Each visited %d entries, NNZ = %d", count, m.NNZ())
+	}
+	if math.Abs(sum-(4-1-1+4-1-1+4)) > 1e-12 {
+		t.Fatalf("Each sum = %g", sum)
+	}
+}
+
+func TestNewCOOPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCOO(0,1) did not panic")
+		}
+	}()
+	NewCOO(0, 1)
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	m := buildTestCSR(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(9,0) did not panic")
+		}
+	}()
+	m.At(9, 0)
+}

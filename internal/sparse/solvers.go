@@ -1,0 +1,401 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotConverged is returned when an iterative solver exhausts its
+// iteration budget before reaching the requested tolerance.
+var ErrNotConverged = errors.New("sparse: iterative solver did not converge")
+
+// Options configures the iterative solvers. The zero value selects sensible
+// defaults (rtol 1e-10, 10·n iterations, Jacobi preconditioning).
+type Options struct {
+	// Tol is the relative residual tolerance ||r||/||b||. Zero means 1e-10.
+	Tol float64
+	// MaxIter caps the iteration count. Zero means 10·n (at least 100).
+	MaxIter int
+	// Precond selects the preconditioner for PCG. The zero value
+	// (PrecondDefault) resolves to Jacobi.
+	Precond PrecondKind
+	// X0 optionally supplies an initial guess (copied, not modified).
+	X0 []float64
+}
+
+// PrecondKind enumerates the available preconditioners.
+type PrecondKind int
+
+const (
+	// PrecondDefault lets the caller of the solver pick; the solvers in this
+	// package treat it as Jacobi.
+	PrecondDefault PrecondKind = iota
+	// PrecondJacobi scales by the inverse diagonal. Cheap and robust for
+	// the strongly diagonal heat-conduction systems in this repo.
+	PrecondJacobi
+	// PrecondNone runs the unpreconditioned method.
+	PrecondNone
+	// PrecondSSOR applies a symmetric successive-over-relaxation sweep
+	// (omega = 1, i.e. symmetric Gauss-Seidel) as the preconditioner.
+	PrecondSSOR
+)
+
+func (p PrecondKind) String() string {
+	switch p {
+	case PrecondDefault:
+		return "default"
+	case PrecondJacobi:
+		return "jacobi"
+	case PrecondNone:
+		return "none"
+	case PrecondSSOR:
+		return "ssor"
+	default:
+		return fmt.Sprintf("PrecondKind(%d)", int(p))
+	}
+}
+
+// Stats reports what an iterative solve did.
+type Stats struct {
+	// Iterations actually performed.
+	Iterations int
+	// Residual is the final relative residual.
+	Residual float64
+}
+
+func (o Options) tol() float64 {
+	if o.Tol > 0 {
+		return o.Tol
+	}
+	return 1e-10
+}
+
+func (o Options) maxIter(n int) int {
+	if o.MaxIter > 0 {
+		return o.MaxIter
+	}
+	if n < 10 {
+		return 100
+	}
+	return 10 * n
+}
+
+type preconditioner interface {
+	apply(z, r []float64)
+}
+
+type identityPrecond struct{}
+
+func (identityPrecond) apply(z, r []float64) { copy(z, r) }
+
+type jacobiPrecond struct{ invDiag []float64 }
+
+func newJacobi(a *CSR) (*jacobiPrecond, error) {
+	d := a.Diagonal()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v == 0 {
+			return nil, fmt.Errorf("sparse: jacobi preconditioner: zero diagonal at row %d", i)
+		}
+		inv[i] = 1 / v
+	}
+	return &jacobiPrecond{invDiag: inv}, nil
+}
+
+func (p *jacobiPrecond) apply(z, r []float64) {
+	for i := range r {
+		z[i] = r[i] * p.invDiag[i]
+	}
+}
+
+// ssorPrecond implements M = (D+L) D^-1 (D+U) with omega = 1.
+type ssorPrecond struct {
+	a    *CSR
+	diag []float64
+}
+
+func newSSOR(a *CSR) (*ssorPrecond, error) {
+	d := a.Diagonal()
+	for i, v := range d {
+		if v == 0 {
+			return nil, fmt.Errorf("sparse: ssor preconditioner: zero diagonal at row %d", i)
+		}
+	}
+	return &ssorPrecond{a: a, diag: d}, nil
+}
+
+func (p *ssorPrecond) apply(z, r []float64) {
+	a, d := p.a, p.diag
+	n := a.rows
+	// Forward solve (D+L) y = r.
+	for i := 0; i < n; i++ {
+		s := r[i]
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			if j := a.colIdx[k]; j < i {
+				s -= a.val[k] * z[j]
+			}
+		}
+		z[i] = s / d[i]
+	}
+	// Scale by D: y = D·y.
+	for i := 0; i < n; i++ {
+		z[i] *= d[i]
+	}
+	// Backward solve (D+U) z = y.
+	for i := n - 1; i >= 0; i-- {
+		s := z[i]
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			if j := a.colIdx[k]; j > i {
+				s -= a.val[k] * z[j]
+			}
+		}
+		z[i] = s / d[i]
+	}
+}
+
+func makePrecond(a *CSR, kind PrecondKind) (preconditioner, error) {
+	switch kind {
+	case PrecondNone:
+		return identityPrecond{}, nil
+	case PrecondDefault, PrecondJacobi:
+		return newJacobi(a)
+	case PrecondSSOR:
+		return newSSOR(a)
+	default:
+		return nil, fmt.Errorf("sparse: unknown preconditioner %v", kind)
+	}
+}
+
+// SolveCG solves the symmetric positive definite system A·x = b with the
+// preconditioned Conjugate Gradient method.
+func SolveCG(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, Stats{}, fmt.Errorf("sparse: CG needs a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	if len(b) != n {
+		return nil, Stats{}, fmt.Errorf("sparse: CG rhs length %d, want %d", len(b), n)
+	}
+	pre, err := makePrecond(a, opt.Precond)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	x := make([]float64, n)
+	r := make([]float64, n)
+	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return nil, Stats{}, fmt.Errorf("sparse: CG initial guess length %d, want %d", len(opt.X0), n)
+		}
+		copy(x, opt.X0)
+		ax := a.MulVec(x, nil)
+		for i := range r {
+			r[i] = b[i] - ax[i]
+		}
+	} else {
+		copy(r, b)
+	}
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		// The unique SPD solution for b = 0 is x = 0.
+		return x, Stats{Iterations: 0, Residual: 0}, nil
+	}
+	tol := opt.tol()
+	maxIter := opt.maxIter(n)
+
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	pre.apply(z, r)
+	copy(p, z)
+	rz := dot(r, z)
+	var it int
+	for it = 0; it < maxIter; it++ {
+		if norm2(r)/bnorm <= tol {
+			break
+		}
+		a.MulVec(p, ap)
+		pap := dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			return nil, Stats{Iterations: it}, fmt.Errorf("sparse: CG breakdown (p·Ap = %g); matrix is not SPD", pap)
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		pre.apply(z, r)
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	res := norm2(r) / bnorm
+	st := Stats{Iterations: it, Residual: res}
+	if res > tol {
+		return x, st, fmt.Errorf("%w: CG after %d iterations, residual %g > tol %g", ErrNotConverged, it, res, tol)
+	}
+	return x, st, nil
+}
+
+// SolveBiCGSTAB solves a general (possibly non-symmetric) system A·x = b.
+func SolveBiCGSTAB(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, Stats{}, fmt.Errorf("sparse: BiCGSTAB needs a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	if len(b) != n {
+		return nil, Stats{}, fmt.Errorf("sparse: BiCGSTAB rhs length %d, want %d", len(b), n)
+	}
+	pre, err := makePrecond(a, opt.Precond)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	x := make([]float64, n)
+	r := make([]float64, n)
+	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return nil, Stats{}, fmt.Errorf("sparse: BiCGSTAB initial guess length %d, want %d", len(opt.X0), n)
+		}
+		copy(x, opt.X0)
+		ax := a.MulVec(x, nil)
+		for i := range r {
+			r[i] = b[i] - ax[i]
+		}
+	} else {
+		copy(r, b)
+	}
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		return x, Stats{}, nil
+	}
+	tol := opt.tol()
+	maxIter := opt.maxIter(n)
+
+	rhat := make([]float64, n)
+	copy(rhat, r)
+	v := make([]float64, n)
+	p := make([]float64, n)
+	ph := make([]float64, n)
+	s := make([]float64, n)
+	sh := make([]float64, n)
+	t := make([]float64, n)
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	var it int
+	for it = 0; it < maxIter; it++ {
+		if norm2(r)/bnorm <= tol {
+			break
+		}
+		rhoNew := dot(rhat, r)
+		if rhoNew == 0 {
+			return nil, Stats{Iterations: it}, fmt.Errorf("sparse: BiCGSTAB breakdown (rho = 0)")
+		}
+		beta := (rhoNew / rho) * (alpha / omega)
+		rho = rhoNew
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		pre.apply(ph, p)
+		a.MulVec(ph, v)
+		d := dot(rhat, v)
+		if d == 0 {
+			return nil, Stats{Iterations: it}, fmt.Errorf("sparse: BiCGSTAB breakdown (rhat·v = 0)")
+		}
+		alpha = rho / d
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if norm2(s)/bnorm <= tol {
+			for i := range x {
+				x[i] += alpha * ph[i]
+			}
+			copy(r, s)
+			it++
+			break
+		}
+		pre.apply(sh, s)
+		a.MulVec(sh, t)
+		tt := dot(t, t)
+		if tt == 0 {
+			return nil, Stats{Iterations: it}, fmt.Errorf("sparse: BiCGSTAB breakdown (t·t = 0)")
+		}
+		omega = dot(t, s) / tt
+		if omega == 0 {
+			return nil, Stats{Iterations: it}, fmt.Errorf("sparse: BiCGSTAB breakdown (omega = 0)")
+		}
+		for i := range x {
+			x[i] += alpha*ph[i] + omega*sh[i]
+			r[i] = s[i] - omega*t[i]
+		}
+	}
+	res := norm2(r) / bnorm
+	st := Stats{Iterations: it, Residual: res}
+	if res > tol {
+		return x, st, fmt.Errorf("%w: BiCGSTAB after %d iterations, residual %g > tol %g", ErrNotConverged, it, res, tol)
+	}
+	return x, st, nil
+}
+
+// SolveGaussSeidel solves A·x = b with Gauss-Seidel sweeps. It is slow and
+// exists as an independent cross-check of the Krylov solvers in tests.
+func SolveGaussSeidel(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
+	n := a.rows
+	if a.cols != n || len(b) != n {
+		return nil, Stats{}, fmt.Errorf("sparse: Gauss-Seidel dimension mismatch")
+	}
+	d := a.Diagonal()
+	for i, v := range d {
+		if v == 0 {
+			return nil, Stats{}, fmt.Errorf("sparse: Gauss-Seidel: zero diagonal at row %d", i)
+		}
+	}
+	x := make([]float64, n)
+	if opt.X0 != nil {
+		copy(x, opt.X0)
+	}
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		return make([]float64, n), Stats{}, nil
+	}
+	tol := opt.tol()
+	maxIter := opt.maxIter(n)
+	var it int
+	for it = 0; it < maxIter; it++ {
+		for i := 0; i < n; i++ {
+			s := b[i]
+			for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+				if j := a.colIdx[k]; j != i {
+					s -= a.val[k] * x[j]
+				}
+			}
+			x[i] = s / d[i]
+		}
+		if a.Residual(x, b)/bnorm <= tol {
+			break
+		}
+	}
+	res := a.Residual(x, b) / bnorm
+	st := Stats{Iterations: it, Residual: res}
+	if res > tol {
+		return x, st, fmt.Errorf("%w: Gauss-Seidel after %d iterations, residual %g > tol %g", ErrNotConverged, it, res, tol)
+	}
+	return x, st, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,276 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// laplacian1D builds the standard SPD tridiagonal [-1 2 -1] matrix of size n.
+func laplacian1D(n int) *CSR {
+	c := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 2)
+		if i > 0 {
+			c.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			c.Add(i, i+1, -1)
+		}
+	}
+	return c.ToCSR()
+}
+
+func TestSolveCGLaplacian(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 50, 500} {
+		a := laplacian1D(n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = 1
+		}
+		x, st, err := SolveCG(a, b, Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if r := a.Residual(x, b); r > 1e-8 {
+			t.Fatalf("n=%d: residual %g (stats %+v)", n, r, st)
+		}
+	}
+}
+
+func TestSolveCGAllPreconditioners(t *testing.T) {
+	a := laplacian1D(200)
+	b := make([]float64, 200)
+	for i := range b {
+		b[i] = math.Sin(float64(i))
+	}
+	for _, p := range []PrecondKind{PrecondNone, PrecondJacobi, PrecondSSOR} {
+		x, st, err := SolveCG(a, b, Options{Precond: p})
+		if err != nil {
+			t.Fatalf("precond %v: %v", p, err)
+		}
+		if r := a.Residual(x, b); r > 1e-7 {
+			t.Fatalf("precond %v: residual %g after %d iters", p, r, st.Iterations)
+		}
+	}
+}
+
+func TestSSORConvergesFasterThanNone(t *testing.T) {
+	a := laplacian1D(400)
+	b := make([]float64, 400)
+	for i := range b {
+		b[i] = 1
+	}
+	_, stNone, err := SolveCG(a, b, Options{Precond: PrecondNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stSSOR, err := SolveCG(a, b, Options{Precond: PrecondSSOR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stSSOR.Iterations >= stNone.Iterations {
+		t.Fatalf("SSOR (%d iters) not faster than unpreconditioned (%d iters)",
+			stSSOR.Iterations, stNone.Iterations)
+	}
+}
+
+func TestSolveCGZeroRHS(t *testing.T) {
+	a := laplacian1D(10)
+	x, st, err := SolveCG(a, make([]float64, 10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations != 0 {
+		t.Errorf("iterations = %d for zero rhs", st.Iterations)
+	}
+	for i, v := range x {
+		if v != 0 {
+			t.Fatalf("x[%d] = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestSolveCGInitialGuess(t *testing.T) {
+	a := laplacian1D(50)
+	b := make([]float64, 50)
+	for i := range b {
+		b[i] = 1
+	}
+	exact, _, err := SolveCG(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starting from the exact solution should converge immediately.
+	_, st, err := SolveCG(a, b, Options{X0: exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations > 1 {
+		t.Errorf("warm start took %d iterations", st.Iterations)
+	}
+}
+
+func TestSolveCGNotSPD(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(1, 1, -1) // indefinite
+	_, _, err := SolveCG(c.ToCSR(), []float64{0, 1}, Options{Precond: PrecondNone})
+	if err == nil {
+		t.Fatal("CG on indefinite matrix succeeded")
+	}
+}
+
+func TestSolveCGDimensionErrors(t *testing.T) {
+	a := laplacian1D(4)
+	if _, _, err := SolveCG(a, []float64{1, 2}, Options{}); err == nil {
+		t.Error("bad rhs length accepted")
+	}
+	if _, _, err := SolveCG(a, make([]float64, 4), Options{X0: []float64{1}}); err == nil {
+		t.Error("bad x0 length accepted")
+	}
+	rect := NewCOO(2, 3)
+	rect.Add(0, 0, 1)
+	if _, _, err := SolveCG(rect.ToCSR(), []float64{1, 2}, Options{}); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+}
+
+func TestSolveCGNotConverged(t *testing.T) {
+	a := laplacian1D(300)
+	b := make([]float64, 300)
+	b[0] = 1
+	_, _, err := SolveCG(a, b, Options{MaxIter: 2, Precond: PrecondNone})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("err = %v, want ErrNotConverged", err)
+	}
+}
+
+func TestSolveBiCGSTABNonSymmetric(t *testing.T) {
+	// Non-symmetric diagonally dominant system.
+	c := NewCOO(3, 3)
+	c.Add(0, 0, 5)
+	c.Add(0, 1, 1)
+	c.Add(1, 0, -2)
+	c.Add(1, 1, 6)
+	c.Add(1, 2, 0.5)
+	c.Add(2, 1, 1)
+	c.Add(2, 2, 4)
+	a := c.ToCSR()
+	b := []float64{1, 2, 3}
+	x, _, err := SolveBiCGSTAB(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := a.Residual(x, b); r > 1e-8 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestSolveBiCGSTABMatchesCGOnSPD(t *testing.T) {
+	a := laplacian1D(100)
+	b := make([]float64, 100)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	xcg, _, err := SolveCG(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xbi, _, err := SolveBiCGSTAB(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xcg {
+		if math.Abs(xcg[i]-xbi[i]) > 1e-6*(1+math.Abs(xcg[i])) {
+			t.Fatalf("mismatch at %d: %g vs %g", i, xcg[i], xbi[i])
+		}
+	}
+}
+
+func TestSolveBiCGSTABZeroRHS(t *testing.T) {
+	a := laplacian1D(5)
+	x, _, err := SolveBiCGSTAB(a, make([]float64, 5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("nonzero solution for zero rhs")
+		}
+	}
+}
+
+func TestSolveGaussSeidel(t *testing.T) {
+	a := laplacian1D(30)
+	b := make([]float64, 30)
+	for i := range b {
+		b[i] = 1
+	}
+	x, _, err := SolveGaussSeidel(a, b, Options{Tol: 1e-9, MaxIter: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xcg, _, err := SolveCG(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xcg[i]) > 1e-6*(1+math.Abs(xcg[i])) {
+			t.Fatalf("GS vs CG mismatch at %d: %g vs %g", i, x[i], xcg[i])
+		}
+	}
+}
+
+func TestSolveGaussSeidelZeroDiagonal(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 1, 1)
+	c.Add(1, 0, 1)
+	if _, _, err := SolveGaussSeidel(c.ToCSR(), []float64{1, 1}, Options{}); err == nil {
+		t.Fatal("zero diagonal accepted")
+	}
+}
+
+// Property: CG solutions are linear in the right-hand side.
+func TestCGLinearityProperty(t *testing.T) {
+	a := laplacian1D(40)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b1 := make([]float64, 40)
+		b2 := make([]float64, 40)
+		sum := make([]float64, 40)
+		for i := range b1 {
+			b1[i] = rng.NormFloat64()
+			b2[i] = rng.NormFloat64()
+			sum[i] = b1[i] + b2[i]
+		}
+		opt := Options{Tol: 1e-12}
+		x1, _, err1 := SolveCG(a, b1, opt)
+		x2, _, err2 := SolveCG(a, b2, opt)
+		xs, _, err3 := SolveCG(a, sum, opt)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		for i := range xs {
+			if math.Abs(xs[i]-(x1[i]+x2[i])) > 1e-6*(1+math.Abs(xs[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrecondKindString(t *testing.T) {
+	if PrecondJacobi.String() != "jacobi" || PrecondNone.String() != "none" ||
+		PrecondSSOR.String() != "ssor" || PrecondDefault.String() != "default" {
+		t.Error("PrecondKind.String wrong")
+	}
+	if PrecondKind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}

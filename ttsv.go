@@ -1,0 +1,197 @@
+// Package ttsv is the public API of the TTSV thermal-modeling library, a
+// from-scratch Go reproduction of
+//
+//	Hu Xu, Vasilis F. Pavlidis, Giovanni De Micheli,
+//	"Analytical Heat Transfer Model for Thermal Through-Silicon Vias",
+//	Design, Automation & Test in Europe (DATE), 2011.
+//
+// Thermal through-silicon vias (TTSVs) are dummy vertical vias inserted in
+// 3-D integrated circuits purely to conduct heat towards the heat sink. The
+// library provides:
+//
+//   - Model A (ModelA): the paper's compact per-plane resistive network with
+//     two fitted coefficients — accurate and closed-form fast.
+//   - Model B (ModelB, NewModelB): the distributed π-segment model that
+//     needs no fitting coefficients; accuracy scales with the segment count.
+//   - The traditional 1-D baseline (Model1D) the paper argues against.
+//   - The equal-metal-area cluster transform (Stack.WithViaCount): divide a
+//     via into n thinner vias at constant metal area.
+//   - A finite-volume reference solver (SolveReference) standing in for the
+//     paper's FEM tool, used to validate and calibrate the models.
+//   - Full-chip embedding (System, DRAMuP) reducing a chip with a uniform
+//     TTSV array to a per-via unit cell — the paper's DRAM-µP case study.
+//
+// Quick start:
+//
+//	s, err := ttsv.Fig4Block(10e-6) // 3-plane block, 10 µm via
+//	if err != nil { ... }
+//	res, err := ttsv.ModelA{Coeffs: ttsv.PaperBlockCoeffs()}.Solve(s)
+//	fmt.Println(res.MaxDT) // max temperature rise above the heat sink, K
+//
+// All quantities are SI (meters, watts, kelvins); temperatures are reported
+// as rises above the heat-sink reference.
+package ttsv
+
+import (
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/fem"
+	"repro/internal/fit"
+	"repro/internal/materials"
+	"repro/internal/plan"
+	"repro/internal/stack"
+)
+
+// Re-exported structural types. See the internal packages for full method
+// documentation; the aliases make the internal types usable directly.
+type (
+	// Stack is an N-plane 3-D IC segment with a TTSV through it.
+	Stack = stack.Stack
+	// Plane is one device plane (silicon + ILD + bond below).
+	Plane = stack.Plane
+	// TTSV is the via geometry (radius, liner, extension, cluster count).
+	TTSV = stack.TTSV
+	// BlockConfig parameterizes the paper's standard experiment block.
+	BlockConfig = stack.BlockConfig
+	// Material is a named solid with a thermal conductivity.
+	Material = materials.Material
+
+	// Coeffs holds Model A's fitting coefficients (k1, k2, c1).
+	Coeffs = core.Coeffs
+	// Result is a solved temperature report (MaxDT, per-plane rises).
+	Result = core.Result
+	// Model is the common solver interface of all three models.
+	Model = core.Model
+	// ModelA is the paper's compact fitted network model (§II).
+	ModelA = core.ModelA
+	// ModelB is the distributed π-segment model (§III).
+	ModelB = core.ModelB
+	// Model1D is the traditional baseline the paper compares against.
+	Model1D = core.Model1D
+	// PlaneResistances are one plane's three network elements.
+	PlaneResistances = core.PlaneResistances
+
+	// System is a full chip with a uniformly distributed TTSV array.
+	System = chip.System
+	// Resolution controls the reference solver's mesh density.
+	Resolution = fem.Resolution
+	// CalibrationPoint pairs a geometry with a reference temperature.
+	CalibrationPoint = fit.CalibrationPoint
+
+	// TransientSpec configures a step-power transient simulation.
+	TransientSpec = core.TransientSpec
+	// TransientResult is a model's time response to a power step.
+	TransientResult = core.TransientResult
+
+	// Technology holds the per-via/per-plane parameters of a TTSV
+	// insertion-planning run.
+	Technology = plan.Technology
+	// Floorplan is a tiled power map for insertion planning.
+	Floorplan = plan.Floorplan
+	// PlanResult is a completed TTSV insertion plan.
+	PlanResult = plan.Result
+	// PowerMapResolution controls the full-chip 3-D verification mesh.
+	PowerMapResolution = chip.PowerMapResolution
+	// PowerMapSolution is a solved full-chip temperature field.
+	PowerMapSolution = chip.PowerMapSolution
+)
+
+// Stock materials (conductivities from the paper's §IV).
+var (
+	// Silicon is the substrate material (130 W/m·K).
+	Silicon = materials.Silicon
+	// SiO2 is the ILD and liner dielectric (1.4 W/m·K).
+	SiO2 = materials.SiO2
+	// Polyimide is the bonding adhesive (0.15 W/m·K).
+	Polyimide = materials.Polyimide
+	// Copper is the via fill (400 W/m·K).
+	Copper = materials.Copper
+)
+
+// DefaultBlock returns the paper's §IV baseline block configuration.
+func DefaultBlock() BlockConfig { return stack.DefaultBlock() }
+
+// Fig4Block returns the Fig. 4 geometry for a via radius r (meters).
+func Fig4Block(r float64) (*Stack, error) { return stack.Fig4Block(r) }
+
+// Fig5Block returns the Fig. 5 geometry for a liner thickness tl (meters).
+func Fig5Block(tl float64) (*Stack, error) { return stack.Fig5Block(tl) }
+
+// Fig6Block returns the Fig. 6 geometry for an upper-plane substrate
+// thickness tsi (meters).
+func Fig6Block(tsi float64) (*Stack, error) { return stack.Fig6Block(tsi) }
+
+// Fig7Block returns the Fig. 7 geometry with the via split into n parts.
+func Fig7Block(n int) (*Stack, error) { return stack.Fig7Block(n) }
+
+// NewModelB returns Model B with the paper's segment pairing for "B(n)".
+func NewModelB(n int) ModelB { return core.NewModelB(n) }
+
+// PaperBlockCoeffs returns k1 = 1.3, k2 = 0.55 (block experiments).
+func PaperBlockCoeffs() Coeffs { return core.PaperBlockCoeffs() }
+
+// PaperSystemCoeffs returns k1 = 1.6, k2 = 0.8, c1 = 3.5 (case study).
+func PaperSystemCoeffs() Coeffs { return core.PaperSystemCoeffs() }
+
+// UnitCoeffs returns k1 = k2 = 1 (no fitting).
+func UnitCoeffs() Coeffs { return core.UnitCoeffs() }
+
+// Resistances evaluates the paper's resistance formulas (eqs. (7)-(16)) for
+// every plane plus the substrate resistance R_s.
+func Resistances(s *Stack, c Coeffs) ([]PlaneResistances, float64, error) {
+	return core.Resistances(s, c)
+}
+
+// DRAMuP returns the paper's §IV-E DRAM-on-µP case-study system.
+func DRAMuP() System { return chip.DRAMuP() }
+
+// DefaultResolution returns the reference solver's default mesh density.
+func DefaultResolution() Resolution { return fem.DefaultResolution() }
+
+// SolveReference runs the finite-volume reference solver (the COMSOL
+// stand-in) on a stack and returns the maximum temperature rise above the
+// heat sink.
+func SolveReference(s *Stack, res Resolution) (float64, error) {
+	sol, err := fem.SolveStack(s, res)
+	if err != nil {
+		return 0, err
+	}
+	max, _, _ := sol.MaxT()
+	return max, nil
+}
+
+// CalibrateModelA fits Model A's (k1, k2) to reference temperatures, the
+// paper's calibration workflow. start supplies the fixed c1 and a fallback.
+func CalibrateModelA(points []CalibrationPoint, start Coeffs) (Coeffs, float64, error) {
+	return fit.CalibrateModelA(points, start)
+}
+
+// SolveNonlinear iterates a model to self-consistency when material
+// conductivities depend on temperature (Material.TempCoeff). It returns the
+// converged result and the number of solves performed.
+func SolveNonlinear(m Model, s *Stack, maxIter int, tol float64) (*Result, int, error) {
+	return core.SolveNonlinear(m, s, maxIter, tol)
+}
+
+// DefaultTechnology returns a TTSV insertion technology matching the
+// paper's case-study stack.
+func DefaultTechnology() Technology { return plan.DefaultTechnology() }
+
+// PlanInsertion assigns the minimum TTSV count per floorplan tile keeping
+// every tile's temperature rise at or below budget (K) under the given
+// thermal model — the planning methodology the paper's conclusion argues
+// needs lateral-aware models.
+func PlanInsertion(f *Floorplan, tech Technology, budget float64, m Model) (*PlanResult, error) {
+	return plan.Plan(f, tech, budget, m)
+}
+
+// DefaultPowerMapResolution returns the full-chip verification mesh density.
+func DefaultPowerMapResolution() PowerMapResolution { return chip.DefaultPowerMapResolution() }
+
+// VerifyPlan runs the homogenized full-chip 3-D solve of a floorplan with a
+// per-tile via allocation, resolving the tile-to-tile lateral coupling the
+// planner's adiabatic-tile model ignores (§IV-E's model-embedding workflow
+// scaled to non-uniform power maps).
+func VerifyPlan(f *Floorplan, tech Technology, counts [][]int, res PowerMapResolution) (*PowerMapSolution, error) {
+	return chip.SolvePowerMap(f, tech, counts, res)
+}
