@@ -1,0 +1,37 @@
+# Development targets. `make verify` is the full pre-merge gate: vet plus
+# every test under the race detector.
+
+GO ?= go
+
+.PHONY: all build test verify race bench fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the pre-merge gate: static analysis, then the whole suite —
+# including the parallel sweep/plan property tests — under the race detector.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Seed corpora run on every plain `go test`; this target explores further.
+# Usage: make fuzz FUZZ=FuzzLoadBlockConfig PKG=./internal/stack FUZZTIME=30s
+FUZZTIME ?= 10s
+FUZZ ?= FuzzLoadBlockConfig
+PKG ?= ./internal/stack
+fuzz:
+	$(GO) test -fuzz $(FUZZ) -fuzztime $(FUZZTIME) $(PKG)
+
+clean:
+	$(GO) clean ./...

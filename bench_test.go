@@ -10,12 +10,15 @@ package ttsv_test
 //   BenchmarkTable1*         Table I  Model B solve cost vs segment count
 //   BenchmarkCaseStudy*      §IV-E    DRAM-µP unit-cell analysis per method
 //   BenchmarkReference*      the FVM solve standing in for the paper's FEM
+//   BenchmarkSweep*          the batch engine: sequential vs parallel vs cached
 //
 // plus the ablations DESIGN.md calls out: dense vs sparse Model B solves,
 // FVM preconditioner choice, FVM mesh refinement, and the topological
 // network assembly vs the transcribed three-plane equations for Model A.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	ttsv "repro"
@@ -387,6 +390,74 @@ func BenchmarkNonlinearModelA(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := core.SolveNonlinear(m, s, 25, 1e-8); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- parallel sweep engine -------------------------------------------------
+//
+// BenchmarkSweepSequential*/BenchmarkSweepParallel* measure the same batch —
+// the Fig. 4 radius sweep under the FVM reference model, the most expensive
+// per-point solve in the repository — through the sweep engine at different
+// worker counts. On an N-core machine the parallel variants approach N×; on
+// one core they match the sequential path within scheduling noise, because
+// the engine adds no per-job synchronization beyond the feed channel.
+
+func sweepBenchJobs(b *testing.B) ttsv.Batch {
+	b.Helper()
+	m := ttsv.ReferenceModel(ttsv.Resolution{})
+	var jobs ttsv.Batch
+	for _, s := range fig4Stacks(b) {
+		jobs = jobs.Add("", s, m)
+	}
+	return jobs
+}
+
+func benchSweepEngine(b *testing.B, workers int) {
+	b.Helper()
+	jobs := sweepBenchJobs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs, err := ttsv.Sweep(context.Background(), jobs, ttsv.SweepOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, oc := range outs {
+			if oc.Err != nil {
+				b.Fatal(oc.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkSweepSequentialFVM(b *testing.B) { benchSweepEngine(b, 1) }
+
+func BenchmarkSweepParallelFVM(b *testing.B) { benchSweepEngine(b, runtime.GOMAXPROCS(0)) }
+
+func BenchmarkSweepParallelFVM4(b *testing.B) { benchSweepEngine(b, 4) }
+
+// BenchmarkSweepCachedFVM measures the memoized path: after the first
+// iteration every job is a cache hit, so this reports the engine's per-job
+// overhead floor.
+func BenchmarkSweepCachedFVM(b *testing.B) {
+	jobs := sweepBenchJobs(b)
+	cache := ttsv.NewSweepCache()
+	opts := ttsv.SweepOptions{Workers: 1, Cache: cache}
+	if _, err := ttsv.Sweep(context.Background(), jobs, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs, err := ttsv.Sweep(context.Background(), jobs, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, oc := range outs {
+			if oc.Err != nil {
+				b.Fatal(oc.Err)
+			}
 		}
 	}
 }

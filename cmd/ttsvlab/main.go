@@ -12,14 +12,17 @@
 //
 // Flags:
 //
-//	-quick      thin sweeps and coarser reference mesh (fast smoke run)
-//	-plot       also draw ASCII figures for the sweeps
-//	-csv DIR    write each table as CSV into DIR
+//	-quick       thin sweeps and coarser reference mesh (fast smoke run)
+//	-plot        also draw ASCII figures for the sweeps
+//	-csv DIR     write each table as CSV into DIR
+//	-workers N   solve sweep points on N parallel workers (0 = all CPUs);
+//	             output tables are identical for any worker count
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -29,19 +32,20 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "ttsvlab: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ttsvlab", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "thin sweeps and a coarser reference mesh")
 	plot := fs.Bool("plot", false, "draw ASCII figures for the sweeps")
 	csvDir := fs.String("csv", "", "write tables as CSV into this directory")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all CPUs); tables are identical for any count")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: ttsvlab [-quick] [-plot] [-csv DIR] {fig4|fig5|fig6|fig7|table1|casestudy|calibrate|planes|transient|all}")
+		fmt.Fprintln(fs.Output(), "usage: ttsvlab [-quick] [-plot] [-csv DIR] [-workers N] {fig4|fig5|fig6|fig7|table1|casestudy|calibrate|planes|transient|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -55,7 +59,8 @@ func run(args []string) error {
 	if *quick {
 		cfg = experiments.Quick()
 	}
-	app := &app{cfg: cfg, plot: *plot, csvDir: *csvDir}
+	cfg.Workers = *workers
+	app := &app{cfg: cfg, plot: *plot, csvDir: *csvDir, out: out}
 	cmd := fs.Arg(0)
 	switch cmd {
 	case "fig4":
@@ -88,13 +93,14 @@ type app struct {
 	cfg    experiments.Config
 	plot   bool
 	csvDir string
+	out    io.Writer
 }
 
 func (a *app) emit(id string, t *report.Table) error {
-	if err := t.Render(os.Stdout); err != nil {
+	if err := t.Render(a.out); err != nil {
 		return err
 	}
-	fmt.Println()
+	fmt.Fprintln(a.out)
 	if a.csvDir == "" {
 		return nil
 	}
@@ -110,7 +116,7 @@ func (a *app) emit(id string, t *report.Table) error {
 	if err := t.WriteCSV(f); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n\n", path)
+	fmt.Fprintf(a.out, "wrote %s\n\n", path)
 	return nil
 }
 
@@ -139,12 +145,12 @@ func (a *app) sweep(fn func(experiments.Config) (*experiments.Sweep, error)) err
 		return err
 	}
 	if a.plot {
-		if err := sw.Plot().Render(os.Stdout, 68, 20); err != nil {
+		if err := sw.Plot().Render(a.out, 68, 20); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(a.out)
 	}
-	fmt.Printf("(%s in %v)\n", sw.ID, time.Since(t0).Round(time.Millisecond))
+	fmt.Fprintf(a.out, "(%s in %v)\n", sw.ID, time.Since(t0).Round(time.Millisecond))
 	return nil
 }
 
@@ -197,7 +203,7 @@ func (a *app) all() error {
 		return err
 	}
 	a.cfg.CalibratedA = &cal.Coeffs
-	fmt.Printf("calibrated Model A against the reference: k1 = %.3f, k2 = %.3f (rms %.1f%%)\n\n",
+	fmt.Fprintf(a.out, "calibrated Model A against the reference: k1 = %.3f, k2 = %.3f (rms %.1f%%)\n\n",
 		cal.Coeffs.K1, cal.Coeffs.K2, 100*cal.RMS)
 	for _, fn := range []func(experiments.Config) (*experiments.Sweep, error){
 		experiments.Fig4, experiments.Fig5, experiments.Fig6, experiments.Fig7,

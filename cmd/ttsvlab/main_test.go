@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,46 +9,46 @@ import (
 )
 
 func TestRunRejectsBadInvocations(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(nil, io.Discard); err == nil {
 		t.Error("missing experiment accepted")
 	}
-	if err := run([]string{"fig4", "fig5"}); err == nil {
+	if err := run([]string{"fig4", "fig5"}, io.Discard); err == nil {
 		t.Error("two experiments accepted")
 	}
-	if err := run([]string{"nonsense"}); err == nil {
+	if err := run([]string{"nonsense"}, io.Discard); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run([]string{"-bogus", "fig4"}); err == nil {
+	if err := run([]string{"-bogus", "fig4"}, io.Discard); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }
 
 func TestRunQuickSweeps(t *testing.T) {
 	for _, exp := range []string{"fig4", "fig6", "fig7"} {
-		if err := run([]string{"-quick", exp}); err != nil {
+		if err := run([]string{"-quick", exp}, io.Discard); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
 }
 
 func TestRunQuickTable1AndCaseStudy(t *testing.T) {
-	if err := run([]string{"-quick", "table1"}); err != nil {
+	if err := run([]string{"-quick", "table1"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-quick", "casestudy"}); err != nil {
+	if err := run([]string{"-quick", "casestudy"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunQuickCalibrate(t *testing.T) {
-	if err := run([]string{"-quick", "calibrate"}); err != nil {
+	if err := run([]string{"-quick", "calibrate"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCSVExport(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-quick", "-csv", dir, "fig7"}); err != nil {
+	if err := run([]string{"-quick", "-csv", dir, "fig7"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig7.csv"))
@@ -66,16 +67,16 @@ func TestRunCSVExport(t *testing.T) {
 }
 
 func TestRunPlotFlag(t *testing.T) {
-	if err := run([]string{"-quick", "-plot", "fig7"}); err != nil {
+	if err := run([]string{"-quick", "-plot", "fig7"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExtensionExperiments(t *testing.T) {
-	if err := run([]string{"-quick", "planes"}); err != nil {
+	if err := run([]string{"-quick", "planes"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-quick", "transient"}); err != nil {
+	if err := run([]string{"-quick", "transient"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }

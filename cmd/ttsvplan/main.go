@@ -48,6 +48,7 @@ func run(args []string, out io.Writer) error {
 	k2 := fs.Float64("k2", 0.8, "Model A coefficient k2 (system default)")
 	c1 := fs.Float64("c1", 3.5, "Model A plane-1 spreading coefficient")
 	verify := fs.Bool("verify", false, "run the full-chip 3-D verification solve")
+	workers := fs.Int("workers", 0, "parallel tile-planning workers (0 = all CPUs); the plan is identical for any count")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,7 +74,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	tech := ttsv.DefaultTechnology()
-	res, err := ttsv.PlanInsertion(f, tech, *budget, m)
+	res, err := ttsv.PlanInsertionWith(f, tech, *budget, m, ttsv.PlanOptions{Workers: *workers})
 	if err != nil {
 		return err
 	}

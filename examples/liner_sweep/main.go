@@ -6,9 +6,15 @@
 //
 // A designer choosing the liner thickness from the 1-D model would conclude
 // the liner is thermally free; Models A/B show the real cost.
+//
+// The whole sweep — every (liner, model) pair — is submitted as one batch to
+// the parallel sweep engine (ttsv.Sweep): outcomes come back in job order,
+// identical for any worker count, so the table below prints the same no
+// matter how many CPUs run it.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,38 +22,49 @@ import (
 )
 
 func main() {
-	modelA := ttsv.ModelA{Coeffs: ttsv.PaperBlockCoeffs()}
-	modelB := ttsv.NewModelB(100)
-	oneD := ttsv.Model1D{}
+	models := []ttsv.Model{
+		ttsv.ModelA{Coeffs: ttsv.PaperBlockCoeffs()},
+		ttsv.NewModelB(100),
+		ttsv.Model1D{},
+	}
+	liners := []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
+
+	// One job per (liner, model) pair, liner-major so row i of the table is
+	// outs[i*len(models) : (i+1)*len(models)].
+	var jobs ttsv.Batch
+	for _, tl := range liners {
+		s, err := ttsv.Fig5Block(tl * 1e-6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, m := range models {
+			jobs = jobs.Add(fmt.Sprintf("%s@%.1fµm", m.Name(), tl), s, m)
+		}
+	}
+	outs, err := ttsv.Sweep(context.Background(), jobs, ttsv.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("liner thickness sweep on the Fig. 5 block (r = 5 µm):")
 	fmt.Println()
 	fmt.Println("t_L [µm]   Model A   Model B   1-D model")
 	var first, last float64
-	liners := []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
 	for i, tl := range liners {
-		s, err := ttsv.Fig5Block(tl * 1e-6)
-		if err != nil {
-			log.Fatal(err)
+		row := outs[i*len(models) : (i+1)*len(models)]
+		fmt.Printf("%8.1f  ", tl)
+		for _, oc := range row {
+			if oc.Err != nil {
+				log.Fatal(oc.Err)
+			}
+			fmt.Printf(" %6.2f K ", oc.Result.MaxDT)
 		}
-		a, err := modelA.Solve(s)
-		if err != nil {
-			log.Fatal(err)
-		}
-		b, err := modelB.Solve(s)
-		if err != nil {
-			log.Fatal(err)
-		}
-		d, err := oneD.Solve(s)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%8.1f   %6.2f K  %6.2f K  %6.2f K\n", tl, a.MaxDT, b.MaxDT, d.MaxDT)
+		fmt.Println()
 		if i == 0 {
-			first = b.MaxDT
+			first = row[1].Result.MaxDT
 		}
 		if i == len(liners)-1 {
-			last = b.MaxDT
+			last = row[1].Result.MaxDT
 		}
 	}
 	fmt.Println()

@@ -47,6 +47,7 @@ func (m ModelA) Solve(s *stack.Stack) (*Result, error) {
 		PlaneDT:  make([]float64, n),
 		BaseDT:   sol.Temp(nodes.base),
 		Unknowns: net.NumNodes() - 1, // all but the grounded sink
+		Solver:   sol.SolverStats(),
 	}
 	for i, id := range nodes.surround {
 		out.PlaneDT[i] = sol.Temp(id)

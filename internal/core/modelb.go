@@ -80,6 +80,7 @@ func (m ModelB) Solve(s *stack.Stack) (*Result, error) {
 		PlaneDT:  make([]float64, len(s.Planes)),
 		BaseDT:   sol.Temp(nodes.base),
 		Unknowns: 2*nodes.totalSegments + 1,
+		Solver:   sol.SolverStats(),
 	}
 	for i, id := range nodes.planeTop {
 		out.PlaneDT[i] = sol.Temp(id)

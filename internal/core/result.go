@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/sparse"
 	"repro/internal/stack"
 )
 
@@ -23,6 +24,11 @@ type Result struct {
 	BaseDT float64
 	// Unknowns is the size of the linear system that was solved.
 	Unknowns int
+	// Solver reports the iterative linear-solve statistics when the
+	// producing model solved its system iteratively (Model B above the
+	// sparse cutoff, the FVM reference solver). It is zero for direct
+	// solves, whose factorizations have no iteration count.
+	Solver sparse.Stats
 }
 
 func (r *Result) String() string {

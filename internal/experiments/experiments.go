@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -15,7 +16,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/fem"
 	"repro/internal/report"
+	"repro/internal/sparse"
 	"repro/internal/stack"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -43,6 +46,9 @@ type Config struct {
 	// Quick thins the sweeps for fast runs (tests); the full grids match
 	// the paper's.
 	Quick bool
+	// Workers is the concurrency of the batch evaluation engine; values
+	// < 1 select GOMAXPROCS. Results are identical for any worker count.
+	Workers int
 }
 
 // Default returns the paper-faithful configuration.
@@ -72,6 +78,9 @@ type Point struct {
 	DT map[string]float64
 	// Runtime maps model name to its solve wall time.
 	Runtime map[string]time.Duration
+	// Solver maps model name to the iterative-solve statistics of the run
+	// (zero for models that solved directly).
+	Solver map[string]sparse.Stats
 }
 
 // Sweep is one figure-shaped experiment result.
@@ -95,6 +104,9 @@ type ErrStat struct {
 	Max, Avg float64
 	// AvgRuntime is the mean solve time.
 	AvgRuntime time.Duration
+	// AvgIters is the mean iterative-solver iteration count (zero for
+	// models that solved directly).
+	AvgIters float64
 }
 
 // models bundles a named solver.
@@ -103,27 +115,45 @@ type namedModel struct {
 	model core.Model
 }
 
-// run executes all models plus the reference on one stack.
-func runPoint(x float64, s *stack.Stack, ms []namedModel, res fem.Resolution) (Point, error) {
-	p := Point{X: x, DT: make(map[string]float64), Runtime: make(map[string]time.Duration)}
-	for _, nm := range ms {
-		t0 := time.Now()
-		r, err := nm.model.Solve(s)
-		if err != nil {
-			return Point{}, fmt.Errorf("experiments: %s at x=%g: %w", nm.name, x, err)
+// withReference appends the FVM reference solver to a model lineup.
+func withReference(ms []namedModel, res fem.Resolution) []namedModel {
+	return append(ms, namedModel{RefName, fem.ReferenceModel{Res: res}})
+}
+
+// runSweepPoints evaluates every (point, model) pair of a sweep through the
+// batch engine — including the reference, which withReference adds as the
+// last model — and assembles the per-point rows. Job order is point-major,
+// so the engine's deterministic ordering maps back without bookkeeping.
+func runSweepPoints(cfg Config, sw *Sweep, xs []float64, stacks []*stack.Stack, ms []namedModel) error {
+	jobs := make(sweep.Batch, 0, len(stacks)*len(ms))
+	for _, s := range stacks {
+		for _, nm := range ms {
+			jobs = jobs.Add(nm.name, s, nm.model)
 		}
-		p.Runtime[nm.name] = time.Since(t0)
-		p.DT[nm.name] = r.MaxDT
 	}
-	t0 := time.Now()
-	sol, err := fem.SolveStack(s, res)
+	outs, err := sweep.Run(context.Background(), jobs, sweep.Options{Workers: cfg.Workers})
 	if err != nil {
-		return Point{}, fmt.Errorf("experiments: reference at x=%g: %w", x, err)
+		return fmt.Errorf("experiments: %s: %w", sw.ID, err)
 	}
-	p.Runtime[RefName] = time.Since(t0)
-	max, _, _ := sol.MaxT()
-	p.DT[RefName] = max
-	return p, nil
+	for pi := range stacks {
+		p := Point{
+			X:       xs[pi],
+			DT:      make(map[string]float64),
+			Runtime: make(map[string]time.Duration),
+			Solver:  make(map[string]sparse.Stats),
+		}
+		for mi, nm := range ms {
+			oc := outs[pi*len(ms)+mi]
+			if oc.Err != nil {
+				return fmt.Errorf("experiments: %s at x=%g: %w", nm.name, xs[pi], oc.Err)
+			}
+			p.DT[nm.name] = oc.Result.MaxDT
+			p.Runtime[nm.name] = oc.Runtime
+			p.Solver[nm.name] = oc.Result.Solver
+		}
+		sw.Points = append(sw.Points, p)
+	}
+	return nil
 }
 
 // standardModels returns the figure lineup: Model A (fitted), Model B, 1-D,
@@ -159,16 +189,16 @@ func Fig4(cfg Config) (*Sweep, error) {
 	}
 	ms := standardModels(cfg)
 	sw := &Sweep{ID: "fig4", Title: "Fig. 4: max ΔT vs TTSV radius", XLabel: "r [µm]", Models: modelNames(ms)}
+	stacks := make([]*stack.Stack, 0, len(radii))
 	for _, r := range radii {
 		s, err := stack.Fig4Block(units.UM(r))
 		if err != nil {
 			return nil, err
 		}
-		p, err := runPoint(r, s, ms, cfg.Resolution)
-		if err != nil {
-			return nil, err
-		}
-		sw.Points = append(sw.Points, p)
+		stacks = append(stacks, s)
+	}
+	if err := runSweepPoints(cfg, sw, radii, stacks, withReference(ms, cfg.Resolution)); err != nil {
+		return nil, err
 	}
 	return sw, nil
 }
@@ -190,16 +220,16 @@ func Fig5(cfg Config) (*Sweep, error) {
 	}
 	ms = append(ms, namedModel{"1D", core.Model1D{}})
 	sw := &Sweep{ID: "fig5", Title: "Fig. 5: max ΔT vs liner thickness", XLabel: "t_L [µm]", Models: modelNames(ms)}
+	stacks := make([]*stack.Stack, 0, len(liners))
 	for _, tl := range liners {
 		s, err := stack.Fig5Block(units.UM(tl))
 		if err != nil {
 			return nil, err
 		}
-		p, err := runPoint(tl, s, ms, cfg.Resolution)
-		if err != nil {
-			return nil, err
-		}
-		sw.Points = append(sw.Points, p)
+		stacks = append(stacks, s)
+	}
+	if err := runSweepPoints(cfg, sw, liners, stacks, withReference(ms, cfg.Resolution)); err != nil {
+		return nil, err
 	}
 	return sw, nil
 }
@@ -213,16 +243,16 @@ func Fig6(cfg Config) (*Sweep, error) {
 	}
 	ms := standardModels(cfg)
 	sw := &Sweep{ID: "fig6", Title: "Fig. 6: max ΔT vs substrate thickness", XLabel: "t_Si2,3 [µm]", Models: modelNames(ms)}
+	stacks := make([]*stack.Stack, 0, len(thicknesses))
 	for _, tsi := range thicknesses {
 		s, err := stack.Fig6Block(units.UM(tsi))
 		if err != nil {
 			return nil, err
 		}
-		p, err := runPoint(tsi, s, ms, cfg.Resolution)
-		if err != nil {
-			return nil, err
-		}
-		sw.Points = append(sw.Points, p)
+		stacks = append(stacks, s)
+	}
+	if err := runSweepPoints(cfg, sw, thicknesses, stacks, withReference(ms, cfg.Resolution)); err != nil {
+		return nil, err
 	}
 	return sw, nil
 }
@@ -236,16 +266,18 @@ func Fig7(cfg Config) (*Sweep, error) {
 	}
 	ms := standardModels(cfg)
 	sw := &Sweep{ID: "fig7", Title: "Fig. 7: max ΔT vs number of TTSVs", XLabel: "n", Models: modelNames(ms)}
+	xs := make([]float64, 0, len(counts))
+	stacks := make([]*stack.Stack, 0, len(counts))
 	for _, n := range counts {
 		s, err := stack.Fig7Block(n)
 		if err != nil {
 			return nil, err
 		}
-		p, err := runPoint(float64(n), s, ms, cfg.Resolution)
-		if err != nil {
-			return nil, err
-		}
-		sw.Points = append(sw.Points, p)
+		xs = append(xs, float64(n))
+		stacks = append(stacks, s)
+	}
+	if err := runSweepPoints(cfg, sw, xs, stacks, withReference(ms, cfg.Resolution)); err != nil {
+		return nil, err
 	}
 	return sw, nil
 }
@@ -265,6 +297,7 @@ func (sw *Sweep) ErrorStats() map[string]ErrStat {
 				continue
 			}
 			totalRT += p.Runtime[name]
+			stat.AvgIters += float64(p.Solver[name].Iterations)
 			if name == RefName {
 				n++
 				continue
@@ -279,6 +312,7 @@ func (sw *Sweep) ErrorStats() map[string]ErrStat {
 		if n > 0 {
 			stat.Avg /= float64(n)
 			stat.AvgRuntime = totalRT / time.Duration(n)
+			stat.AvgIters /= float64(n)
 		}
 		out[name] = stat
 	}

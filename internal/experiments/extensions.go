@@ -27,6 +27,8 @@ func PlaneScaling(cfg Config) (*Sweep, error) {
 		XLabel: "planes",
 		Models: modelNames(ms),
 	}
+	xs := make([]float64, 0, len(counts))
+	stacks := make([]*stack.Stack, 0, len(counts))
 	for _, n := range counts {
 		c := stack.DefaultBlock()
 		c.NumPlanes = n
@@ -35,11 +37,11 @@ func PlaneScaling(cfg Config) (*Sweep, error) {
 		if err != nil {
 			return nil, err
 		}
-		p, err := runPoint(float64(n), s, ms, cfg.Resolution)
-		if err != nil {
-			return nil, err
-		}
-		sw.Points = append(sw.Points, p)
+		xs = append(xs, float64(n))
+		stacks = append(stacks, s)
+	}
+	if err := runSweepPoints(cfg, sw, xs, stacks, withReference(ms, cfg.Resolution)); err != nil {
+		return nil, err
 	}
 	return sw, nil
 }

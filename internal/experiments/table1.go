@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/fem"
 	"repro/internal/report"
 	"repro/internal/stack"
 	"repro/internal/units"
@@ -47,44 +46,30 @@ func Table1(cfg Config) (*Table1Result, error) {
 		namedModel{"1D", core.Model1D{}},
 	)
 
-	stats := make(map[string]*Table1Row)
-	order := make([]string, 0, len(ms))
-	for _, nm := range ms {
-		stats[nm.name] = &Table1Row{Model: nm.name}
-		order = append(order, nm.name)
-	}
+	// The whole table — every (liner, model) pair plus the per-liner
+	// reference solves — is one batch through the sweep engine.
+	sw := &Sweep{ID: "table1", Models: modelNames(ms)}
+	stacks := make([]*stack.Stack, 0, len(liners))
 	for _, tl := range liners {
 		s, err := stack.Fig5Block(units.UM(tl))
 		if err != nil {
 			return nil, err
 		}
-		sol, err := fem.SolveStack(s, cfg.Resolution)
-		if err != nil {
-			return nil, err
-		}
-		ref, _, _ := sol.MaxT()
-		for _, nm := range ms {
-			t0 := time.Now()
-			r, err := nm.model.Solve(s)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: table1 %s: %w", nm.name, err)
-			}
-			rt := time.Since(t0)
-			row := stats[nm.name]
-			e := units.RelErr(r.MaxDT, ref)
-			row.AvgErr += e
-			if e > row.MaxErr {
-				row.MaxErr = e
-			}
-			row.AvgRuntime += rt
-		}
+		stacks = append(stacks, s)
+	}
+	if err := runSweepPoints(cfg, sw, liners, stacks, withReference(ms, cfg.Resolution)); err != nil {
+		return nil, err
 	}
 	out := &Table1Result{}
-	for _, name := range order {
-		row := stats[name]
-		row.AvgErr /= float64(len(liners))
-		row.AvgRuntime /= time.Duration(len(liners))
-		out.Rows = append(out.Rows, *row)
+	stats := sw.ErrorStats()
+	for _, nm := range ms {
+		st := stats[nm.name]
+		out.Rows = append(out.Rows, Table1Row{
+			Model:      nm.name,
+			MaxErr:     st.Max,
+			AvgErr:     st.Avg,
+			AvgRuntime: st.AvgRuntime,
+		})
 	}
 	return out, nil
 }

@@ -1,0 +1,48 @@
+package fem
+
+import (
+	"repro/internal/core"
+	"repro/internal/stack"
+)
+
+// ReferenceModel adapts the finite-volume reference solver to the core.Model
+// interface, so the FVM column of the paper's figures can run through the
+// same batch-evaluation machinery (worker pools, memoization, error capture)
+// as the analytical models. The zero value uses DefaultResolution.
+type ReferenceModel struct {
+	// Res is the mesh density; the zero value selects DefaultResolution.
+	Res Resolution
+}
+
+// RefModelName is the name ReferenceModel reports, matching the reference
+// column label of every figure.
+const RefModelName = "FVM"
+
+// Name implements core.Model.
+func (ReferenceModel) Name() string { return RefModelName }
+
+// resolution returns the effective mesh density.
+func (m ReferenceModel) resolution() Resolution {
+	if m.Res == (Resolution{}) {
+		return DefaultResolution()
+	}
+	return m.Res
+}
+
+// Solve implements core.Model by running the axisymmetric finite-volume
+// solve. PlaneDT is left nil: the cell field does not attribute temperatures
+// to planes the way the lumped models do. Solver carries the CG statistics.
+func (m ReferenceModel) Solve(s *stack.Stack) (*core.Result, error) {
+	sol, err := SolveStack(s, m.resolution())
+	if err != nil {
+		return nil, err
+	}
+	max, _, _ := sol.MaxT()
+	cells := len(sol.RCenters) * len(sol.ZCenters)
+	return &core.Result{
+		Model:    RefModelName,
+		MaxDT:    max,
+		Unknowns: cells,
+		Solver:   sol.Stats,
+	}, nil
+}

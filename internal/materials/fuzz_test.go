@@ -1,0 +1,41 @@
+package materials
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzMaterialUnmarshalJSON asserts the dual-form material decoder (stock
+// name or full object) never panics, and that whatever it accepts passes
+// Validate — a successfully decoded material must be usable in a solve.
+func FuzzMaterialUnmarshalJSON(f *testing.F) {
+	seeds := []string{
+		``,
+		`""`,
+		`"Cu"`,
+		`"SiO2"`,
+		`"unobtainium"`,
+		`{}`,
+		`null`,
+		`42`,
+		`{"Name": "custom", "K": 100}`,
+		`{"Name": "bad", "K": -1}`,
+		`{"Name": "bad", "K": 0}`,
+		`{"K": 1e308}`,
+		`{"Name": "x", "K": "not a number"}`,
+		`{"Name": "x", "K": 1, "TempCoeff": -5}`,
+		`[1, 2]`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		var m Material
+		if err := json.Unmarshal([]byte(data), &m); err != nil {
+			return // malformed or invalid input must error, and did
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("UnmarshalJSON accepted %q but Validate rejects it: %v", data, err)
+		}
+	})
+}

@@ -184,7 +184,13 @@ func bandwidth(resistors []Resistor, freeIndex []int) (int, bool) {
 type Solution struct {
 	net   *Network
 	temps []float64
+	stats sparse.Stats
 }
+
+// SolverStats reports the iterative linear-solve statistics of the solve
+// that produced this solution. It is zero when a direct solver (banded or
+// dense LU) was used: direct factorizations have no iteration count.
+func (s *Solution) SolverStats() sparse.Stats { return s.stats }
 
 // Solve computes all node temperatures.
 func (n *Network) Solve() (*Solution, error) {
@@ -231,6 +237,7 @@ func (n *Network) Solve() (*Solution, error) {
 	}
 
 	var x []float64
+	var st sparse.Stats
 	var err error
 	if bw, ok := bandwidth(n.resistors, freeIndex); ok {
 		// Chain-structured networks (Model B's π-segments) have a tiny
@@ -306,7 +313,7 @@ func (n *Network) Solve() (*Solution, error) {
 				rhs[ib] += cond * temps[r.A]
 			}
 		}
-		x, _, err = sparse.SolveCG(coo.ToCSR(), rhs, sparse.Options{Tol: 1e-12, Precond: sparse.PrecondSSOR})
+		x, st, err = sparse.SolveCG(coo.ToCSR(), rhs, sparse.Options{Tol: 1e-12, Precond: sparse.PrecondSSOR})
 		if err != nil {
 			return nil, fmt.Errorf("netlist: sparse solve: %w", err)
 		}
@@ -314,7 +321,7 @@ func (n *Network) Solve() (*Solution, error) {
 	for i, id := range freeNodes {
 		temps[id] = x[i]
 	}
-	return &Solution{net: n, temps: temps}, nil
+	return &Solution{net: n, temps: temps, stats: st}, nil
 }
 
 // checkConnectivity verifies every node that participates in an element can

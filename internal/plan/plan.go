@@ -15,10 +15,13 @@ package plan
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/materials"
 	"repro/internal/stack"
+	"repro/internal/sweep"
 )
 
 // Technology collects the per-via and per-plane fabrication parameters
@@ -128,12 +131,34 @@ type Result struct {
 	ViaArea float64
 }
 
+// Options configures how a plan is computed; the plan itself is identical
+// for any setting.
+type Options struct {
+	// Workers is the number of tiles planned concurrently; values < 1
+	// select runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache optionally memoizes per-(geometry, model) solves. Floorplans
+	// routinely repeat tile power vectors, and the bisection in every such
+	// tile then re-walks identical via counts; a shared cache makes the
+	// repeats free. Nil creates a fresh cache per call.
+	Cache *sweep.Cache
+}
+
 // Plan assigns the minimum via count per tile keeping every tile's maximum
 // temperature rise at or below budget (K) according to the given model.
 // Tiles whose unaided rise already meets the budget get zero vias. It fails
 // when some tile cannot meet the budget even at the technology's maximum
 // via density.
 func Plan(f *Floorplan, tech Technology, budget float64, m core.Model) (*Result, error) {
+	return PlanWith(f, tech, budget, m, Options{})
+}
+
+// PlanWith is Plan with explicit concurrency and memoization control. Tiles
+// are planned in parallel across opt.Workers workers; the result (including
+// which error is reported on failure) is byte-identical to a sequential
+// row-major pass. The model must be safe for concurrent use; all models in
+// this repository are stateless values and qualify.
+func PlanWith(f *Floorplan, tech Technology, budget float64, m core.Model, opt Options) (*Result, error) {
 	if err := f.Validate(tech); err != nil {
 		return nil, err
 	}
@@ -147,22 +172,64 @@ func Plan(f *Floorplan, tech Technology, budget float64, m core.Model) (*Result,
 		return nil, fmt.Errorf("plan: tile side %g too small for even one via at density cap %g",
 			f.TileSide, tech.MaxDensity)
 	}
-	out := &Result{
-		Counts: make([][]int, f.Rows()),
-		TileDT: make([][]float64, f.Rows()),
+	cache := opt.Cache
+	if cache == nil {
+		cache = sweep.NewCache()
 	}
-	for r := 0; r < f.Rows(); r++ {
-		out.Counts[r] = make([]int, f.Cols())
-		out.TileDT[r] = make([]float64, f.Cols())
-		for c := 0; c < f.Cols(); c++ {
-			count, dt, err := planTile(f.PlanePowers[r][c], tileArea, tech, budget, m, maxCount)
-			if err != nil {
-				return nil, fmt.Errorf("plan: tile (%d,%d): %w", r, c, err)
+	m = sweep.Cached(m, cache)
+
+	rows, cols := f.Rows(), f.Cols()
+	workers := opt.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > rows*cols {
+		workers = rows * cols
+	}
+
+	counts := make([]int, rows*cols)
+	dts := make([]float64, rows*cols)
+	errs := make([]error, rows*cols)
+	tiles := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range tiles {
+				r, c := i/cols, i%cols
+				count, dt, err := planTile(f.PlanePowers[r][c], tileArea, tech, budget, m, maxCount)
+				if err != nil {
+					errs[i] = fmt.Errorf("plan: tile (%d,%d): %w", r, c, err)
+					continue
+				}
+				counts[i], dts[i] = count, dt
 			}
-			out.Counts[r][c] = count
-			out.TileDT[r][c] = dt
-			out.TotalVias += count
-			if dt > out.MaxDT {
+		}()
+	}
+	for i := 0; i < rows*cols; i++ {
+		tiles <- i
+	}
+	close(tiles)
+	wg.Wait()
+
+	// Report the same error a sequential row-major pass would have hit
+	// first, keeping failures deterministic under any worker count.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &Result{
+		Counts: make([][]int, rows),
+		TileDT: make([][]float64, rows),
+	}
+	for r := 0; r < rows; r++ {
+		out.Counts[r] = counts[r*cols : (r+1)*cols : (r+1)*cols]
+		out.TileDT[r] = dts[r*cols : (r+1)*cols : (r+1)*cols]
+		for c := 0; c < cols; c++ {
+			out.TotalVias += counts[r*cols+c]
+			if dt := dts[r*cols+c]; dt > out.MaxDT {
 				out.MaxDT = dt
 			}
 		}

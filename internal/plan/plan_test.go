@@ -2,10 +2,12 @@ package plan
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/sweep"
 )
 
 // uniformFloorplan builds rows×cols tiles, each dissipating watts split as
@@ -192,5 +194,83 @@ func TestNoViaDTMatchesSlabSum(t *testing.T) {
 	want += 0.25 * mid / area
 	if math.Abs(got-want) > 1e-9*want {
 		t.Errorf("noViaDT = %g, want %g", got, want)
+	}
+}
+
+// nonUniformFloorplan adds a hot corner and a cold stripe so different tiles
+// plan different counts.
+func nonUniformFloorplan() *Floorplan {
+	f := uniformFloorplan(5, 7, 0.75e-3, 84.0/169)
+	for p := range f.PlanePowers[0][0] {
+		f.PlanePowers[0][0][p] *= 2.5
+	}
+	for c := range f.PlanePowers[2] {
+		for p := range f.PlanePowers[2][c] {
+			f.PlanePowers[2][c][p] *= 0.01
+		}
+	}
+	return f
+}
+
+func TestPlanWithMatchesSequential(t *testing.T) {
+	f := nonUniformFloorplan()
+	tech := DefaultTechnology()
+	want, err := PlanWith(f, tech, 13.0, modelA(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := PlanWith(f, tech, 13.0, modelA(), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: plan differs from sequential\nseq: %+v\npar: %+v", workers, want, got)
+		}
+	}
+}
+
+func TestPlanWithSharedCacheCollapsesRepeatedTiles(t *testing.T) {
+	f := uniformFloorplan(4, 4, 0.75e-3, 84.0/169)
+	cache := sweep.NewCache()
+	res, err := PlanWith(f, DefaultTechnology(), 13.0, modelA(), Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Plan(f, DefaultTechnology(), 13.0, modelA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, plain) {
+		t.Error("cached plan differs from uncached plan")
+	}
+	hits, misses := cache.Counters()
+	// 16 identical tiles bisect over identical via counts: every solve after
+	// the first pass over the distinct counts must be a cache hit.
+	if hits == 0 {
+		t.Errorf("shared cache saw no hits (hits=%d misses=%d)", hits, misses)
+	}
+	if misses != cache.Len() {
+		t.Errorf("misses=%d but cache holds %d entries", misses, cache.Len())
+	}
+}
+
+func TestPlanWithDeterministicError(t *testing.T) {
+	// Two impossible tiles: the reported error must name the row-major first
+	// one, (0,1), under any worker count.
+	f := uniformFloorplan(2, 2, 0.75e-3, 84.0/169)
+	for _, rc := range [][2]int{{0, 1}, {1, 0}} {
+		for p := range f.PlanePowers[rc[0]][rc[1]] {
+			f.PlanePowers[rc[0]][rc[1]][p] *= 1e4
+		}
+	}
+	for _, workers := range []int{1, 2, 8} {
+		_, err := PlanWith(f, DefaultTechnology(), 13.0, modelA(), Options{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: impossible floorplan accepted", workers)
+		}
+		if !strings.Contains(err.Error(), "tile (0,1)") {
+			t.Errorf("workers=%d: error %q does not name the row-major first failing tile", workers, err)
+		}
 	}
 }

@@ -62,6 +62,13 @@ type Stats struct {
 	Iterations int
 	// Residual is the final relative residual.
 	Residual float64
+	// Precond is the preconditioner that actually ran (PrecondDefault is
+	// resolved to the concrete kind before the solve starts).
+	Precond PrecondKind
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d iterations, residual %.3g, precond %v", s.Iterations, s.Residual, s.Precond)
 }
 
 func (o Options) tol() float64 {
@@ -154,16 +161,18 @@ func (p *ssorPrecond) apply(z, r []float64) {
 	}
 }
 
-func makePrecond(a *CSR, kind PrecondKind) (preconditioner, error) {
+func makePrecond(a *CSR, kind PrecondKind) (preconditioner, PrecondKind, error) {
 	switch kind {
 	case PrecondNone:
-		return identityPrecond{}, nil
+		return identityPrecond{}, PrecondNone, nil
 	case PrecondDefault, PrecondJacobi:
-		return newJacobi(a)
+		p, err := newJacobi(a)
+		return p, PrecondJacobi, err
 	case PrecondSSOR:
-		return newSSOR(a)
+		p, err := newSSOR(a)
+		return p, PrecondSSOR, err
 	default:
-		return nil, fmt.Errorf("sparse: unknown preconditioner %v", kind)
+		return nil, kind, fmt.Errorf("sparse: unknown preconditioner %v", kind)
 	}
 }
 
@@ -177,15 +186,15 @@ func SolveCG(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
 	if len(b) != n {
 		return nil, Stats{}, fmt.Errorf("sparse: CG rhs length %d, want %d", len(b), n)
 	}
-	pre, err := makePrecond(a, opt.Precond)
+	pre, kind, err := makePrecond(a, opt.Precond)
 	if err != nil {
-		return nil, Stats{}, err
+		return nil, Stats{Precond: kind}, err
 	}
 	x := make([]float64, n)
 	r := make([]float64, n)
 	if opt.X0 != nil {
 		if len(opt.X0) != n {
-			return nil, Stats{}, fmt.Errorf("sparse: CG initial guess length %d, want %d", len(opt.X0), n)
+			return nil, Stats{Precond: kind}, fmt.Errorf("sparse: CG initial guess length %d, want %d", len(opt.X0), n)
 		}
 		copy(x, opt.X0)
 		ax := a.MulVec(x, nil)
@@ -198,7 +207,7 @@ func SolveCG(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
 	bnorm := norm2(b)
 	if bnorm == 0 {
 		// The unique SPD solution for b = 0 is x = 0.
-		return x, Stats{Iterations: 0, Residual: 0}, nil
+		return x, Stats{Precond: kind}, nil
 	}
 	tol := opt.tol()
 	maxIter := opt.maxIter(n)
@@ -217,7 +226,7 @@ func SolveCG(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
 		a.MulVec(p, ap)
 		pap := dot(p, ap)
 		if pap <= 0 || math.IsNaN(pap) {
-			return nil, Stats{Iterations: it}, fmt.Errorf("sparse: CG breakdown (p·Ap = %g); matrix is not SPD", pap)
+			return nil, Stats{Iterations: it, Precond: kind}, fmt.Errorf("sparse: CG breakdown (p·Ap = %g); matrix is not SPD", pap)
 		}
 		alpha := rz / pap
 		for i := range x {
@@ -233,7 +242,7 @@ func SolveCG(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
 		}
 	}
 	res := norm2(r) / bnorm
-	st := Stats{Iterations: it, Residual: res}
+	st := Stats{Iterations: it, Residual: res, Precond: kind}
 	if res > tol {
 		return x, st, fmt.Errorf("%w: CG after %d iterations, residual %g > tol %g", ErrNotConverged, it, res, tol)
 	}
@@ -249,15 +258,15 @@ func SolveBiCGSTAB(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
 	if len(b) != n {
 		return nil, Stats{}, fmt.Errorf("sparse: BiCGSTAB rhs length %d, want %d", len(b), n)
 	}
-	pre, err := makePrecond(a, opt.Precond)
+	pre, kind, err := makePrecond(a, opt.Precond)
 	if err != nil {
-		return nil, Stats{}, err
+		return nil, Stats{Precond: kind}, err
 	}
 	x := make([]float64, n)
 	r := make([]float64, n)
 	if opt.X0 != nil {
 		if len(opt.X0) != n {
-			return nil, Stats{}, fmt.Errorf("sparse: BiCGSTAB initial guess length %d, want %d", len(opt.X0), n)
+			return nil, Stats{Precond: kind}, fmt.Errorf("sparse: BiCGSTAB initial guess length %d, want %d", len(opt.X0), n)
 		}
 		copy(x, opt.X0)
 		ax := a.MulVec(x, nil)
@@ -269,7 +278,7 @@ func SolveBiCGSTAB(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
 	}
 	bnorm := norm2(b)
 	if bnorm == 0 {
-		return x, Stats{}, nil
+		return x, Stats{Precond: kind}, nil
 	}
 	tol := opt.tol()
 	maxIter := opt.maxIter(n)
@@ -290,7 +299,7 @@ func SolveBiCGSTAB(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
 		}
 		rhoNew := dot(rhat, r)
 		if rhoNew == 0 {
-			return nil, Stats{Iterations: it}, fmt.Errorf("sparse: BiCGSTAB breakdown (rho = 0)")
+			return nil, Stats{Iterations: it, Precond: kind}, fmt.Errorf("sparse: BiCGSTAB breakdown (rho = 0)")
 		}
 		beta := (rhoNew / rho) * (alpha / omega)
 		rho = rhoNew
@@ -301,7 +310,7 @@ func SolveBiCGSTAB(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
 		a.MulVec(ph, v)
 		d := dot(rhat, v)
 		if d == 0 {
-			return nil, Stats{Iterations: it}, fmt.Errorf("sparse: BiCGSTAB breakdown (rhat·v = 0)")
+			return nil, Stats{Iterations: it, Precond: kind}, fmt.Errorf("sparse: BiCGSTAB breakdown (rhat·v = 0)")
 		}
 		alpha = rho / d
 		for i := range s {
@@ -319,11 +328,11 @@ func SolveBiCGSTAB(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
 		a.MulVec(sh, t)
 		tt := dot(t, t)
 		if tt == 0 {
-			return nil, Stats{Iterations: it}, fmt.Errorf("sparse: BiCGSTAB breakdown (t·t = 0)")
+			return nil, Stats{Iterations: it, Precond: kind}, fmt.Errorf("sparse: BiCGSTAB breakdown (t·t = 0)")
 		}
 		omega = dot(t, s) / tt
 		if omega == 0 {
-			return nil, Stats{Iterations: it}, fmt.Errorf("sparse: BiCGSTAB breakdown (omega = 0)")
+			return nil, Stats{Iterations: it, Precond: kind}, fmt.Errorf("sparse: BiCGSTAB breakdown (omega = 0)")
 		}
 		for i := range x {
 			x[i] += alpha*ph[i] + omega*sh[i]
@@ -331,7 +340,7 @@ func SolveBiCGSTAB(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
 		}
 	}
 	res := norm2(r) / bnorm
-	st := Stats{Iterations: it, Residual: res}
+	st := Stats{Iterations: it, Residual: res, Precond: kind}
 	if res > tol {
 		return x, st, fmt.Errorf("%w: BiCGSTAB after %d iterations, residual %g > tol %g", ErrNotConverged, it, res, tol)
 	}
@@ -357,7 +366,7 @@ func SolveGaussSeidel(a *CSR, b []float64, opt Options) ([]float64, Stats, error
 	}
 	bnorm := norm2(b)
 	if bnorm == 0 {
-		return make([]float64, n), Stats{}, nil
+		return make([]float64, n), Stats{Precond: PrecondNone}, nil
 	}
 	tol := opt.tol()
 	maxIter := opt.maxIter(n)
@@ -377,7 +386,7 @@ func SolveGaussSeidel(a *CSR, b []float64, opt Options) ([]float64, Stats, error
 		}
 	}
 	res := a.Residual(x, b) / bnorm
-	st := Stats{Iterations: it, Residual: res}
+	st := Stats{Iterations: it, Residual: res, Precond: PrecondNone}
 	if res > tol {
 		return x, st, fmt.Errorf("%w: Gauss-Seidel after %d iterations, residual %g > tol %g", ErrNotConverged, it, res, tol)
 	}

@@ -1,0 +1,54 @@
+package stack
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadBlockConfig asserts the JSON loader's contract on arbitrary input:
+// malformed configurations must come back as errors, never as panics or
+// runaway allocations, and anything that decodes must survive Build. The
+// seeds run on every plain `go test`; `go test -fuzz=FuzzLoadBlockConfig`
+// explores further.
+func FuzzLoadBlockConfig(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`[]`,
+		`"Cu"`,
+		`{"R": 8e-6, "TL": 1e-6, "NumPlanes": 4, "Fill": "W"}`,
+		`{"R": 8e-6,`,
+		`{"Bogus": 1}`,
+		`{"NumPlanes": -3}`,
+		`{"NumPlanes": 2000000000}`,
+		`{"NumPlanes": 1e30}`,
+		`{"R": "not a number"}`,
+		`{"Fill": "unobtainium"}`,
+		`{"Fill": {"Name": "x", "K": -1}}`,
+		`{"R": null, "TL": null}`,
+		`{"R": -5e-6}`,
+		`{"TSi": 0, "TSi1": 0, "TD": 0}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		cfg, err := LoadBlockConfig(strings.NewReader(data))
+		if err != nil {
+			return // rejected input: exactly what malformed JSON should get
+		}
+		// A config that loads must either build a valid stack or fail
+		// cleanly; both Build and Validate may reject it, neither may panic.
+		s, err := cfg.Build()
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatalf("Build returned neither stack nor error for %q", data)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Build accepted %q but produced an invalid stack: %v", data, err)
+		}
+	})
+}

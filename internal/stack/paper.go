@@ -76,10 +76,19 @@ func DefaultBlock() BlockConfig {
 	}
 }
 
+// maxPlanes bounds BlockConfig.NumPlanes far above any physical 3-D stack
+// (the paper's go to 8) so that a corrupt or hostile configuration — e.g. a
+// JSON file with NumPlanes in the billions — errors out instead of
+// attempting the allocation.
+const maxPlanes = 1024
+
 // Build constructs and validates the stack described by the configuration.
 func (c BlockConfig) Build() (*Stack, error) {
 	if c.NumPlanes < 2 {
 		return nil, fmt.Errorf("stack: block needs at least 2 planes, got %d", c.NumPlanes)
+	}
+	if c.NumPlanes > maxPlanes {
+		return nil, fmt.Errorf("stack: block with %d planes exceeds the %d-plane limit", c.NumPlanes, maxPlanes)
 	}
 	a0 := c.FootprintSide * c.FootprintSide
 	devQ := c.DevicePowerDensity * a0 * c.DeviceLayerThickness

@@ -1,0 +1,107 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/stack"
+)
+
+// Cache memoizes solve results keyed on the full geometry and model
+// configuration. Planning loops (plan.Plan bisections, calibration,
+// design-space search) revisit identical (stack, model) points constantly;
+// with a cache those repeats cost a map lookup instead of a solve.
+//
+// A Cache is safe for concurrent use. Cached *core.Result values are shared
+// between all callers and must be treated as read-only.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	hits    int
+	misses  int
+}
+
+type cacheEntry struct {
+	res *core.Result
+	err error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]cacheEntry)}
+}
+
+// lookup returns the cached outcome for key, counting hit/miss.
+func (c *Cache) lookup(key string) (*core.Result, error, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e.res, e.err, ok
+}
+
+// store records an outcome (including failures, so repeatedly-invalid
+// geometries fail fast).
+func (c *Cache) store(key string, res *core.Result, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = cacheEntry{res: res, err: err}
+}
+
+// Len returns the number of distinct memoized points.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Counters reports the lookup hit/miss totals since creation.
+func (c *Cache) Counters() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// cacheKey fingerprints a (model, stack) pair. Both are plain value structs
+// (materials are names plus scalar properties), so their %+v rendering is a
+// complete, deterministic serialization: distinct float64 values print
+// distinctly under Go's shortest round-trip formatting, and the concrete
+// model type is included to separate models whose field sets collide.
+func cacheKey(m core.Model, s *stack.Stack) string {
+	return fmt.Sprintf("%T|%+v|%+v", m, m, *s)
+}
+
+// Cached wraps a model so every Solve is memoized in c. The wrapper
+// preserves the model's name, making it a drop-in replacement anywhere a
+// core.Model is consumed (e.g. plan.Plan, which re-solves identical tiles).
+func Cached(m core.Model, c *Cache) core.Model {
+	if c == nil {
+		return m
+	}
+	return cachedModel{m: m, c: c}
+}
+
+type cachedModel struct {
+	m core.Model
+	c *Cache
+}
+
+// Name implements core.Model.
+func (cm cachedModel) Name() string { return cm.m.Name() }
+
+// Solve implements core.Model with memoization. Returned results are shared
+// and must be treated as read-only.
+func (cm cachedModel) Solve(s *stack.Stack) (*core.Result, error) {
+	key := cacheKey(cm.m, s)
+	if res, err, ok := cm.c.lookup(key); ok {
+		return res, err
+	}
+	res, err := cm.m.Solve(s)
+	cm.c.store(key, res, err)
+	return res, err
+}

@@ -1,0 +1,127 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stack"
+	"repro/internal/units"
+)
+
+// randomBatch builds a seeded pseudo-random job mix: varied geometries,
+// varied models, duplicate points (to exercise the cache) and a sprinkling
+// of failing jobs (to check errors stay attached to the right slot).
+func randomBatch(t *testing.T, rng *rand.Rand, n int) Batch {
+	t.Helper()
+	models := []core.Model{
+		core.Model1D{},
+		core.ModelA{Coeffs: core.PaperBlockCoeffs()},
+		core.NewModelB(5),
+		core.NewModelB(20),
+		failModel{},
+	}
+	radii := []float64{2, 5, 10, 15, 20}
+	var jobs Batch
+	for i := 0; i < n; i++ {
+		r := radii[rng.Intn(len(radii))]
+		m := models[rng.Intn(len(models))]
+		s, err := stack.Fig4Block(units.UM(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = jobs.Add(fmt.Sprintf("job%d", i), s, m)
+	}
+	return jobs
+}
+
+// stripTiming removes the wall-clock fields, which are the only parts of an
+// outcome allowed to differ between runs.
+func stripTiming(outs []Outcome) []Outcome {
+	clean := make([]Outcome, len(outs))
+	for i, oc := range outs {
+		oc.Runtime = 0
+		clean[i] = oc
+	}
+	return clean
+}
+
+// errStrings flattens errors for comparison (identical text, possibly
+// distinct allocations).
+func errStrings(outs []Outcome) []string {
+	es := make([]string, len(outs))
+	for i, oc := range outs {
+		if oc.Err != nil {
+			es[i] = oc.Err.Error()
+		}
+	}
+	return es
+}
+
+// TestParallelMatchesSequential is the engine's central property: for any
+// job mix, any worker count, with or without memoization, the outcome slice
+// is identical (same results bit for bit, same errors, same order) to the
+// one-worker sequential run.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, withCache := range []bool{false, true} {
+		for seed := int64(0); seed < 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			jobs := randomBatch(t, rng, 24)
+
+			opts := Options{Workers: 1}
+			if withCache {
+				opts.Cache = NewCache()
+			}
+			want, err := Run(context.Background(), jobs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantClean, wantErrs := stripTiming(want), errStrings(want)
+
+			for _, workers := range []int{2, 8} {
+				opts := Options{Workers: workers}
+				if withCache {
+					opts.Cache = NewCache()
+				}
+				got, err := Run(context.Background(), jobs, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotClean, gotErrs := stripTiming(got), errStrings(got)
+				for i := range wantClean {
+					if !reflect.DeepEqual(gotClean[i].Result, wantClean[i].Result) {
+						t.Errorf("cache=%v seed=%d workers=%d job %d: result diverged\nseq: %+v\npar: %+v",
+							withCache, seed, workers, i, wantClean[i].Result, gotClean[i].Result)
+					}
+					if gotErrs[i] != wantErrs[i] {
+						t.Errorf("cache=%v seed=%d workers=%d job %d: error diverged: %q vs %q",
+							withCache, seed, workers, i, gotErrs[i], wantErrs[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCachedRunMatchesUncached asserts memoization changes performance, not
+// answers: a cached run returns the same results as an uncached one.
+func TestCachedRunMatchesUncached(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	jobs := randomBatch(t, rng, 24)
+	plain, err := Run(context.Background(), jobs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Run(context.Background(), jobs, Options{Workers: 4, Cache: NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if !reflect.DeepEqual(plain[i].Result, cached[i].Result) {
+			t.Errorf("job %d: cached result diverged", i)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package sweep is the batch-evaluation engine of the repository: it runs N
+// independent (stack, model) thermal solves across a pool of workers with
+// deterministic result ordering, per-job error capture, context
+// cancellation, and optional memoization.
+//
+// Every figure and table of the paper is a sweep — solve the same stack
+// family across a parameter range, per model — and planning workloads
+// (plan.Plan, design-space exploration) evaluate thousands of candidate
+// geometries. All of them funnel through Run.
+//
+// Jobs are independent by construction, so parallel execution is bitwise
+// identical to the sequential path: every solver in this repository is
+// deterministic and models are stateless values, making them safe for
+// concurrent use.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stack"
+)
+
+// Job is one evaluation: solve Stack with Model.
+type Job struct {
+	// Label optionally tags the job in reports; Name returns the model
+	// name when it is empty.
+	Label string
+	// Stack is the geometry to solve. It must not be mutated while the
+	// batch runs.
+	Stack *stack.Stack
+	// Model is the thermal model. Models must be safe for concurrent use;
+	// all models in this repository are stateless values and qualify.
+	Model core.Model
+}
+
+// Name returns the job's display name: the label when set, otherwise the
+// model name.
+func (j Job) Name() string {
+	if j.Label != "" {
+		return j.Label
+	}
+	if j.Model != nil {
+		return j.Model.Name()
+	}
+	return "<no model>"
+}
+
+// Outcome is one job's result. Exactly one of Result and Err is set.
+type Outcome struct {
+	// Job echoes the evaluated job.
+	Job Job
+	// Result is the solved temperature report (nil when Err is set).
+	Result *core.Result
+	// Err captures the job's failure; one failing geometry does not abort
+	// the batch.
+	Err error
+	// Runtime is the wall-clock time of this job's solve. Zero for cache
+	// hits, which perform no solve.
+	Runtime time.Duration
+	// Cached reports whether the result came from the memoization cache.
+	Cached bool
+}
+
+// Options configures a batch run. The zero value runs on GOMAXPROCS workers
+// without memoization.
+type Options struct {
+	// Workers is the number of concurrent solvers; values < 1 select
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache optionally memoizes results keyed on geometry+model, making
+	// repeated points (common in planning loops) free. The same Cache may
+	// be shared across batches and is safe for concurrent use.
+	Cache *Cache
+}
+
+// Batch is an ordered set of evaluation jobs.
+type Batch []Job
+
+// Add appends a job and returns the batch for chaining.
+func (b Batch) Add(label string, s *stack.Stack, m core.Model) Batch {
+	return append(b, Job{Label: label, Stack: s, Model: m})
+}
+
+// Run evaluates the batch; see the package-level Run.
+func (b Batch) Run(ctx context.Context, opt Options) ([]Outcome, error) {
+	return Run(ctx, b, opt)
+}
+
+// Run evaluates all jobs across opt.Workers workers and returns one Outcome
+// per job in job order (out[i] belongs to jobs[i], regardless of worker
+// scheduling). Per-job failures are captured in Outcome.Err; Run itself only
+// returns an error when ctx is cancelled, in which case the outcomes of jobs
+// that never started carry the context error.
+func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]Outcome, len(jobs))
+	if len(jobs) == 0 {
+		return out, ctx.Err()
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = evaluate(ctx, jobs[i], opt.Cache)
+			}
+		}()
+	}
+
+feed:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		// Mark the jobs that never ran (their zero Outcome has neither a
+		// result nor an error).
+		for i := range out {
+			if out[i].Result == nil && out[i].Err == nil {
+				out[i] = Outcome{Job: jobs[i], Err: err}
+			}
+		}
+		return out, err
+	}
+	return out, nil
+}
+
+// evaluate runs one job, consulting the cache and converting panics of
+// misbehaving models into errors so a single bad geometry cannot kill the
+// whole sweep.
+func evaluate(ctx context.Context, j Job, c *Cache) Outcome {
+	oc := Outcome{Job: j}
+	if err := ctx.Err(); err != nil {
+		oc.Err = err
+		return oc
+	}
+	if j.Model == nil {
+		oc.Err = fmt.Errorf("sweep: job %q has no model", j.Name())
+		return oc
+	}
+	if j.Stack == nil {
+		oc.Err = fmt.Errorf("sweep: job %q has no stack", j.Name())
+		return oc
+	}
+	var key string
+	if c != nil {
+		key = cacheKey(j.Model, j.Stack)
+		if res, err, ok := c.lookup(key); ok {
+			oc.Result, oc.Err, oc.Cached = res, wrapErr(j, err), true
+			return oc
+		}
+	}
+	t0 := time.Now()
+	res, err := solve(j)
+	oc.Runtime = time.Since(t0)
+	if c != nil {
+		// Raw errors are cached so each job wraps them with its own label.
+		c.store(key, res, err)
+	}
+	oc.Result, oc.Err = res, wrapErr(j, err)
+	return oc
+}
+
+// wrapErr labels a job's failure with the job name.
+func wrapErr(j Job, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("sweep: job %q: %w", j.Name(), err)
+}
+
+// solve invokes the model with panic capture.
+func solve(j Job) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("model panicked: %v", r)
+		}
+	}()
+	res, err = j.Model.Solve(j.Stack)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("model returned no result")
+	}
+	return res, nil
+}

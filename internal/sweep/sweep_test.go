@@ -1,0 +1,228 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stack"
+	"repro/internal/units"
+)
+
+func fig4Stack(t testing.TB, r float64) *stack.Stack {
+	t.Helper()
+	s, err := stack.Fig4Block(units.UM(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// failModel errors on every solve.
+type failModel struct{}
+
+func (failModel) Name() string                             { return "fail" }
+func (failModel) Solve(*stack.Stack) (*core.Result, error) { return nil, errors.New("boom") }
+
+// panickyModel panics on every solve.
+type panickyModel struct{}
+
+func (panickyModel) Name() string { return "panicky" }
+func (panickyModel) Solve(*stack.Stack) (*core.Result, error) {
+	panic("deliberate test panic")
+}
+
+func TestRunOrderAndResults(t *testing.T) {
+	m := core.Model1D{}
+	var jobs Batch
+	radii := []float64{2, 5, 10, 20}
+	for _, r := range radii {
+		jobs = jobs.Add("", fig4Stack(t, r), m)
+	}
+	outs, err := jobs.Run(context.Background(), Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(jobs) {
+		t.Fatalf("got %d outcomes for %d jobs", len(outs), len(jobs))
+	}
+	for i, oc := range outs {
+		if oc.Err != nil {
+			t.Fatalf("job %d: %v", i, oc.Err)
+		}
+		want, err := m.Solve(jobs[i].Stack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oc.Result.MaxDT != want.MaxDT {
+			t.Errorf("job %d: out-of-order result: got %.4f want %.4f", i, oc.Result.MaxDT, want.MaxDT)
+		}
+		if oc.Runtime < 0 {
+			t.Errorf("job %d: negative runtime %v", i, oc.Runtime)
+		}
+	}
+}
+
+func TestRunCapturesPerJobErrors(t *testing.T) {
+	s := fig4Stack(t, 10)
+	jobs := Batch{}.
+		Add("ok", s, core.Model1D{}).
+		Add("bad", s, failModel{}).
+		Add("also ok", s, core.Model1D{})
+	outs, err := Run(context.Background(), jobs, Options{})
+	if err != nil {
+		t.Fatalf("batch error for a per-job failure: %v", err)
+	}
+	if outs[0].Err != nil || outs[2].Err != nil {
+		t.Errorf("healthy jobs failed: %v, %v", outs[0].Err, outs[2].Err)
+	}
+	if outs[1].Err == nil {
+		t.Fatal("failing model produced no error")
+	}
+	if !strings.Contains(outs[1].Err.Error(), `"bad"`) {
+		t.Errorf("error %q does not name the job", outs[1].Err)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	s := fig4Stack(t, 10)
+	jobs := Batch{}.
+		Add("kaboom", s, panickyModel{}).
+		Add("survivor", s, core.Model1D{})
+	outs, err := Run(context.Background(), jobs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Err == nil || !strings.Contains(outs[0].Err.Error(), "panicked") {
+		t.Errorf("panic not converted to error: %v", outs[0].Err)
+	}
+	if outs[1].Err != nil {
+		t.Errorf("panic killed a later job: %v", outs[1].Err)
+	}
+}
+
+func TestRunRejectsNilJobParts(t *testing.T) {
+	s := fig4Stack(t, 10)
+	jobs := Batch{}.
+		Add("no model", s, nil).
+		Add("no stack", nil, core.Model1D{})
+	outs, err := Run(context.Background(), jobs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, oc := range outs {
+		if oc.Err == nil {
+			t.Errorf("job %d with nil part accepted", i)
+		}
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var jobs Batch
+	for i := 0; i < 16; i++ {
+		jobs = jobs.Add("", fig4Stack(t, 10), core.Model1D{})
+	}
+	outs, err := Run(ctx, jobs, Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	for i, oc := range outs {
+		if oc.Result == nil && oc.Err == nil {
+			t.Errorf("job %d has neither result nor error after cancellation", i)
+		}
+	}
+}
+
+func TestRunEmptyBatch(t *testing.T) {
+	outs, err := Run(context.Background(), nil, Options{})
+	if err != nil || len(outs) != 0 {
+		t.Fatalf("empty batch: outs=%v err=%v", outs, err)
+	}
+}
+
+func TestCacheHits(t *testing.T) {
+	s := fig4Stack(t, 10)
+	m := core.Model1D{}
+	cache := NewCache()
+	jobs := Batch{}.Add("a", s, m).Add("b", s, m).Add("c", s, m)
+	outs, err := Run(context.Background(), jobs, Options{Workers: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", cache.Len())
+	}
+	hits, misses := cache.Counters()
+	if hits != 2 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 2/1", hits, misses)
+	}
+	if outs[0].Cached || !outs[1].Cached || !outs[2].Cached {
+		t.Errorf("cached flags wrong: %v %v %v", outs[0].Cached, outs[1].Cached, outs[2].Cached)
+	}
+	for i := 1; i < 3; i++ {
+		if outs[i].Result != outs[0].Result {
+			t.Errorf("job %d did not reuse the cached result", i)
+		}
+	}
+}
+
+func TestCacheDistinguishesModelsAndStacks(t *testing.T) {
+	cache := NewCache()
+	jobs := Batch{}.
+		Add("", fig4Stack(t, 10), core.Model1D{}).
+		Add("", fig4Stack(t, 20), core.Model1D{}).
+		Add("", fig4Stack(t, 10), core.NewModelB(10))
+	if _, err := Run(context.Background(), jobs, Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 3 {
+		t.Errorf("distinct jobs collided: cache holds %d entries, want 3", cache.Len())
+	}
+}
+
+func TestCacheStoresFailuresWithPerJobLabels(t *testing.T) {
+	s := fig4Stack(t, 10)
+	cache := NewCache()
+	jobs := Batch{}.Add("first", s, failModel{}).Add("second", s, failModel{})
+	outs, err := Run(context.Background(), jobs, Options{Workers: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outs[1].Cached {
+		t.Error("second failure was not served from cache")
+	}
+	if !strings.Contains(outs[0].Err.Error(), `"first"`) ||
+		!strings.Contains(outs[1].Err.Error(), `"second"`) {
+		t.Errorf("cached errors lost their per-job labels: %v / %v", outs[0].Err, outs[1].Err)
+	}
+}
+
+func TestCachedModelWrapper(t *testing.T) {
+	s := fig4Stack(t, 10)
+	cache := NewCache()
+	m := Cached(core.Model1D{}, cache)
+	if m.Name() != (core.Model1D{}).Name() {
+		t.Errorf("wrapper changed the model name to %q", m.Name())
+	}
+	r1, err := m.Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("second solve was not memoized")
+	}
+	if hits, _ := cache.Counters(); hits != 1 {
+		t.Errorf("hits=%d, want 1", hits)
+	}
+	if Cached(core.Model1D{}, nil) == nil {
+		t.Error("nil cache should return the model unwrapped, not nil")
+	}
+}

@@ -1,0 +1,146 @@
+package ttsv_test
+
+// Facade tests for the batch sweep engine and the solver-stats surface,
+// exercised exactly as a downstream user would.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	ttsv "repro"
+	"repro/internal/sparse"
+)
+
+func TestSweepThroughFacade(t *testing.T) {
+	models := []ttsv.Model{
+		ttsv.ModelA{Coeffs: ttsv.PaperBlockCoeffs()},
+		ttsv.NewModelB(20),
+		ttsv.Model1D{},
+	}
+	var jobs ttsv.Batch
+	for _, r := range []float64{5e-6, 10e-6, 20e-6} {
+		s, err := ttsv.Fig4Block(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range models {
+			jobs = jobs.Add("", s, m)
+		}
+	}
+	seq, err := ttsv.Sweep(context.Background(), jobs, ttsv.SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ttsv.Sweep(context.Background(), jobs, ttsv.SweepOptions{Workers: 4, Cache: ttsv.NewSweepCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i].Err != nil {
+			t.Fatalf("job %d: %v", i, seq[i].Err)
+		}
+		if !reflect.DeepEqual(seq[i].Result, par[i].Result) {
+			t.Errorf("job %d: parallel result differs from sequential", i)
+		}
+	}
+}
+
+func TestSolveReferenceStatsThroughFacade(t *testing.T) {
+	s, err := ttsv.Fig4Block(10e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ttsv.DefaultResolution()
+	max, stats, err := ttsv.SolveReferenceStats(s, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ttsv.SolveReference(s, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max != plain {
+		t.Errorf("SolveReferenceStats ΔT %g != SolveReference %g", max, plain)
+	}
+	if stats.Iterations <= 0 {
+		t.Errorf("iterative reference solve reported %d iterations", stats.Iterations)
+	}
+	if stats.Residual <= 0 {
+		t.Errorf("residual %g not populated", stats.Residual)
+	}
+	if stats.Precond != sparse.PrecondSSOR {
+		t.Errorf("preconditioner %v, want SSOR", stats.Precond)
+	}
+	if stats.String() == "" {
+		t.Error("stats String is empty")
+	}
+}
+
+func TestReferenceModelThroughFacade(t *testing.T) {
+	s, err := ttsv.Fig4Block(10e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ttsv.ReferenceModel(ttsv.Resolution{})
+	r, err := m.Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ttsv.SolveReference(s, ttsv.DefaultResolution())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxDT != want {
+		t.Errorf("ReferenceModel ΔT %g != SolveReference %g", r.MaxDT, want)
+	}
+	if r.Solver.Iterations <= 0 {
+		t.Errorf("Result.Solver not populated: %+v", r.Solver)
+	}
+}
+
+func TestDirectSolvesReportNoIterations(t *testing.T) {
+	// Result.Solver reports iterative solves only. Model A's tiny network and
+	// Model B's narrow-banded π-chains both factorize directly, so their
+	// stats must stay zero — only the FVM reference (covered above) iterates.
+	s, err := ttsv.Fig4Block(10e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []ttsv.Model{
+		ttsv.ModelA{Coeffs: ttsv.PaperBlockCoeffs()},
+		ttsv.NewModelB(500),
+	} {
+		r, err := m.Solve(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Solver != (ttsv.SolverStats{}) {
+			t.Errorf("%s: direct solve reported iterative stats %+v", m.Name(), r.Solver)
+		}
+	}
+}
+
+func TestPlanInsertionWithThroughFacade(t *testing.T) {
+	f := &ttsv.Floorplan{TileSide: 0.75e-3}
+	for r := 0; r < 3; r++ {
+		var row [][]float64
+		for c := 0; c < 3; c++ {
+			row = append(row, []float64{0.4, 0.05, 0.05})
+		}
+		f.PlanePowers = append(f.PlanePowers, row)
+	}
+	m := ttsv.ModelA{Coeffs: ttsv.PaperSystemCoeffs()}
+	tech := ttsv.DefaultTechnology()
+	want, err := ttsv.PlanInsertion(f, tech, 13.0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ttsv.PlanInsertionWith(f, tech, 13.0, m, ttsv.PlanOptions{Workers: 4, Cache: ttsv.NewSweepCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parallel cached plan differs from sequential: %+v vs %+v", got, want)
+	}
+}

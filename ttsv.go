@@ -33,13 +33,17 @@
 package ttsv
 
 import (
+	"context"
+
 	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/fem"
 	"repro/internal/fit"
 	"repro/internal/materials"
 	"repro/internal/plan"
+	"repro/internal/sparse"
 	"repro/internal/stack"
+	"repro/internal/sweep"
 )
 
 // Re-exported structural types. See the internal packages for full method
@@ -94,6 +98,23 @@ type (
 	PowerMapResolution = chip.PowerMapResolution
 	// PowerMapSolution is a solved full-chip temperature field.
 	PowerMapSolution = chip.PowerMapSolution
+
+	// Batch is an ordered set of (stack, model) evaluation jobs for Sweep.
+	Batch = sweep.Batch
+	// SweepJob is one evaluation in a batch.
+	SweepJob = sweep.Job
+	// SweepOutcome is one job's result, error, and runtime.
+	SweepOutcome = sweep.Outcome
+	// SweepOptions controls worker count and memoization of a sweep.
+	SweepOptions = sweep.Options
+	// SweepCache memoizes solves keyed on geometry+model across sweeps.
+	SweepCache = sweep.Cache
+	// SolverStats reports an iterative linear solve (iterations, residual,
+	// preconditioner); see Result.Solver and SolveReferenceStats.
+	SolverStats = sparse.Stats
+	// PlanOptions controls worker count and memoization of insertion
+	// planning.
+	PlanOptions = plan.Options
 )
 
 // Stock materials (conductivities from the paper's §IV).
@@ -152,13 +173,40 @@ func DefaultResolution() Resolution { return fem.DefaultResolution() }
 // stand-in) on a stack and returns the maximum temperature rise above the
 // heat sink.
 func SolveReference(s *Stack, res Resolution) (float64, error) {
+	max, _, err := SolveReferenceStats(s, res)
+	return max, err
+}
+
+// SolveReferenceStats is SolveReference returning the iterative solver's
+// statistics (iteration count, final residual, preconditioner) alongside the
+// maximum temperature rise.
+func SolveReferenceStats(s *Stack, res Resolution) (float64, SolverStats, error) {
 	sol, err := fem.SolveStack(s, res)
 	if err != nil {
-		return 0, err
+		return 0, SolverStats{}, err
 	}
 	max, _, _ := sol.MaxT()
-	return max, nil
+	return max, sol.Stats, nil
 }
+
+// ReferenceModel wraps the finite-volume reference solver as a Model so it
+// can join sweeps and planning runs next to the analytical models. The zero
+// Resolution selects DefaultResolution.
+func ReferenceModel(res Resolution) Model { return fem.ReferenceModel{Res: res} }
+
+// Sweep evaluates all jobs across opt.Workers workers and returns one
+// outcome per job in job order, regardless of worker scheduling. Per-job
+// failures are captured in SweepOutcome.Err — one failing geometry does not
+// abort the batch — and Sweep itself only returns an error when ctx is
+// cancelled. Results are bitwise identical for any worker count.
+func Sweep(ctx context.Context, jobs Batch, opt SweepOptions) ([]SweepOutcome, error) {
+	return sweep.Run(ctx, jobs, opt)
+}
+
+// NewSweepCache returns an empty memoization cache for SweepOptions.Cache or
+// PlanOptions.Cache; it is safe for concurrent use and may be shared across
+// batches.
+func NewSweepCache() *SweepCache { return sweep.NewCache() }
 
 // CalibrateModelA fits Model A's (k1, k2) to reference temperatures, the
 // paper's calibration workflow. start supplies the fixed c1 and a fallback.
@@ -183,6 +231,12 @@ func DefaultTechnology() Technology { return plan.DefaultTechnology() }
 // needs lateral-aware models.
 func PlanInsertion(f *Floorplan, tech Technology, budget float64, m Model) (*PlanResult, error) {
 	return plan.Plan(f, tech, budget, m)
+}
+
+// PlanInsertionWith is PlanInsertion with explicit concurrency and
+// memoization control; the plan is identical for any worker count.
+func PlanInsertionWith(f *Floorplan, tech Technology, budget float64, m Model, opt PlanOptions) (*PlanResult, error) {
+	return plan.PlanWith(f, tech, budget, m, opt)
 }
 
 // DefaultPowerMapResolution returns the full-chip verification mesh density.
