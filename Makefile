@@ -13,11 +13,13 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the pre-merge gate: static analysis, then the whole suite —
-# including the parallel sweep/plan property tests — under the race detector.
+# verify is the pre-merge gate: static analysis, the whole suite — including
+# the parallel sweep/plan/solver property tests — under the race detector,
+# and one pass over every benchmark so the harness itself cannot rot.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 race:
 	$(GO) test -race ./...

@@ -44,8 +44,9 @@ func run(args []string, out io.Writer) error {
 	plot := fs.Bool("plot", false, "draw ASCII figures for the sweeps")
 	csvDir := fs.String("csv", "", "write tables as CSV into this directory")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all CPUs); tables are identical for any count")
+	solverWorkers := fs.Int("solver-workers", 0, "parallel linear-solver kernel workers per reference solve (<= 1 = sequential)")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: ttsvlab [-quick] [-plot] [-csv DIR] [-workers N] {fig4|fig5|fig6|fig7|table1|casestudy|calibrate|planes|transient|all}")
+		fmt.Fprintln(fs.Output(), "usage: ttsvlab [-quick] [-plot] [-csv DIR] [-workers N] [-solver-workers N] {fig4|fig5|fig6|fig7|table1|casestudy|calibrate|planes|transient|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +61,7 @@ func run(args []string, out io.Writer) error {
 		cfg = experiments.Quick()
 	}
 	cfg.Workers = *workers
+	cfg.Resolution.Workers = *solverWorkers
 	app := &app{cfg: cfg, plot: *plot, csvDir: *csvDir, out: out}
 	cmd := fs.Arg(0)
 	switch cmd {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	ttsv "repro"
 	"repro/internal/stack"
@@ -43,6 +44,7 @@ func run(args []string, out io.Writer) error {
 	k2 := fs.Float64("k2", 0.55, "Model A fitting coefficient k2")
 	devDensity := fs.Float64("qdev", 700, "device power density [W/mm³]")
 	ildDensity := fs.Float64("qild", 70, "interconnect power density [W/mm³]")
+	workers := fs.Int("workers", 0, "reference-solver kernel workers (<= 1 = sequential; only -model ref)")
 	config := fs.String("config", "", "JSON block config file (SI units); explicit flags override its fields")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,11 +103,14 @@ func run(args []string, out io.Writer) error {
 	case "1D":
 		models = []ttsv.Model{ttsv.Model1D{}}
 	case "ref":
-		dt, err := ttsv.SolveReference(s, ttsv.DefaultResolution())
+		res := ttsv.DefaultResolution()
+		res.Workers = *workers
+		dt, st, err := ttsv.SolveReferenceStats(s, res)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "FVM reference: max ΔT = %.3f K (absolute %.2f °C)\n", dt, dt+s.SinkTemp)
+		fmt.Fprintf(out, "solver: %s in %v\n", st, st.Wall.Round(time.Microsecond))
 		return nil
 	case "all":
 		models = []ttsv.Model{

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sparse"
@@ -42,4 +43,15 @@ type Model interface {
 	Name() string
 	// Solve computes steady-state temperature rises for the stack.
 	Solve(s *stack.Stack) (*Result, error)
+}
+
+// ContextSolver is implemented by models whose solve can be interrupted
+// mid-flight (e.g. the iterative FVM reference solver). Batch runners prefer
+// SolveCtx when available, so cancelling a sweep also stops solves that have
+// already started rather than only preventing new ones.
+type ContextSolver interface {
+	Model
+	// SolveCtx is Solve honoring cancellation; it returns an error wrapping
+	// ctx.Err() when interrupted.
+	SolveCtx(ctx context.Context, s *stack.Stack) (*Result, error)
 }

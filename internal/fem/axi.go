@@ -1,6 +1,7 @@
 package fem
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -114,9 +115,15 @@ func assembleAxi(p *AxiProblem) (*axiSystem, error) {
 			kc := k[j][i]
 			volumes[row] = ring * dz
 
-			// Volumetric source.
+			// Volumetric source. Negative densities (cooling) are legal;
+			// non-finite values mean the problem definition is broken (e.g.
+			// a source closure evaluated outside its layer table).
 			if p.Q != nil {
-				rhs[row] += p.Q(rc[i], zc[j]) * volumes[row]
+				qv := p.Q(rc[i], zc[j])
+				if math.IsNaN(qv) || math.IsInf(qv, 0) {
+					return nil, fmt.Errorf("fem: source density %g at (r=%g, z=%g) must be finite", qv, rc[i], zc[j])
+				}
+				rhs[row] += qv * volumes[row]
 			}
 
 			// East neighbor (radial outward).
@@ -170,10 +177,7 @@ func solveDefaults(opt sparse.Options, sys *axiSystem) sparse.Options {
 	if opt.MaxIter == 0 {
 		opt.MaxIter = 40 * (sys.nr + sys.nz) * 10
 	}
-	if opt.Precond == sparse.PrecondDefault {
-		opt.Precond = sparse.PrecondSSOR
-	}
-	return opt
+	return pickPrecond(opt)
 }
 
 // fieldFrom reshapes a flat unknown vector into the [iz][ir] grid.
@@ -191,12 +195,19 @@ func (sys *axiSystem) fieldFrom(x []float64) [][]float64 {
 // SolveAxi assembles and solves the finite-volume system. The zero Options
 // value selects defaults appropriate for the meshes in this repository.
 func SolveAxi(p *AxiProblem, opt sparse.Options) (*AxiSolution, error) {
+	return SolveAxiCtx(context.Background(), p, opt)
+}
+
+// SolveAxiCtx is SolveAxi honoring cancellation: the conjugate-gradient
+// iteration checks ctx between iterations, so a cancelled caller (e.g. an
+// aborted sweep) does not run an in-flight solve to completion.
+func SolveAxiCtx(ctx context.Context, p *AxiProblem, opt sparse.Options) (*AxiSolution, error) {
 	sys, err := assembleAxi(p)
 	if err != nil {
 		return nil, err
 	}
 	o := solveDefaults(opt, sys)
-	x, st, err := sparse.SolveCG(sys.matrix, sys.rhs, o)
+	x, st, err := sparse.SolveCGCtx(ctx, sys.matrix, sys.rhs, o)
 	if err != nil {
 		return nil, fmt.Errorf("fem: axisymmetric solve (%d cells): %w", len(sys.rhs), err)
 	}

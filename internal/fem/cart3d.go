@@ -1,6 +1,7 @@
 package fem
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -60,8 +61,16 @@ func (p *CartProblem) Validate() error {
 	return nil
 }
 
-// SolveCart assembles and solves the finite-volume system.
-func SolveCart(p *CartProblem, opt sparse.Options) (*CartSolution, error) {
+// cartSystem is the assembled finite-volume system of a CartProblem.
+type cartSystem struct {
+	nx, ny, nz int
+	xc, yc, zc []float64
+	matrix     *sparse.CSR
+	rhs        []float64
+}
+
+// assembleCart discretizes the problem.
+func assembleCart(p *CartProblem) (*cartSystem, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -109,7 +118,11 @@ func SolveCart(p *CartProblem, opt sparse.Options) (*CartSolution, error) {
 				row := idx(i, j, l)
 				kc := k[row]
 				if p.Q != nil {
-					rhs[row] += p.Q(xc[i], yc[j], zc[l]) * dx * dy * dz
+					qv := p.Q(xc[i], yc[j], zc[l])
+					if math.IsNaN(qv) || math.IsInf(qv, 0) {
+						return nil, fmt.Errorf("fem: source density %g at (%g, %g, %g) must be finite", qv, xc[i], yc[j], zc[l])
+					}
+					rhs[row] += qv * dx * dy * dz
 				}
 				// +x neighbor.
 				if i+1 < nx {
@@ -155,6 +168,21 @@ func SolveCart(p *CartProblem, opt sparse.Options) (*CartSolution, error) {
 		}
 	}
 
+	return &cartSystem{nx: nx, ny: ny, nz: nz, xc: xc, yc: yc, zc: zc, matrix: coo.ToCSR(), rhs: rhs}, nil
+}
+
+// SolveCart assembles and solves the finite-volume system.
+func SolveCart(p *CartProblem, opt sparse.Options) (*CartSolution, error) {
+	return SolveCartCtx(context.Background(), p, opt)
+}
+
+// SolveCartCtx is SolveCart honoring cancellation between conjugate-gradient
+// iterations.
+func SolveCartCtx(ctx context.Context, p *CartProblem, opt sparse.Options) (*CartSolution, error) {
+	sys, err := assembleCart(p)
+	if err != nil {
+		return nil, err
+	}
 	o := opt
 	if o.Tol == 0 {
 		o.Tol = 1e-9
@@ -162,14 +190,15 @@ func SolveCart(p *CartProblem, opt sparse.Options) (*CartSolution, error) {
 	if o.MaxIter == 0 {
 		o.MaxIter = 100000
 	}
-	if o.Precond == sparse.PrecondDefault {
-		o.Precond = sparse.PrecondSSOR
-	}
-	x, st, err := sparse.SolveCG(coo.ToCSR(), rhs, o)
+	o = pickPrecond(o)
+	x, st, err := sparse.SolveCGCtx(ctx, sys.matrix, sys.rhs, o)
+	n := sys.nx * sys.ny * sys.nz
 	if err != nil {
 		return nil, fmt.Errorf("fem: 3-D solve (%d cells): %w", n, err)
 	}
-	sol := &CartSolution{p: p, XCenters: xc, YCenters: yc, ZCenters: zc, Stats: st}
+	nx, ny, nz := sys.nx, sys.ny, sys.nz
+	idx := func(i, j, l int) int { return (l*ny+j)*nx + i }
+	sol := &CartSolution{p: p, XCenters: sys.xc, YCenters: sys.yc, ZCenters: sys.zc, Stats: st}
 	sol.T = make([][][]float64, nz)
 	for l := 0; l < nz; l++ {
 		sol.T[l] = make([][]float64, ny)
@@ -290,16 +319,19 @@ func BuildCartProblem(s *stack.Stack, res CartResolution) (*CartProblem, error) 
 	if err != nil {
 		return nil, err
 	}
-	if zTop != zEdges[len(zEdges)-1] {
+	if !almostEqual(zTop, zEdges[len(zEdges)-1], 1e-9) {
 		return nil, fmt.Errorf("fem: internal inconsistency: stack height %g vs mesh top %g", zTop, zEdges[len(zEdges)-1])
 	}
 
 	rVia := s.Via.Radius
 	kf, kl := s.Via.Fill.K, s.Via.Liner.K
+	// NaN on a span miss turns a mesh/layer bookkeeping bug into an assembly
+	// error (assembly validates every sampled value) instead of silently
+	// solving the wrong problem.
 	kFn := func(x, y, z float64) float64 {
 		sp := locateSpan(spans, z)
 		if sp == nil {
-			return 1
+			return math.NaN()
 		}
 		if sp.inVia {
 			rr := math.Hypot(x-c, y-c)
@@ -315,7 +347,7 @@ func BuildCartProblem(s *stack.Stack, res CartResolution) (*CartProblem, error) 
 	qFn := func(x, y, z float64) float64 {
 		sp := locateSpan(spans, z)
 		if sp == nil {
-			return 0
+			return math.NaN()
 		}
 		return sp.q
 	}

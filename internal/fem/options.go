@@ -4,7 +4,53 @@ import "repro/internal/sparse"
 
 // sparseDefaults returns the iterative-solver settings used by the stack
 // reference solves: tight tolerance (the reference must out-resolve the
-// models it judges) with a generous iteration budget.
+// models it judges) with a generous iteration budget. The preconditioner is
+// left at PrecondDefault so pickPrecond can choose per worker count.
 func sparseDefaults() sparse.Options {
-	return sparse.Options{Tol: 1e-10, Precond: sparse.PrecondSSOR}
+	return sparse.Options{Tol: 1e-10}
+}
+
+// pickPrecond resolves the default preconditioner for this package's
+// solves: SSOR for sequential runs (fewest iterations), Chebyshev when the
+// solve runs on more than one worker (SSOR's triangular sweeps are
+// inherently sequential; Chebyshev parallelizes and stays bit-identical for
+// any worker count). An explicit opt.Precond is honored unchanged.
+func pickPrecond(opt sparse.Options) sparse.Options {
+	if opt.Precond != sparse.PrecondDefault {
+		return opt
+	}
+	workers := opt.Workers
+	if opt.Pool != nil {
+		workers = opt.Pool.Workers()
+	}
+	if workers > 1 {
+		opt.Precond = sparse.PrecondChebyshev
+	} else {
+		opt.Precond = sparse.PrecondSSOR
+	}
+	return opt
+}
+
+// almostEqual reports whether a and b agree to within rtol relatively (or
+// exactly, for zero values). Mesh construction accumulates layer
+// thicknesses in floating point, so consistency checks between a summed
+// height and a mesh endpoint must not use exact equality.
+func almostEqual(a, b, rtol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	max := a
+	if max < 0 {
+		max = -max
+	}
+	if b > max {
+		max = b
+	} else if -b > max {
+		max = -b
+	}
+	return diff <= rtol*max
 }

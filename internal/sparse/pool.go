@@ -1,0 +1,241 @@
+package sparse
+
+// Parallel, deterministic linear-algebra kernels.
+//
+// Every kernel runs over a fixed grid of row chunks whose boundaries depend
+// only on the vector length — never on the worker count — and every
+// reduction (dot, norm2) sums one partial per chunk, combined in chunk-index
+// order by the caller. A chunk is always processed by exactly one worker
+// with a plain sequential loop, so each kernel has a single well-defined
+// floating-point evaluation order: results are bit-identical for any worker
+// count, including the sequential path, which walks the same chunk grid.
+
+import (
+	"math"
+	"sync"
+)
+
+// chunkLen is the fixed row-chunk size of the parallel kernels. It must not
+// depend on the worker count or the environment: chunk boundaries are part
+// of the numerical contract (they fix the reduction order).
+const chunkLen = 256
+
+// numChunks returns the size of the fixed chunk grid for length n.
+func numChunks(n int) int { return (n + chunkLen - 1) / chunkLen }
+
+// Pool is a reusable set of kernel workers for the iterative solvers. A nil
+// Pool and a one-worker Pool both run every kernel inline on the calling
+// goroutine. Pools may be reused across solves (e.g. the many steps of a
+// transient integration) but serve one solve at a time: methods must not be
+// called concurrently.
+type Pool struct {
+	workers  int
+	tasks    chan func()
+	partials []float64 // per-chunk reduction scratch, grown on demand
+	closed   bool
+}
+
+// NewPool returns a pool with the given worker count; values < 1 select the
+// sequential single-worker pool, which spawns no goroutines. Close must be
+// called to release the workers of a parallel pool.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.tasks = make(chan func())
+		for w := 1; w < workers; w++ {
+			go func() {
+				for f := range p.tasks {
+					f()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// Workers returns the pool's worker count (at least 1).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Close releases the pool's workers. It is safe to call on a nil or
+// sequential pool, and more than once.
+func (p *Pool) Close() {
+	if p == nil || p.tasks == nil || p.closed {
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+}
+
+// parRange runs body(lo, hi, chunk) over every chunk of the fixed grid for
+// length n, spreading contiguous chunk spans across the workers. The chunk
+// grid — and therefore the work each chunk performs — is identical for any
+// worker count; only the assignment of chunks to OS threads varies.
+func (p *Pool) parRange(n int, body func(lo, hi, chunk int)) {
+	nc := numChunks(n)
+	runSpan := func(c0, c1 int) {
+		for c := c0; c < c1; c++ {
+			lo := c * chunkLen
+			hi := lo + chunkLen
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi, c)
+		}
+	}
+	w := p.Workers()
+	if w > nc {
+		w = nc
+	}
+	if w <= 1 {
+		runSpan(0, nc)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for i := 1; i < w; i++ {
+		c0, c1 := i*nc/w, (i+1)*nc/w
+		p.tasks <- func() {
+			defer wg.Done()
+			runSpan(c0, c1)
+		}
+	}
+	runSpan(0, nc/w)
+	wg.Wait()
+}
+
+// reduce computes one partial per chunk and combines them in chunk-index
+// order, giving every reduction a single evaluation order for any worker
+// count.
+func (p *Pool) reduce(n int, partial func(lo, hi int) float64) float64 {
+	nc := numChunks(n)
+	var ps []float64
+	if p == nil {
+		ps = make([]float64, nc)
+	} else {
+		if cap(p.partials) < nc {
+			p.partials = make([]float64, nc)
+		}
+		ps = p.partials[:nc]
+	}
+	p.parRange(n, func(lo, hi, c int) {
+		ps[c] = partial(lo, hi)
+	})
+	var s float64
+	for _, v := range ps {
+		s += v
+	}
+	return s
+}
+
+// dot computes a·b with chunked ordered reduction.
+func (p *Pool) dot(a, b []float64) float64 {
+	return p.reduce(len(a), func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += a[i] * b[i]
+		}
+		return s
+	})
+}
+
+// norm2 computes ||v||₂ with chunked ordered reduction.
+func (p *Pool) norm2(v []float64) float64 {
+	return math.Sqrt(p.reduce(len(v), func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += v[i] * v[i]
+		}
+		return s
+	}))
+}
+
+// mulVec computes y = A·x across the pool. Rows are independent, so the
+// result is exact regardless of chunking.
+func (p *Pool) mulVec(m *CSR, x, y []float64) {
+	p.parRange(m.rows, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+				s += m.val[k] * x[m.colIdx[k]]
+			}
+			y[i] = s
+		}
+	})
+}
+
+// mulVecDot fuses y = A·x with the reduction dot(w, y), saving one pass over
+// the vectors per CG iteration.
+func (p *Pool) mulVecDot(m *CSR, x, y, w []float64) float64 {
+	return p.reduce(m.rows, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			var yi float64
+			for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+				yi += m.val[k] * x[m.colIdx[k]]
+			}
+			y[i] = yi
+			s += w[i] * yi
+		}
+		return s
+	})
+}
+
+// residualFrom computes r = b - A·x across the pool.
+func (p *Pool) residualFrom(m *CSR, x, b, r []float64) {
+	p.parRange(m.rows, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+				s += m.val[k] * x[m.colIdx[k]]
+			}
+			r[i] = b[i] - s
+		}
+	})
+}
+
+// cgUpdate fuses the CG solution/residual updates x += α·d, r -= α·ad with
+// the reduction dot(r, r) over the updated residual.
+func (p *Pool) cgUpdate(x, r, d, ad []float64, alpha float64) float64 {
+	return p.reduce(len(x), func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			x[i] += alpha * d[i]
+			ri := r[i] - alpha*ad[i]
+			r[i] = ri
+			s += ri * ri
+		}
+		return s
+	})
+}
+
+// xpby computes d = z + β·d (the CG direction update).
+func (p *Pool) xpby(d, z []float64, beta float64) {
+	p.parRange(len(d), func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			d[i] = z[i] + beta*d[i]
+		}
+	})
+}
+
+// MulVecParallel computes y = A·x across the pool's workers, reusing y when
+// it has the right length. The result is bitwise identical to MulVec for
+// any worker count (rows are independent; no reduction is involved). A nil
+// pool runs sequentially.
+func (m *CSR) MulVecParallel(p *Pool, x, y []float64) []float64 {
+	if len(x) != m.cols {
+		panic("sparse: MulVecParallel dimension mismatch")
+	}
+	if len(y) != m.rows {
+		y = make([]float64, m.rows)
+	}
+	p.mulVec(m, x, y)
+	return y
+}

@@ -1,0 +1,183 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomVec fills a length-n vector from a fixed-seed generator.
+func randomVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// randomSPD builds a strictly diagonally dominant (hence SPD) sparse matrix
+// with a few random off-diagonals per row.
+func randomSPD(n int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	c := NewCOO(n, n)
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.Float64()
+			c.Add(i, j, -v)
+			c.Add(j, i, -v)
+			diag[i] += v
+			diag[j] += v
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.Add(i, i, diag[i]+1+rng.Float64())
+	}
+	return c.ToCSR()
+}
+
+// Kernels must be bit-identical for any worker count: the chunk grid fixes
+// the reduction order, workers only change which OS thread runs a chunk.
+func TestKernelsBitIdenticalAcrossWorkers(t *testing.T) {
+	// 1100 elements spans several 256-element chunks with a ragged tail.
+	const n = 1100
+	a := randomVec(n, 1)
+	b := randomVec(n, 2)
+	m := randomSPD(n, 3)
+
+	type snapshot struct {
+		dot, norm, mvDot, cgRR float64
+		y, x, r, d             []float64
+	}
+	run := func(p *Pool) snapshot {
+		var s snapshot
+		s.dot = p.dot(a, b)
+		s.norm = p.norm2(a)
+		s.y = make([]float64, n)
+		s.mvDot = p.mulVecDot(m, a, s.y, b)
+		s.x = append([]float64(nil), a...)
+		s.r = append([]float64(nil), b...)
+		s.cgRR = p.cgUpdate(s.x, s.r, a, b, 0.37)
+		s.d = append([]float64(nil), a...)
+		p.xpby(s.d, b, -1.21)
+		return s
+	}
+
+	seq := run(NewPool(1))
+	for _, w := range []int{2, 4, 8} {
+		p := NewPool(w)
+		got := run(p)
+		p.Close()
+		if got.dot != seq.dot || got.norm != seq.norm || got.mvDot != seq.mvDot || got.cgRR != seq.cgRR {
+			t.Fatalf("workers=%d: reduction mismatch: %v vs sequential %v", w, got, seq)
+		}
+		for i := 0; i < n; i++ {
+			if got.y[i] != seq.y[i] || got.x[i] != seq.x[i] || got.r[i] != seq.r[i] || got.d[i] != seq.d[i] {
+				t.Fatalf("workers=%d: vector mismatch at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestMulVecParallelMatchesMulVec(t *testing.T) {
+	const n = 700
+	m := randomSPD(n, 7)
+	x := randomVec(n, 8)
+	want := m.MulVec(x, nil)
+	for _, w := range []int{1, 2, 4} {
+		p := NewPool(w)
+		got := m.MulVecParallel(p, x, nil)
+		p.Close()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: y[%d] = %g, want %g", w, i, got[i], want[i])
+			}
+		}
+	}
+	// Nil pool runs sequentially.
+	var nilPool *Pool
+	got := m.MulVecParallel(nilPool, x, make([]float64, n))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nil pool: y[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// A pool must survive reuse across many kernel calls (a transient integration
+// shares one pool over all its steps) and repeated Close calls.
+func TestPoolReuseAndClose(t *testing.T) {
+	p := NewPool(4)
+	a := randomVec(600, 11)
+	first := p.dot(a, a)
+	for i := 0; i < 50; i++ {
+		if got := p.dot(a, a); got != first {
+			t.Fatalf("reuse %d: dot drifted: %g vs %g", i, got, first)
+		}
+	}
+	p.Close()
+	p.Close() // idempotent
+
+	var nilPool *Pool
+	if nilPool.Workers() != 1 {
+		t.Errorf("nil pool workers = %d, want 1", nilPool.Workers())
+	}
+	nilPool.Close() // no-op
+	if got := nilPool.dot(a, a); got != first {
+		t.Errorf("nil pool dot %g, want %g", got, first)
+	}
+	if NewPool(0).Workers() != 1 || NewPool(-3).Workers() != 1 {
+		t.Error("worker counts < 1 must clamp to the sequential pool")
+	}
+}
+
+// The chunk grid must depend only on the vector length.
+func TestChunkGridFixed(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{0, 0}, {1, 1}, {chunkLen, 1}, {chunkLen + 1, 2}, {10 * chunkLen, 10},
+	} {
+		if got := numChunks(tc.n); got != tc.want {
+			t.Errorf("numChunks(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestChebyshevPrecondSPDAndDeterministic(t *testing.T) {
+	const n = 500
+	m := randomSPD(n, 21)
+	r := randomVec(n, 22)
+	seq, err := newChebyshev(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z0 := make([]float64, n)
+	seq.apply(z0, r)
+	// z = q(B)·D⁻¹r with q positive on the spectrum: r·z must be positive.
+	var rz float64
+	for i := range r {
+		rz += r[i] * z0[i]
+	}
+	if rz <= 0 || math.IsNaN(rz) {
+		t.Fatalf("chebyshev application not positive definite: r·z = %g", rz)
+	}
+	for _, w := range []int{2, 4, 8} {
+		p := NewPool(w)
+		c, err := newChebyshev(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z := make([]float64, n)
+		c.apply(z, r)
+		p.Close()
+		for i := range z {
+			if z[i] != z0[i] {
+				t.Fatalf("workers=%d: z[%d] = %g, want %g", w, i, z[i], z0[i])
+			}
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package sparse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // ErrNotConverged is returned when an iterative solver exhausts its
@@ -11,17 +13,29 @@ import (
 var ErrNotConverged = errors.New("sparse: iterative solver did not converge")
 
 // Options configures the iterative solvers. The zero value selects sensible
-// defaults (rtol 1e-10, 10·n iterations, Jacobi preconditioning).
+// defaults (rtol 1e-10, 10·n iterations, Jacobi preconditioning, one
+// worker).
 type Options struct {
 	// Tol is the relative residual tolerance ||r||/||b||. Zero means 1e-10.
 	Tol float64
 	// MaxIter caps the iteration count. Zero means 10·n (at least 100).
 	MaxIter int
 	// Precond selects the preconditioner for PCG. The zero value
-	// (PrecondDefault) resolves to Jacobi.
+	// (PrecondDefault) resolves to Jacobi, or to Chebyshev when the solve
+	// runs on more than one worker (SSOR-class preconditioners are
+	// inherently sequential; Chebyshev parallelizes).
 	Precond PrecondKind
 	// X0 optionally supplies an initial guess (copied, not modified).
 	X0 []float64
+	// Workers is the kernel worker count of the solve; values <= 1 run
+	// sequentially. With a fixed preconditioner, results are bit-identical
+	// for any value: all reductions use fixed chunk boundaries combined in
+	// chunk order. Ignored when Pool is set.
+	Workers int
+	// Pool optionally supplies a reusable worker pool, e.g. one pool shared
+	// across the many linear solves of a transient integration. The caller
+	// retains ownership and must Close it.
+	Pool *Pool
 }
 
 // PrecondKind enumerates the available preconditioners.
@@ -37,8 +51,14 @@ const (
 	// PrecondNone runs the unpreconditioned method.
 	PrecondNone
 	// PrecondSSOR applies a symmetric successive-over-relaxation sweep
-	// (omega = 1, i.e. symmetric Gauss-Seidel) as the preconditioner.
+	// (omega = 1, i.e. symmetric Gauss-Seidel) as the preconditioner. Its
+	// triangular solves are inherently sequential.
 	PrecondSSOR
+	// PrecondChebyshev applies a fixed-degree Chebyshev polynomial in the
+	// Jacobi-scaled matrix. Every operation is a matrix product or an
+	// element-wise update, so it parallelizes across workers and stays
+	// bit-identical for any worker count.
+	PrecondChebyshev
 )
 
 func (p PrecondKind) String() string {
@@ -51,6 +71,8 @@ func (p PrecondKind) String() string {
 		return "none"
 	case PrecondSSOR:
 		return "ssor"
+	case PrecondChebyshev:
+		return "chebyshev"
 	default:
 		return fmt.Sprintf("PrecondKind(%d)", int(p))
 	}
@@ -65,10 +87,19 @@ type Stats struct {
 	// Precond is the preconditioner that actually ran (PrecondDefault is
 	// resolved to the concrete kind before the solve starts).
 	Precond PrecondKind
+	// Wall is the wall-clock duration of the solve (for a transient
+	// integration, the sum over all steps).
+	Wall time.Duration
+	// Workers is the kernel worker count the solve ran on (1 = sequential).
+	Workers int
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%d iterations, residual %.3g, precond %v", s.Iterations, s.Residual, s.Precond)
+	out := fmt.Sprintf("%d iterations, residual %.3g, precond %v", s.Iterations, s.Residual, s.Precond)
+	if s.Workers > 1 {
+		out += fmt.Sprintf(", %d workers", s.Workers)
+	}
+	return out
 }
 
 func (o Options) tol() float64 {
@@ -161,24 +192,55 @@ func (p *ssorPrecond) apply(z, r []float64) {
 	}
 }
 
-func makePrecond(a *CSR, kind PrecondKind) (preconditioner, PrecondKind, error) {
+func makePrecond(a *CSR, kind PrecondKind, pl *Pool) (preconditioner, PrecondKind, error) {
+	if kind == PrecondDefault {
+		if pl.Workers() > 1 {
+			kind = PrecondChebyshev
+		} else {
+			kind = PrecondJacobi
+		}
+	}
 	switch kind {
-	case PrecondNone:
-		return identityPrecond{}, PrecondNone, nil
-	case PrecondDefault, PrecondJacobi:
+	case PrecondJacobi:
 		p, err := newJacobi(a)
 		return p, PrecondJacobi, err
+	case PrecondNone:
+		return identityPrecond{}, PrecondNone, nil
 	case PrecondSSOR:
 		p, err := newSSOR(a)
 		return p, PrecondSSOR, err
+	case PrecondChebyshev:
+		p, err := newChebyshev(a, pl)
+		return p, PrecondChebyshev, err
 	default:
 		return nil, kind, fmt.Errorf("sparse: unknown preconditioner %v", kind)
+	}
+}
+
+// ctxErr reports a context cancellation without blocking; the nil Done
+// channel of context.Background costs one branch.
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
 	}
 }
 
 // SolveCG solves the symmetric positive definite system A·x = b with the
 // preconditioned Conjugate Gradient method.
 func SolveCG(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
+	return SolveCGCtx(context.Background(), a, b, opt)
+}
+
+// SolveCGCtx is SolveCG honoring cancellation: the context is checked
+// between iterations, and a cancelled solve returns promptly with the
+// iterate so far and an error wrapping ctx.Err(). Kernels run across
+// opt.Workers workers (or opt.Pool); with a fixed preconditioner the result
+// is bit-identical for any worker count.
+func SolveCGCtx(ctx context.Context, a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
+	start := time.Now()
 	n := a.rows
 	if a.cols != n {
 		return nil, Stats{}, fmt.Errorf("sparse: CG needs a square matrix, got %dx%d", a.rows, a.cols)
@@ -186,28 +248,33 @@ func SolveCG(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
 	if len(b) != n {
 		return nil, Stats{}, fmt.Errorf("sparse: CG rhs length %d, want %d", len(b), n)
 	}
-	pre, kind, err := makePrecond(a, opt.Precond)
+	pl := opt.Pool
+	if pl == nil {
+		pl = NewPool(opt.Workers)
+		defer pl.Close()
+	}
+	stats := func(it int, res float64, kind PrecondKind) Stats {
+		return Stats{Iterations: it, Residual: res, Precond: kind, Wall: time.Since(start), Workers: pl.Workers()}
+	}
+	pre, kind, err := makePrecond(a, opt.Precond, pl)
 	if err != nil {
-		return nil, Stats{Precond: kind}, err
+		return nil, stats(0, 0, kind), err
 	}
 	x := make([]float64, n)
 	r := make([]float64, n)
 	if opt.X0 != nil {
 		if len(opt.X0) != n {
-			return nil, Stats{Precond: kind}, fmt.Errorf("sparse: CG initial guess length %d, want %d", len(opt.X0), n)
+			return nil, stats(0, 0, kind), fmt.Errorf("sparse: CG initial guess length %d, want %d", len(opt.X0), n)
 		}
 		copy(x, opt.X0)
-		ax := a.MulVec(x, nil)
-		for i := range r {
-			r[i] = b[i] - ax[i]
-		}
+		pl.residualFrom(a, x, b, r)
 	} else {
 		copy(r, b)
 	}
-	bnorm := norm2(b)
+	bnorm := pl.norm2(b)
 	if bnorm == 0 {
 		// The unique SPD solution for b = 0 is x = 0.
-		return x, Stats{Precond: kind}, nil
+		return x, stats(0, 0, kind), nil
 	}
 	tol := opt.tol()
 	maxIter := opt.maxIter(n)
@@ -217,32 +284,31 @@ func SolveCG(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
 	ap := make([]float64, n)
 	pre.apply(z, r)
 	copy(p, z)
-	rz := dot(r, z)
+	rz := pl.dot(r, z)
+	rr := pl.dot(r, r)
 	var it int
 	for it = 0; it < maxIter; it++ {
-		if norm2(r)/bnorm <= tol {
+		if math.Sqrt(rr)/bnorm <= tol {
 			break
 		}
-		a.MulVec(p, ap)
-		pap := dot(p, ap)
+		if err := ctxErr(ctx); err != nil {
+			res := math.Sqrt(rr) / bnorm
+			return x, stats(it, res, kind), fmt.Errorf("sparse: CG cancelled after %d iterations (residual %g): %w", it, res, err)
+		}
+		pap := pl.mulVecDot(a, p, ap, p)
 		if pap <= 0 || math.IsNaN(pap) {
-			return nil, Stats{Iterations: it, Precond: kind}, fmt.Errorf("sparse: CG breakdown (p·Ap = %g); matrix is not SPD", pap)
+			return nil, stats(it, 0, kind), fmt.Errorf("sparse: CG breakdown (p·Ap = %g); matrix is not SPD", pap)
 		}
 		alpha := rz / pap
-		for i := range x {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-		}
+		rr = pl.cgUpdate(x, r, p, ap, alpha)
 		pre.apply(z, r)
-		rzNew := dot(r, z)
+		rzNew := pl.dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
+		pl.xpby(p, z, beta)
 	}
-	res := norm2(r) / bnorm
-	st := Stats{Iterations: it, Residual: res, Precond: kind}
+	res := math.Sqrt(rr) / bnorm
+	st := stats(it, res, kind)
 	if res > tol {
 		return x, st, fmt.Errorf("%w: CG after %d iterations, residual %g > tol %g", ErrNotConverged, it, res, tol)
 	}
@@ -258,7 +324,7 @@ func SolveBiCGSTAB(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
 	if len(b) != n {
 		return nil, Stats{}, fmt.Errorf("sparse: BiCGSTAB rhs length %d, want %d", len(b), n)
 	}
-	pre, kind, err := makePrecond(a, opt.Precond)
+	pre, kind, err := makePrecond(a, opt.Precond, nil)
 	if err != nil {
 		return nil, Stats{Precond: kind}, err
 	}
@@ -362,6 +428,9 @@ func SolveGaussSeidel(a *CSR, b []float64, opt Options) ([]float64, Stats, error
 	}
 	x := make([]float64, n)
 	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return nil, Stats{}, fmt.Errorf("sparse: Gauss-Seidel initial guess length %d, want %d", len(opt.X0), n)
+		}
 		copy(x, opt.X0)
 	}
 	bnorm := norm2(b)

@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -46,7 +47,7 @@ func TestSolveCGAllPreconditioners(t *testing.T) {
 	for i := range b {
 		b[i] = math.Sin(float64(i))
 	}
-	for _, p := range []PrecondKind{PrecondNone, PrecondJacobi, PrecondSSOR} {
+	for _, p := range []PrecondKind{PrecondNone, PrecondJacobi, PrecondSSOR, PrecondChebyshev} {
 		x, st, err := SolveCG(a, b, Options{Precond: p})
 		if err != nil {
 			t.Fatalf("precond %v: %v", p, err)
@@ -267,10 +268,168 @@ func TestCGLinearityProperty(t *testing.T) {
 
 func TestPrecondKindString(t *testing.T) {
 	if PrecondJacobi.String() != "jacobi" || PrecondNone.String() != "none" ||
-		PrecondSSOR.String() != "ssor" || PrecondDefault.String() != "default" {
+		PrecondSSOR.String() != "ssor" || PrecondDefault.String() != "default" ||
+		PrecondChebyshev.String() != "chebyshev" {
 		t.Error("PrecondKind.String wrong")
 	}
 	if PrecondKind(99).String() == "" {
 		t.Error("unknown kind renders empty")
+	}
+}
+
+// Regression: SolveGaussSeidel used to silently accept an initial guess of
+// the wrong length, copying a prefix and solving from a corrupted start.
+func TestSolveGaussSeidelBadInitialGuess(t *testing.T) {
+	a := laplacian1D(10)
+	b := make([]float64, 10)
+	b[0] = 1
+	if _, _, err := SolveGaussSeidel(a, b, Options{X0: make([]float64, 3)}); err == nil {
+		t.Fatal("short X0 accepted")
+	}
+	if _, _, err := SolveGaussSeidel(a, b, Options{X0: make([]float64, 11)}); err == nil {
+		t.Fatal("long X0 accepted")
+	}
+}
+
+// Property: with a fixed preconditioner, the parallel CG solve is bit-
+// identical to the sequential one for any worker count.
+func TestSolveCGWorkersBitIdentical(t *testing.T) {
+	const n = 900
+	a := randomSPD(n, 31)
+	b := randomVec(n, 32)
+	for _, pc := range []PrecondKind{PrecondJacobi, PrecondChebyshev} {
+		seq, _, err := SolveCG(a, b, Options{Precond: pc, Workers: 1})
+		if err != nil {
+			t.Fatalf("precond %v sequential: %v", pc, err)
+		}
+		for _, w := range []int{2, 4, 8} {
+			par, st, err := SolveCG(a, b, Options{Precond: pc, Workers: w})
+			if err != nil {
+				t.Fatalf("precond %v workers=%d: %v", pc, w, err)
+			}
+			if st.Workers != w {
+				t.Errorf("precond %v workers=%d: stats report %d workers", pc, w, st.Workers)
+			}
+			for i := range seq {
+				if par[i] != seq[i] {
+					t.Fatalf("precond %v workers=%d: x[%d] = %x, want %x",
+						pc, w, i, math.Float64bits(par[i]), math.Float64bits(seq[i]))
+				}
+			}
+		}
+	}
+}
+
+func TestSolveCGDefaultPrecondSelection(t *testing.T) {
+	a := laplacian1D(100)
+	b := make([]float64, 100)
+	b[0] = 1
+	_, seq, err := SolveCG(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Precond != PrecondJacobi {
+		t.Errorf("sequential default precond %v, want jacobi", seq.Precond)
+	}
+	_, par, err := SolveCG(a, b, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Precond != PrecondChebyshev {
+		t.Errorf("parallel default precond %v, want chebyshev", par.Precond)
+	}
+}
+
+func TestSolveCGStatsWallAndWorkers(t *testing.T) {
+	a := laplacian1D(300)
+	b := make([]float64, 300)
+	for i := range b {
+		b[i] = 1
+	}
+	_, st, err := SolveCG(a, b, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Wall <= 0 {
+		t.Errorf("wall time %v not populated", st.Wall)
+	}
+	if st.Workers != 2 {
+		t.Errorf("workers = %d, want 2", st.Workers)
+	}
+	if s := st.String(); s == "" {
+		t.Error("stats String is empty")
+	}
+}
+
+func TestSolveCGCtxPreCancelled(t *testing.T) {
+	a := laplacian1D(200)
+	b := make([]float64, 200)
+	b[0] = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x, st, err := SolveCGCtx(ctx, a, b, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Iterations != 0 {
+		t.Errorf("pre-cancelled solve ran %d iterations", st.Iterations)
+	}
+	if x == nil {
+		t.Error("cancelled solve did not return the iterate so far")
+	}
+}
+
+// countdownCtx reports cancellation only after Done has been polled n times,
+// cancelling a solve mid-flight at a deterministic iteration.
+type countdownCtx struct {
+	context.Context
+	remaining int
+	done      chan struct{}
+}
+
+func newCountdownCtx(n int) *countdownCtx {
+	return &countdownCtx{Context: context.Background(), remaining: n, done: make(chan struct{})}
+}
+
+func (c *countdownCtx) Done() <-chan struct{} {
+	if c.remaining > 0 {
+		c.remaining--
+		return nil // blocks forever: not cancelled yet
+	}
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
+	return c.done
+}
+
+func (c *countdownCtx) Err() error {
+	select {
+	case <-c.done:
+		return context.Canceled
+	default:
+		return nil
+	}
+}
+
+func TestSolveCGCtxCancelsMidFlight(t *testing.T) {
+	a := laplacian1D(500)
+	b := make([]float64, 500)
+	b[0] = 1
+	const after = 5
+	ctx := newCountdownCtx(after)
+	x, st, err := SolveCGCtx(ctx, a, b, Options{Precond: PrecondNone})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Iterations != after {
+		t.Errorf("cancelled after %d iterations, want %d", st.Iterations, after)
+	}
+	if st.Residual <= 0 {
+		t.Errorf("cancelled stats missing residual: %+v", st)
+	}
+	if x == nil {
+		t.Error("cancelled solve did not return the iterate so far")
 	}
 }

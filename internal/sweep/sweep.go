@@ -174,7 +174,7 @@ func evaluate(ctx context.Context, j Job, c *Cache) Outcome {
 		}
 	}
 	t0 := time.Now()
-	res, err := solve(j)
+	res, err := solve(ctx, j)
 	oc.Runtime = time.Since(t0)
 	if c != nil {
 		// Raw errors are cached so each job wraps them with its own label.
@@ -192,14 +192,21 @@ func wrapErr(j Job, err error) error {
 	return fmt.Errorf("sweep: job %q: %w", j.Name(), err)
 }
 
-// solve invokes the model with panic capture.
-func solve(j Job) (res *core.Result, err error) {
+// solve invokes the model with panic capture, preferring the cancellable
+// entry point when the model offers one: a cancelled batch then stops its
+// in-flight solves between solver iterations instead of running them to
+// completion.
+func solve(ctx context.Context, j Job) (res *core.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("model panicked: %v", r)
 		}
 	}()
-	res, err = j.Model.Solve(j.Stack)
+	if cs, ok := j.Model.(core.ContextSolver); ok {
+		res, err = cs.SolveCtx(ctx, j.Stack)
+	} else {
+		res, err = j.Model.Solve(j.Stack)
+	}
 	if err != nil {
 		return nil, err
 	}

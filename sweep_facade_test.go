@@ -5,8 +5,11 @@ package ttsv_test
 
 import (
 	"context"
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	ttsv "repro"
 	"repro/internal/sparse"
@@ -74,6 +77,84 @@ func TestSolveReferenceStatsThroughFacade(t *testing.T) {
 	}
 	if stats.String() == "" {
 		t.Error("stats String is empty")
+	}
+}
+
+func TestSolveReferenceStatsWithWorkers(t *testing.T) {
+	s, err := ttsv.Fig4Block(10e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ttsv.DefaultResolution()
+	seq, _, err := ttsv.SolveReferenceStats(s, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Workers = 4
+	par, stats, err := ttsv.SolveReferenceStats(s, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 4 {
+		t.Errorf("stats report %d workers, want 4", stats.Workers)
+	}
+	if stats.Precond != sparse.PrecondChebyshev {
+		t.Errorf("parallel default preconditioner %v, want chebyshev", stats.Precond)
+	}
+	if stats.Wall <= 0 {
+		t.Errorf("wall time %v not populated", stats.Wall)
+	}
+	// Chebyshev and SSOR converge to the same field within the solver
+	// tolerance; the quantity of interest must agree far tighter than the
+	// models the reference judges.
+	if d := (par - seq) / seq; d > 1e-7 || d < -1e-7 {
+		t.Errorf("worker solve ΔT %g differs from sequential %g (rel %g)", par, seq, d)
+	}
+}
+
+// Cancelling a sweep must stop reference solves that are already running —
+// the solver checks the context between CG iterations — not just prevent
+// queued jobs from starting.
+func TestSweepCancellationStopsInFlightSolves(t *testing.T) {
+	s, err := ttsv.Fig4Block(10e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A refined mesh makes each solve take long enough (hundreds of
+	// milliseconds) that the cancellation below lands mid-solve.
+	m := ttsv.ReferenceModel(ttsv.DefaultResolution().Refine(2))
+	var jobs ttsv.Batch
+	for i := 0; i < 4; i++ {
+		jobs = jobs.Add("", s, m)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	out, err := ttsv.Sweep(ctx, jobs, ttsv.SweepOptions{Workers: 1})
+	elapsed := time.Since(t0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sweep err = %v, want context.Canceled", err)
+	}
+	if len(out) != len(jobs) {
+		t.Fatalf("got %d outcomes for %d jobs", len(out), len(jobs))
+	}
+	for i, oc := range out {
+		if !errors.Is(oc.Err, context.Canceled) {
+			t.Errorf("job %d: err = %v, want context.Canceled", i, oc.Err)
+		}
+	}
+	// The first job was in-flight when the context died, so its error must
+	// come from the solver's mid-iteration check, not the pre-start gate.
+	if !strings.Contains(out[0].Err.Error(), "cancelled after") {
+		t.Errorf("first job not cancelled mid-solve: %v", out[0].Err)
+	}
+	// Four refined solves run well over a second sequentially; a cancelled
+	// sweep must come back almost immediately.
+	if elapsed > 2*time.Second {
+		t.Errorf("cancelled sweep took %v", elapsed)
 	}
 }
 

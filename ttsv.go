@@ -171,17 +171,24 @@ func DefaultResolution() Resolution { return fem.DefaultResolution() }
 
 // SolveReference runs the finite-volume reference solver (the COMSOL
 // stand-in) on a stack and returns the maximum temperature rise above the
-// heat sink.
+// heat sink. Resolution.Workers > 1 runs the solver kernels in parallel.
 func SolveReference(s *Stack, res Resolution) (float64, error) {
 	max, _, err := SolveReferenceStats(s, res)
 	return max, err
 }
 
 // SolveReferenceStats is SolveReference returning the iterative solver's
-// statistics (iteration count, final residual, preconditioner) alongside the
-// maximum temperature rise.
+// statistics (iteration count, final residual, preconditioner, wall time,
+// worker count) alongside the maximum temperature rise.
 func SolveReferenceStats(s *Stack, res Resolution) (float64, SolverStats, error) {
-	sol, err := fem.SolveStack(s, res)
+	return SolveReferenceStatsCtx(context.Background(), s, res)
+}
+
+// SolveReferenceStatsCtx is SolveReferenceStats honoring cancellation: the
+// solver checks ctx between conjugate-gradient iterations, so a cancelled
+// caller does not run an in-flight solve to completion.
+func SolveReferenceStatsCtx(ctx context.Context, s *Stack, res Resolution) (float64, SolverStats, error) {
+	sol, err := fem.SolveStackCtx(ctx, s, res)
 	if err != nil {
 		return 0, SolverStats{}, err
 	}
@@ -191,14 +198,19 @@ func SolveReferenceStats(s *Stack, res Resolution) (float64, SolverStats, error)
 
 // ReferenceModel wraps the finite-volume reference solver as a Model so it
 // can join sweeps and planning runs next to the analytical models. The zero
-// Resolution selects DefaultResolution.
+// Resolution selects DefaultResolution; Resolution.Workers sets the solver's
+// kernel worker count. The returned model supports sweep cancellation
+// (core.ContextSolver), so cancelling a Sweep stops its in-flight reference
+// solves between solver iterations.
 func ReferenceModel(res Resolution) Model { return fem.ReferenceModel{Res: res} }
 
 // Sweep evaluates all jobs across opt.Workers workers and returns one
 // outcome per job in job order, regardless of worker scheduling. Per-job
 // failures are captured in SweepOutcome.Err — one failing geometry does not
 // abort the batch — and Sweep itself only returns an error when ctx is
-// cancelled. Results are bitwise identical for any worker count.
+// cancelled (models supporting cancellation, like ReferenceModel, then also
+// abandon their in-flight solves). Results are bitwise identical for any
+// worker count.
 func Sweep(ctx context.Context, jobs Batch, opt SweepOptions) ([]SweepOutcome, error) {
 	return sweep.Run(ctx, jobs, opt)
 }
