@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify race bench fuzz clean
+.PHONY: all build test verify race bench bench-json fuzz clean
 
 all: build test
 
@@ -15,17 +15,31 @@ test:
 
 # verify is the pre-merge gate: static analysis, the whole suite — including
 # the parallel sweep/plan/solver property tests — under the race detector,
-# and one pass over every benchmark so the harness itself cannot rot.
+# one pass over every benchmark so the harness itself cannot rot, and a
+# single-iteration smoke run of the bench-json pipeline.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(MAKE) bench-json BENCHTIME=1x BENCH_OUT=/dev/null
 
 race:
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# bench-json archives the reference-solver costs (the BenchmarkReference*
+# family, including the multigrid variants with their cgiters/mglevels
+# metrics) as JSON. The committed BENCH_ref.json is regenerated with the
+# default settings; verify smoke-runs the pipeline into /dev/null.
+BENCHTIME ?= 2x
+BENCH_OUT ?= BENCH_ref.json
+# Captured into a shell variable rather than piped directly: in a plain
+# pipe a failing `go test` is masked by the parser's exit status.
+bench-json:
+	@out=$$($(GO) test -run '^$$' -bench Reference -benchtime $(BENCHTIME) .) || { printf '%s\n' "$$out"; exit 1; }; \
+	printf '%s\n' "$$out" | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 # Seed corpora run on every plain `go test`; this target explores further.
 # Usage: make fuzz FUZZ=FuzzLoadBlockConfig PKG=./internal/stack FUZZTIME=30s

@@ -336,6 +336,59 @@ func BenchmarkModelAClosedForm(b *testing.B) {
 	}
 }
 
+// BenchmarkReferenceMG* measure the multigrid-preconditioned reference
+// solve against the single-level preconditioners as the mesh refines; the
+// "cgiters" metric is the CG iteration count of the last solve and
+// "mglevels" the hierarchy depth. Each iteration re-solves from scratch, so
+// the multigrid timings include hierarchy construction — the honest
+// per-reference-point cost a sweep pays.
+func benchReferenceResolved(b *testing.B, refine int, p sparse.PrecondKind) {
+	b.Helper()
+	s := mustFig4(b, 10)
+	prob, err := fem.BuildAxiProblem(s, fem.DefaultResolution().Refine(refine))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var st sparse.Stats
+	for i := 0; i < b.N; i++ {
+		sol, err := fem.SolveAxi(prob, sparse.Options{Tol: 1e-10, Precond: p})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = sol.Stats
+	}
+	b.ReportMetric(float64(st.Iterations), "cgiters")
+	if st.Levels > 0 {
+		b.ReportMetric(float64(st.Levels), "mglevels")
+	}
+}
+
+func BenchmarkReferenceMGDefault(b *testing.B) {
+	benchReferenceResolved(b, 1, sparse.PrecondMG)
+}
+
+func BenchmarkReferenceMGRefined2(b *testing.B) {
+	benchReferenceResolved(b, 2, sparse.PrecondMG)
+}
+
+func BenchmarkReferenceMGRefined4(b *testing.B) {
+	benchReferenceResolved(b, 4, sparse.PrecondMG)
+}
+
+// Single-level baselines at the same refined mesh, for the wall-time
+// comparison BENCH_ref.json records. There is no single-level baseline at
+// refine 4: SSOR and Chebyshev stall far from the 1e-10 tolerance there
+// (SSOR stops at residual ~5 after its 7080-iteration budget), so multigrid
+// is the only preconditioner with a measurable time at that size.
+func BenchmarkReferenceSSORRefined2(b *testing.B) {
+	benchReferenceResolved(b, 2, sparse.PrecondSSOR)
+}
+
+func BenchmarkReferenceChebyshevRefined2(b *testing.B) {
+	benchReferenceResolved(b, 2, sparse.PrecondChebyshev)
+}
+
 // Ablation: preconditioner choice for the FVM solve.
 func benchPrecond(b *testing.B, p sparse.PrecondKind) {
 	b.Helper()

@@ -1,0 +1,135 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON document. It exists so `make bench-json` can archive
+// reference-solver costs (BENCH_ref.json) in a form other tooling — and
+// future sessions comparing solver work — can diff without scraping the
+// bench text format.
+//
+//	go test -run '^$' -bench Reference -benchtime 2x . | benchjson -o BENCH_ref.json
+//
+// Every benchmark line becomes one record: the trimmed name (without the
+// Benchmark prefix and -P GOMAXPROCS suffix), the b.N iteration count,
+// ns/op, and all remaining value/unit pairs (B/op, allocs/op, custom
+// b.ReportMetric units such as cgiters or mglevels) in a metrics map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result.
+type Record struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the whole archive: the environment header lines go test
+// prints, then every benchmark.
+type Document struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{Benchmarks: []Record{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			rec, err := parseBench(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %w", line, err)
+			}
+			doc.Benchmarks = append(doc.Benchmarks, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on input (run with -bench)")
+	}
+	return doc, nil
+}
+
+func parseBench(line string) (Record, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Record{}, fmt.Errorf("want at least name, count and one value/unit pair")
+	}
+	rec := Record{Name: strings.TrimPrefix(f[0], "Benchmark")}
+	if i := strings.LastIndex(rec.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(rec.Name[i+1:]); err == nil {
+			rec.Procs = p
+			rec.Name = rec.Name[:i]
+		}
+	}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("iteration count %q: %w", f[1], err)
+	}
+	rec.Iterations = n
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("metric value %q: %w", f[i], err)
+		}
+		if unit := f[i+1]; unit == "ns/op" {
+			rec.NsPerOp = v
+		} else {
+			if rec.Metrics == nil {
+				rec.Metrics = map[string]float64{}
+			}
+			rec.Metrics[unit] = v
+		}
+	}
+	return rec, nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Example CPU @ 3.00GHz
+BenchmarkReferenceSolveDefault-8   	      10	 111222333 ns/op	 1234 B/op	      56 allocs/op
+BenchmarkReferenceMGRefined2-8     	       5	 222333444 ns/op	      14.0 cgiters	       5.0 mglevels	 99 B/op	 7 allocs/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Pkg != "repro" || doc.Goos != "linux" || doc.CPU != "Example CPU @ 3.00GHz" {
+		t.Fatalf("header = %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Name != "ReferenceSolveDefault" || b0.Procs != 8 || b0.Iterations != 10 || b0.NsPerOp != 111222333 {
+		t.Fatalf("first record = %+v", b0)
+	}
+	if b0.Metrics["B/op"] != 1234 || b0.Metrics["allocs/op"] != 56 {
+		t.Fatalf("first metrics = %+v", b0.Metrics)
+	}
+	b1 := doc.Benchmarks[1]
+	if b1.Name != "ReferenceMGRefined2" || b1.Metrics["cgiters"] != 14 || b1.Metrics["mglevels"] != 5 {
+		t.Fatalf("second record = %+v", b1)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Fatal("accepted input with no benchmark lines")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX-4 notanumber 5 ns/op\n")); err == nil {
+		t.Fatal("accepted a malformed count")
+	}
+}

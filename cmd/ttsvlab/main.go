@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/sparse"
 )
 
 func main() {
@@ -45,8 +46,9 @@ func run(args []string, out io.Writer) error {
 	csvDir := fs.String("csv", "", "write tables as CSV into this directory")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all CPUs); tables are identical for any count")
 	solverWorkers := fs.Int("solver-workers", 0, "parallel linear-solver kernel workers per reference solve (<= 1 = sequential)")
+	precond := fs.String("precond", "auto", "reference-solver preconditioner: auto, jacobi, ssor, chebyshev, mg or none")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: ttsvlab [-quick] [-plot] [-csv DIR] [-workers N] [-solver-workers N] {fig4|fig5|fig6|fig7|table1|casestudy|calibrate|planes|transient|all}")
+		fmt.Fprintln(fs.Output(), "usage: ttsvlab [-quick] [-plot] [-csv DIR] [-workers N] [-solver-workers N] [-precond KIND] {fig4|fig5|fig6|fig7|table1|casestudy|calibrate|planes|transient|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -62,6 +64,11 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg.Workers = *workers
 	cfg.Resolution.Workers = *solverWorkers
+	pk, err := sparse.ParsePrecond(*precond)
+	if err != nil {
+		return err
+	}
+	cfg.Resolution.Precond = pk
 	app := &app{cfg: cfg, plot: *plot, csvDir: *csvDir, out: out}
 	cmd := fs.Arg(0)
 	switch cmd {

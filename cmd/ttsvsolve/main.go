@@ -45,6 +45,8 @@ func run(args []string, out io.Writer) error {
 	devDensity := fs.Float64("qdev", 700, "device power density [W/mm³]")
 	ildDensity := fs.Float64("qild", 70, "interconnect power density [W/mm³]")
 	workers := fs.Int("workers", 0, "reference-solver kernel workers (<= 1 = sequential; only -model ref)")
+	precond := fs.String("precond", "auto", "reference-solver preconditioner: auto, jacobi, ssor, chebyshev, mg or none (only -model ref)")
+	verbose := fs.Bool("v", false, "print per-solve linear-solver statistics (iterations, residual, preconditioner)")
 	config := fs.String("config", "", "JSON block config file (SI units); explicit flags override its fields")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,12 +107,18 @@ func run(args []string, out io.Writer) error {
 	case "ref":
 		res := ttsv.DefaultResolution()
 		res.Workers = *workers
+		res.Precond, err = ttsv.ParsePrecond(*precond)
+		if err != nil {
+			return err
+		}
 		dt, st, err := ttsv.SolveReferenceStats(s, res)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "FVM reference: max ΔT = %.3f K (absolute %.2f °C)\n", dt, dt+s.SinkTemp)
-		fmt.Fprintf(out, "solver: %s in %v\n", st, st.Wall.Round(time.Microsecond))
+		if *verbose {
+			fmt.Fprintf(out, "solver: %s in %v\n", st, st.Wall.Round(time.Microsecond))
+		}
 		return nil
 	case "all":
 		models = []ttsv.Model{

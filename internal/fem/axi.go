@@ -66,6 +66,7 @@ type axiSystem struct {
 	matrix  *sparse.CSR
 	rhs     []float64
 	volumes []float64 // cell volumes, row-major like the unknowns
+	grid    solverGrid
 }
 
 // assembleAxi discretizes the problem; shared by the steady and transient
@@ -166,18 +167,21 @@ func assembleAxi(p *AxiProblem) (*axiSystem, error) {
 		}
 	}
 
-	return &axiSystem{nr: nr, nz: nz, rc: rc, zc: zc, matrix: coo.ToCSR(), rhs: rhs, volumes: volumes}, nil
+	return &axiSystem{
+		nr: nr, nz: nz, rc: rc, zc: zc, matrix: coo.ToCSR(), rhs: rhs, volumes: volumes,
+		// Unknown index = iz·nr + ir: the radial axis varies fastest.
+		grid: solverGrid{dims: []int{nr, nz}},
+	}, nil
 }
 
-// solveDefaults fills in the solver settings this package uses.
+// solveDefaults fills in the solver settings this package uses: tight
+// tolerance, preconditioner auto-selection (multigrid above the size
+// threshold), and a MaxIter budget scaled to the preconditioner class.
 func solveDefaults(opt sparse.Options, sys *axiSystem) sparse.Options {
 	if opt.Tol == 0 {
 		opt.Tol = 1e-10
 	}
-	if opt.MaxIter == 0 {
-		opt.MaxIter = 40 * (sys.nr + sys.nz) * 10
-	}
-	return pickPrecond(opt)
+	return resolveSolver(opt, sys.matrix, sys.grid)
 }
 
 // fieldFrom reshapes a flat unknown vector into the [iz][ir] grid.
@@ -209,7 +213,7 @@ func SolveAxiCtx(ctx context.Context, p *AxiProblem, opt sparse.Options) (*AxiSo
 	o := solveDefaults(opt, sys)
 	x, st, err := sparse.SolveCGCtx(ctx, sys.matrix, sys.rhs, o)
 	if err != nil {
-		return nil, fmt.Errorf("fem: axisymmetric solve (%d cells): %w", len(sys.rhs), err)
+		return nil, solveErr("axisymmetric solve", len(sys.rhs), st, err)
 	}
 	return &AxiSolution{p: p, RCenters: sys.rc, ZCenters: sys.zc, Stats: st, T: sys.fieldFrom(x)}, nil
 }

@@ -67,6 +67,7 @@ type cartSystem struct {
 	xc, yc, zc []float64
 	matrix     *sparse.CSR
 	rhs        []float64
+	grid       solverGrid
 }
 
 // assembleCart discretizes the problem.
@@ -168,7 +169,11 @@ func assembleCart(p *CartProblem) (*cartSystem, error) {
 		}
 	}
 
-	return &cartSystem{nx: nx, ny: ny, nz: nz, xc: xc, yc: yc, zc: zc, matrix: coo.ToCSR(), rhs: rhs}, nil
+	return &cartSystem{
+		nx: nx, ny: ny, nz: nz, xc: xc, yc: yc, zc: zc, matrix: coo.ToCSR(), rhs: rhs,
+		// Unknown index = (iz·ny + iy)·nx + ix: x varies fastest, then y, z.
+		grid: solverGrid{dims: []int{nx, ny, nz}},
+	}, nil
 }
 
 // SolveCart assembles and solves the finite-volume system.
@@ -187,14 +192,11 @@ func SolveCartCtx(ctx context.Context, p *CartProblem, opt sparse.Options) (*Car
 	if o.Tol == 0 {
 		o.Tol = 1e-9
 	}
-	if o.MaxIter == 0 {
-		o.MaxIter = 100000
-	}
-	o = pickPrecond(o)
+	o = resolveSolver(o, sys.matrix, sys.grid)
 	x, st, err := sparse.SolveCGCtx(ctx, sys.matrix, sys.rhs, o)
 	n := sys.nx * sys.ny * sys.nz
 	if err != nil {
-		return nil, fmt.Errorf("fem: 3-D solve (%d cells): %w", n, err)
+		return nil, solveErr("3-D solve", n, st, err)
 	}
 	nx, ny, nz := sys.nx, sys.ny, sys.nz
 	idx := func(i, j, l int) int { return (l*ny+j)*nx + i }

@@ -1,20 +1,112 @@
 package fem
 
-import "repro/internal/sparse"
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mg"
+	"repro/internal/sparse"
+)
+
+// ErrNotConverged is returned when a reference solve exhausts its iteration
+// budget; the error message carries the achieved residual, iteration count
+// and preconditioner so a failed solve is diagnosable without a rerun.
+var ErrNotConverged = errors.New("fem: reference solve did not converge")
+
+// mgAutoThreshold is the unknown count above which the default
+// preconditioner becomes geometric multigrid. Below it the hierarchy setup
+// (Galerkin products, coarse factorization) costs more than the CG
+// iterations it saves; above it the mesh-independent iteration count wins —
+// decisively so at the 2–4× refined resolutions of convergence studies.
+// The default-resolution axisymmetric block (~2k cells) stays on the
+// single-level preconditioners; the 3-D and refined solves cross over.
+const mgAutoThreshold = 4000
 
 // sparseDefaults returns the iterative-solver settings used by the stack
 // reference solves: tight tolerance (the reference must out-resolve the
 // models it judges) with a generous iteration budget. The preconditioner is
-// left at PrecondDefault so pickPrecond can choose per worker count.
+// left at PrecondDefault so resolveSolver can choose per system.
 func sparseDefaults() sparse.Options {
 	return sparse.Options{Tol: 1e-10}
+}
+
+// solverGrid carries the structured-grid shape behind an assembled system:
+// the per-axis cell counts, fastest-varying first. Multigrid construction
+// uses it to cross-check the matrix layout; the aggregation itself is
+// driven by the matrix coefficients.
+type solverGrid struct {
+	dims []int
+}
+
+// resolveSolver finalizes the solver options for an assembled system: the
+// default preconditioner becomes multigrid above mgAutoThreshold unknowns
+// (falling back to the single-level default when a hierarchy cannot be
+// built), an explicit PrecondMG request gets its hierarchy built here, and
+// an unset MaxIter scales with the preconditioner class instead of the
+// system size. A pre-built Options.MG (e.g. the transient integrator's
+// shared hierarchy) is reused as-is.
+func resolveSolver(opt sparse.Options, a *sparse.CSR, g solverGrid) sparse.Options {
+	if opt.MG == nil && (opt.Precond == sparse.PrecondMG ||
+		(opt.Precond == sparse.PrecondDefault && a.Rows() >= mgAutoThreshold)) {
+		if h, err := mg.Build(a, g.dims, mg.Options{}); err == nil {
+			opt.Precond = sparse.PrecondMG
+			opt.MG = h
+		} else if opt.Precond == sparse.PrecondMG {
+			// An explicit request on a grid that cannot support a hierarchy
+			// (too few cells to coarsen, degenerate operator): fall back to
+			// the default selection rather than failing the solve; Stats
+			// reports the preconditioner that actually ran.
+			opt.Precond = sparse.PrecondDefault
+		}
+	}
+	opt = pickPrecond(opt)
+	if opt.MaxIter == 0 {
+		opt.MaxIter = maxIterFor(opt.Precond, a.Rows())
+	}
+	return opt
+}
+
+// maxIterFor budgets CG iterations by preconditioner class rather than the
+// flat 10·n default: multigrid converges in a mesh-independent handful of
+// iterations, the single-level preconditioners in O(√κ) ≈ O(√n) on these
+// second-order elliptic systems. Unpreconditioned CG gets a far larger
+// budget still — without diagonal scaling its condition number carries the
+// stack's full four-decade coefficient contrast, and the default-resolution
+// block already needs ~9k iterations. Each budget is several times the
+// observed count, so hitting one genuinely means "did not converge", caught
+// early instead of after 10·n wasted iterations.
+func maxIterFor(p sparse.PrecondKind, n int) int {
+	root := int(math.Sqrt(float64(n)))
+	switch p {
+	case sparse.PrecondMG:
+		return 200
+	case sparse.PrecondSSOR, sparse.PrecondChebyshev:
+		return 40*root + 1000
+	case sparse.PrecondNone:
+		return 600*root + 8000
+	default: // Jacobi
+		return 150*root + 2000
+	}
+}
+
+// solveErr wraps a linear-solver failure with the system context; iteration
+// exhaustion maps to the distinct ErrNotConverged carrying the achieved
+// residual.
+func solveErr(what string, n int, st sparse.Stats, err error) error {
+	if errors.Is(err, sparse.ErrNotConverged) {
+		return fmt.Errorf("%w: %s (%d cells): %v preconditioner stopped at residual %.3g after %d iterations: %w",
+			ErrNotConverged, what, n, st.Precond, st.Residual, st.Iterations, err)
+	}
+	return fmt.Errorf("fem: %s (%d cells): %w", what, n, err)
 }
 
 // pickPrecond resolves the default preconditioner for this package's
 // solves: SSOR for sequential runs (fewest iterations), Chebyshev when the
 // solve runs on more than one worker (SSOR's triangular sweeps are
 // inherently sequential; Chebyshev parallelizes and stays bit-identical for
-// any worker count). An explicit opt.Precond is honored unchanged.
+// any worker count). An explicit opt.Precond — including the PrecondMG
+// resolveSolver may have attached — is honored unchanged.
 func pickPrecond(opt sparse.Options) sparse.Options {
 	if opt.Precond != sparse.PrecondDefault {
 		return opt

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/mesh"
+	"repro/internal/sparse"
 	"repro/internal/stack"
 )
 
@@ -33,6 +34,12 @@ type Resolution struct {
 	// preconditioner switches from SSOR to Chebyshev when Workers > 1 (see
 	// pickPrecond), which changes results only within the solver tolerance.
 	Workers int
+	// Precond overrides the preconditioner for solves at this resolution.
+	// The zero value (sparse.PrecondDefault) auto-selects: geometric
+	// multigrid above ~4k unknowns, SSOR/Chebyshev below (see
+	// resolveSolver). sparse.PrecondMG forces multigrid, with the hierarchy
+	// built per solve from the assembled grid.
+	Precond sparse.PrecondKind
 }
 
 // DefaultResolution returns a resolution that keeps the block experiments
@@ -52,6 +59,7 @@ func (r Resolution) Refine(f int) Resolution {
 		AxialMin:      r.AxialMin * f,
 		Bulk:          r.Bulk * f,
 		Workers:       r.Workers,
+		Precond:       r.Precond,
 	}
 }
 
@@ -282,5 +290,6 @@ func SolveStackCtx(ctx context.Context, s *stack.Stack, res Resolution) (*AxiSol
 	}
 	o := sparseDefaults()
 	o.Workers = res.Workers
+	o.Precond = res.Precond
 	return SolveAxiCtx(ctx, p, o)
 }

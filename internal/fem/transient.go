@@ -62,7 +62,16 @@ func SolveAxiTransient(p *AxiProblem, dt float64, steps int, opt sparse.Options)
 		return nil, err
 	}
 
-	o := solveDefaults(opt, sys)
+	o := opt
+	if o.Tol == 0 {
+		o.Tol = 1e-10
+	}
+	// Resolve the preconditioner against the step matrix, not the steady
+	// operator: K + M/dt is what every implicit step solves. The operator is
+	// fixed across steps, so one multigrid hierarchy (built here by
+	// resolveSolver and carried in o.MG) serves the whole integration —
+	// amortizing the setup the same way the shared pool amortizes workers.
+	o = resolveSolver(o, stepMatrix, sys.grid)
 	if o.Pool == nil {
 		// One pool serves every step; spawning and tearing down workers per
 		// step would dominate the short warm-started solves.
@@ -80,7 +89,7 @@ func SolveAxiTransient(p *AxiProblem, dt float64, steps int, opt sparse.Options)
 		o.X0 = x
 		xNew, st, err := sparse.SolveCG(stepMatrix, rhs, o)
 		if err != nil {
-			return nil, fmt.Errorf("fem: transient step %d: %w", k, err)
+			return nil, solveErr(fmt.Sprintf("transient step %d", k), n, st, err)
 		}
 		x = xNew
 		iters, wall := out.Stats.Iterations+st.Iterations, out.Stats.Wall+st.Wall

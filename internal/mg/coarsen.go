@@ -1,0 +1,395 @@
+package mg
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/sparse"
+)
+
+// csrArrays is a read-only snapshot of a sparse.CSR's storage, extracted via
+// Each (row-major, sorted columns). The mg assembly kernels need per-row
+// access, which the sparse package deliberately does not export.
+type csrArrays struct {
+	ptr []int32
+	col []int32
+	val []float64
+}
+
+func extractCSR(a *sparse.CSR) csrArrays {
+	ar := csrArrays{
+		ptr: make([]int32, a.Rows()+1),
+		col: make([]int32, 0, a.NNZ()),
+		val: make([]float64, 0, a.NNZ()),
+	}
+	a.Each(func(i, j int, v float64) {
+		ar.ptr[i+1]++
+		ar.col = append(ar.col, int32(j))
+		ar.val = append(ar.val, v)
+	})
+	for i := 0; i < a.Rows(); i++ {
+		ar.ptr[i+1] += ar.ptr[i]
+	}
+	return ar
+}
+
+func (a csrArrays) rows() int { return len(a.ptr) - 1 }
+
+func (a csrArrays) diagonal() []float64 {
+	d := make([]float64, a.rows())
+	for i := range d {
+		for k := a.ptr[i]; k < a.ptr[i+1]; k++ {
+			if int(a.col[k]) == i {
+				d[i] = a.val[k]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// aggregateStrength builds the fine→coarse cell map by repeated pairwise
+// matching on coupling strength: each pass walks the cells in index order
+// and joins every still-free cell with its most strongly coupled free
+// neighbor, measured by the scaled off-diagonal |a_ij|/√(a_ii·a_jj) (the
+// scaling makes couplings comparable across the orders-of-magnitude cell
+// volume spread of graded axisymmetric meshes). passes chained matchings —
+// each on the Galerkin operator of the previous — grow aggregates of up to
+// 2^passes cells.
+//
+// Matching the matrix rather than the mesh is what handles the layer
+// stack's heterogeneous anisotropy: a thin ILD cell couples hardest to its
+// z-neighbors, a tall bulk substrate cell to its r-neighbors, so the same
+// sweep semi-coarsens z across the thin layers and r in the bulk — no
+// global axis choice could do both. Walk order and tie-breaks (first
+// strongest neighbor in CSR column order) are fixed, so the aggregation is
+// a pure function of the matrix.
+func aggregateStrength(a csrArrays, passes int) ([]int32, int) {
+	agg, nc := matchPairs(a)
+	for p := 1; p < passes; p++ {
+		coarse := galerkinAggregated(a, agg, nc)
+		agg2, nc2 := matchPairs(coarse)
+		if nc2 == nc {
+			break
+		}
+		for i, c := range agg {
+			agg[i] = agg2[c]
+		}
+		nc = nc2
+	}
+	return agg, nc
+}
+
+// matchPairs is one greedy matching pass (see aggregateStrength).
+func matchPairs(a csrArrays) ([]int32, int) {
+	n := a.rows()
+	diag := a.diagonal()
+	agg := make([]int32, n)
+	for i := range agg {
+		agg[i] = -1
+	}
+	var nc int32
+	for i := 0; i < n; i++ {
+		if agg[i] >= 0 {
+			continue
+		}
+		best := int32(-1)
+		bestW := 0.0
+		for k := a.ptr[i]; k < a.ptr[i+1]; k++ {
+			j := a.col[k]
+			if int(j) == i || agg[j] >= 0 {
+				continue
+			}
+			den := diag[i] * diag[j]
+			if den <= 0 {
+				continue
+			}
+			if w := math.Abs(a.val[k]) / math.Sqrt(den); w > bestW {
+				bestW = w
+				best = j
+			}
+		}
+		agg[i] = nc
+		if best >= 0 {
+			agg[best] = nc
+		}
+		nc++
+	}
+	return agg, int(nc)
+}
+
+// sortInt32 is an insertion sort for the short per-row column lists the
+// assembly accumulators produce (coarse stencils stay a few dozen wide
+// thanks to prolongation filtering). sort.Slice on these tiny slices cost
+// more in reflection overhead than the whole numeric triple product.
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// rowAccumulator gathers one output row of a sparse product: a dense value
+// array indexed by column plus the list of touched columns, flushed in
+// sorted order so every assembled matrix has the canonical CSR layout
+// without a global sort.
+type rowAccumulator struct {
+	acc     []float64
+	seen    []bool
+	touched []int32
+}
+
+func newRowAccumulator(n int) *rowAccumulator {
+	return &rowAccumulator{acc: make([]float64, n), seen: make([]bool, n)}
+}
+
+func (r *rowAccumulator) add(c int32, v float64) {
+	if !r.seen[c] {
+		r.seen[c] = true
+		r.touched = append(r.touched, c)
+	}
+	r.acc[c] += v
+}
+
+// flush appends the accumulated row to (col, val) in ascending column
+// order, dropping exact zeros, and resets the accumulator.
+func (r *rowAccumulator) flush(col []int32, val []float64) ([]int32, []float64) {
+	sortInt32(r.touched)
+	for _, c := range r.touched {
+		if v := r.acc[c]; v != 0 {
+			col = append(col, c)
+			val = append(val, v)
+		}
+		r.acc[c] = 0
+		r.seen[c] = false
+	}
+	r.touched = r.touched[:0]
+	return col, val
+}
+
+// groupByAggregate inverts the fine→coarse map: members lists fine cells
+// coarse row by coarse row (a counting sort, so member order is ascending
+// fine index).
+func groupByAggregate(agg []int32, nc int) (ptr []int32, members []int32) {
+	ptr = make([]int32, nc+1)
+	for _, c := range agg {
+		ptr[c+1]++
+	}
+	for c := 0; c < nc; c++ {
+		ptr[c+1] += ptr[c]
+	}
+	members = make([]int32, len(agg))
+	next := make([]int32, nc)
+	copy(next, ptr[:nc])
+	for i, c := range agg {
+		members[next[c]] = int32(i)
+		next[c]++
+	}
+	return ptr, members
+}
+
+// galerkinAggregated is the unsmoothed Galerkin product P_aggᵀ·A·P_agg for a
+// 0/1 aggregation: every fine entry accumulates into its aggregate pair.
+// Used between matching passes, where the pair-level coupling strengths —
+// not a solver-grade operator — are what the next pass needs.
+func galerkinAggregated(a csrArrays, agg []int32, nc int) csrArrays {
+	mPtr, members := groupByAggregate(agg, nc)
+	out := csrArrays{ptr: make([]int32, nc+1)}
+	acc := newRowAccumulator(nc)
+	for ic := 0; ic < nc; ic++ {
+		for m := mPtr[ic]; m < mPtr[ic+1]; m++ {
+			i := members[m]
+			for k := a.ptr[i]; k < a.ptr[i+1]; k++ {
+				acc.add(agg[a.col[k]], a.val[k])
+			}
+		}
+		out.col, out.val = acc.flush(out.col, out.val)
+		out.ptr[ic+1] = int32(len(out.col))
+	}
+	return out
+}
+
+// transfer is a level's smoothed-aggregation prolongation P, stored twice in
+// CSR layout: by fine row (p*) for the prolongation x += P·e, and by coarse
+// row (pt*) for the restriction b_c = Pᵀ·r. Both kernels parallelize over
+// their respective output rows with a fixed per-row summation order, so they
+// are bit-identical for any worker count.
+type transfer struct {
+	pPtr, pCol   []int32
+	pVal         []float64
+	ptPtr, ptCol []int32
+	ptVal        []float64
+}
+
+// saOmega is the prolongation-smoothing damping 4/(3·λmax) applied to the
+// Jacobi-scaled operator — the standard smoothed-aggregation choice, which
+// damps the tentative prolongation's high-frequency content without
+// overshooting on the upper spectrum.
+const saOmega = 4.0 / 3.0
+
+// smoothedProlongation builds P = (I − ω·D⁻¹A)·P_agg from the tentative
+// piecewise-constant aggregation prolongation. Plain aggregation transfers
+// represent smooth error so poorly that V-cycle convergence degrades with
+// every added level; one damped-Jacobi smoothing pass fixes the
+// approximation property and keeps the hierarchy's convergence rate
+// mesh-independent. The rows of P follow A's sparsity (plus the diagonal),
+// assembled deterministically through the sorted COO→CSR path.
+func smoothedProlongation(a csrArrays, invDiag []float64, lmax float64, agg []int32, nc int) *transfer {
+	n := len(invDiag)
+	omega := saOmega / lmax
+	p := csrArrays{ptr: make([]int32, n+1)}
+	acc := newRowAccumulator(nc)
+	for i := 0; i < n; i++ {
+		acc.add(agg[i], 1)
+		s := omega * invDiag[i]
+		for k := a.ptr[i]; k < a.ptr[i+1]; k++ {
+			acc.add(agg[a.col[k]], -s*a.val[k])
+		}
+		p.col, p.val = acc.flush(p.col, p.val)
+		p.ptr[i+1] = int32(len(p.col))
+	}
+	p = filterRows(p)
+	pt := transpose(p, nc)
+	return &transfer{
+		pPtr: p.ptr, pCol: p.col, pVal: p.val,
+		ptPtr: pt.ptr, ptCol: pt.col, ptVal: pt.val,
+	}
+}
+
+// transpose flips an n×nc CSR to nc×n by counting sort: scatter in fine-row
+// order lands every transposed row with ascending columns, no sort needed.
+func transpose(p csrArrays, nc int) csrArrays {
+	nnz := len(p.col)
+	pt := csrArrays{
+		ptr: make([]int32, nc+1),
+		col: make([]int32, nnz),
+		val: make([]float64, nnz),
+	}
+	for _, c := range p.col {
+		pt.ptr[c+1]++
+	}
+	for c := 0; c < nc; c++ {
+		pt.ptr[c+1] += pt.ptr[c]
+	}
+	next := make([]int32, nc)
+	copy(next, pt.ptr[:nc])
+	for i := 0; i < p.rows(); i++ {
+		for k := p.ptr[i]; k < p.ptr[i+1]; k++ {
+			c := p.col[k]
+			pt.col[next[c]] = int32(i)
+			pt.val[next[c]] = p.val[k]
+			next[c]++
+		}
+	}
+	return pt
+}
+
+// galerkin assembles the coarse operator A_c = Pᵀ·A·P as two sparse
+// products over a dense row accumulator. Assembly is sequential (it runs
+// once per hierarchy build) and every row is flushed in sorted column
+// order, so the coarse matrix is independent of everything but the fine
+// matrix and the aggregation.
+func galerkin(a csrArrays, t *transfer, nc int) (*sparse.CSR, error) {
+	// Phase 1: W = A·P, each fine row computed exactly once. Folding this
+	// into the coarse-row loop instead would recompute row i of A·P for
+	// every coarse row whose restriction touches i — roughly a |P row|-fold
+	// (~10×) blowup that dominated hierarchy construction.
+	n := a.rows()
+	acc := newRowAccumulator(nc)
+	w := csrArrays{ptr: make([]int32, n+1)}
+	for i := 0; i < n; i++ {
+		for ka := a.ptr[i]; ka < a.ptr[i+1]; ka++ {
+			j := a.col[ka]
+			av := a.val[ka]
+			for kj := t.pPtr[j]; kj < t.pPtr[j+1]; kj++ {
+				acc.add(t.pCol[kj], av*t.pVal[kj])
+			}
+		}
+		w.col, w.val = acc.flush(w.col, w.val)
+		w.ptr[i+1] = int32(len(w.col))
+	}
+	// Phase 2: A_c = Pᵀ·W, one coarse row at a time.
+	rowPtr := make([]int, nc+1)
+	var col []int32
+	var val []float64
+	for ic := 0; ic < nc; ic++ {
+		for kf := t.ptPtr[ic]; kf < t.ptPtr[ic+1]; kf++ {
+			i := t.ptCol[kf]
+			pv := t.ptVal[kf]
+			for kw := w.ptr[i]; kw < w.ptr[i+1]; kw++ {
+				acc.add(w.col[kw], pv*w.val[kw])
+			}
+		}
+		col, val = acc.flush(col, val)
+		rowPtr[ic+1] = len(col)
+	}
+	colIdx := make([]int, len(col))
+	for k, c := range col {
+		colIdx[k] = int(c)
+	}
+	return sparse.NewCSRFromSorted(nc, nc, rowPtr, colIdx, val)
+}
+
+// pDropTol filters the smoothed prolongation: entries below pDropTol times
+// the row's largest magnitude are dropped and the survivors rescaled to
+// keep the row sum (constants stay exactly representable). Smoothing widens
+// P at every level and the Galerkin stencils compound on top — without
+// filtering, deep coarse levels densify and hierarchy construction goes
+// quadratic. Filtering P rather than the coarse operator keeps A_c a true
+// Galerkin product PᵀAP, so positive definiteness is inherited instead of
+// maintained by hand. (Sparsifying A_c directly with |a_ij| lumped into the
+// diagonals keeps SPD but destroys the row sums the aggregation nullspace
+// relies on — measured 10× iteration blow-up on the stack systems — so the
+// prolongation is the only place filtering is safe.) The value trades
+// transfer quality against coarse-stencil growth; 0.02 minimizes total
+// build+solve time across the reference resolutions.
+const pDropTol = 0.02
+
+// filterRows applies pDropTol row filtering (see above) in place on
+// freshly extracted prolongation arrays.
+func filterRows(p csrArrays) csrArrays {
+	out := csrArrays{ptr: make([]int32, len(p.ptr))}
+	for i := 0; i < p.rows(); i++ {
+		lo, hi := p.ptr[i], p.ptr[i+1]
+		var wmax, sum float64
+		for k := lo; k < hi; k++ {
+			if w := math.Abs(p.val[k]); w > wmax {
+				wmax = w
+			}
+			sum += p.val[k]
+		}
+		cut := pDropTol * wmax
+		var kept float64
+		for k := lo; k < hi; k++ {
+			if math.Abs(p.val[k]) >= cut {
+				kept += p.val[k]
+			}
+		}
+		scale := 1.0
+		if kept != 0 {
+			scale = sum / kept
+		}
+		for k := lo; k < hi; k++ {
+			if math.Abs(p.val[k]) >= cut {
+				out.col = append(out.col, p.col[k])
+				out.val = append(out.val, scale*p.val[k])
+			}
+		}
+		out.ptr[i+1] = int32(len(out.col))
+	}
+	return out
+}
+
+// denseFrom expands the (small) coarsest matrix for direct factorization.
+func denseFrom(a *sparse.CSR) *linalg.Matrix {
+	m := linalg.NewMatrix(a.Rows(), a.Cols())
+	a.Each(func(i, j int, v float64) {
+		m.Set(i, j, v)
+	})
+	return m
+}

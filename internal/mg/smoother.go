@@ -1,0 +1,84 @@
+package mg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// newSmoother prepares the level's Chebyshev smoother: the inverse diagonal
+// and the eigenvalue bounds [λmax/rng, λmax] of the Jacobi-scaled operator
+// B = D⁻¹A (Gershgorin upper bound). Unlike the standalone Chebyshev
+// preconditioner — which targets the whole spectrum — a smoother only has
+// to damp the upper part; the coarse-grid correction handles the rest. A
+// narrower interval makes the low-degree polynomial far more effective on
+// the modes it owns.
+func (lv *level) newSmoother(rng float64) error {
+	a := lv.a
+	n := a.Rows()
+	inv := make([]float64, n)
+	d := a.Diagonal()
+	for i, v := range d {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("mg: diagonal %g at row %d of a %d-cell level (matrix not SPD?)", v, i, n)
+		}
+		inv[i] = 1 / v
+	}
+	rowAbs := make([]float64, n)
+	a.Each(func(i, _ int, v float64) { rowAbs[i] += math.Abs(v) })
+	var lmax float64
+	for i := 0; i < n; i++ {
+		if b := rowAbs[i] * inv[i]; b > lmax {
+			lmax = b
+		}
+	}
+	if lmax <= 0 || math.IsNaN(lmax) || math.IsInf(lmax, 0) {
+		return fmt.Errorf("mg: smoother eigenvalue bound %g", lmax)
+	}
+	lmin := lmax / rng
+	lv.invDiag = inv
+	lv.lmax = lmax
+	lv.theta = (lmax + lmin) / 2
+	lv.delta = (lmax - lmin) / 2
+	return nil
+}
+
+// smooth runs the fixed-degree Chebyshev semi-iteration on B·z = D⁻¹r from
+// z = 0 (Saad, Iterative Methods, alg. 12.1), the same recurrence as
+// sparse's Chebyshev preconditioner but with smoother bounds. z is a fixed
+// polynomial in B applied to D⁻¹r — a linear, symmetric operation — and
+// every step is a pooled matvec or element-wise update, so the result is
+// bit-identical for any worker count. z must not alias r or the scratch.
+func (lv *level) smooth(z, r []float64, p *sparse.Pool) {
+	a, invD := lv.a, lv.invDiag
+	d, res, t := lv.cd, lv.cres, lv.ct
+	invTheta := 1 / lv.theta
+	p.Range(len(r), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rh := invD[i] * r[i]
+			res[i] = rh
+			di := rh * invTheta
+			d[i] = di
+			z[i] = di
+		}
+	})
+	sigma := lv.theta / lv.delta
+	rhoOld := 1 / sigma
+	for k := 2; k <= lv.degree; k++ {
+		a.MulVecParallel(p, d, t)
+		rho := 1 / (2*sigma - rhoOld)
+		c1 := rho * rhoOld
+		c2 := 2 * rho / lv.delta
+		p.Range(len(r), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ri := res[i] - invD[i]*t[i]
+				res[i] = ri
+				di := c1*d[i] + c2*ri
+				d[i] = di
+				z[i] += di
+			}
+		})
+		rhoOld = rho
+	}
+}

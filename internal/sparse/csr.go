@@ -99,6 +99,37 @@ type CSR struct {
 	val        []float64
 }
 
+// NewCSRFromSorted wraps pre-compressed arrays as a CSR matrix without the
+// COO round-trip, for callers that assemble rows in order with sorted,
+// deduplicated columns (e.g. the multigrid Galerkin products, whose
+// accumulator already flushes that layout — re-sorting it through ToCSR
+// dominated hierarchy construction). The slices are adopted, not copied;
+// the caller must not modify them afterwards. The layout is validated in
+// one O(nnz) pass.
+func NewCSRFromSorted(rows, cols int, rowPtr, colIdx []int, val []float64) (*CSR, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sparse: invalid CSR dimensions %dx%d", rows, cols)
+	}
+	if len(rowPtr) != rows+1 || rowPtr[0] != 0 || rowPtr[rows] != len(colIdx) || len(colIdx) != len(val) {
+		return nil, fmt.Errorf("sparse: inconsistent CSR arrays: %d rowPtr, %d colIdx, %d val",
+			len(rowPtr), len(colIdx), len(val))
+	}
+	for i := 0; i < rows; i++ {
+		if rowPtr[i] > rowPtr[i+1] {
+			return nil, fmt.Errorf("sparse: rowPtr not monotone at row %d", i)
+		}
+		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+			if j := colIdx[k]; j < 0 || j >= cols {
+				return nil, fmt.Errorf("sparse: column %d out of range in row %d", j, i)
+			}
+			if k > rowPtr[i] && colIdx[k] <= colIdx[k-1] {
+				return nil, fmt.Errorf("sparse: columns not strictly ascending in row %d", i)
+			}
+		}
+	}
+	return &CSR{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, val: val}, nil
+}
+
 // Rows returns the row count.
 func (m *CSR) Rows() int { return m.rows }
 

@@ -225,6 +225,19 @@ func (p *Pool) xpby(d, z []float64, beta float64) {
 	})
 }
 
+// Range runs body(lo, hi) over the fixed deterministic chunk grid for
+// length n, spreading the chunks across the pool's workers. Chunk boundaries
+// depend only on n — never on the worker count — and each chunk is processed
+// by exactly one worker with a plain sequential loop, so any computation
+// whose chunks are independent (element-wise updates, per-row sums) is
+// bit-identical for any worker count. A nil pool runs sequentially over the
+// same grid. It exists for external deterministic kernels (e.g. the
+// multigrid transfer operators in internal/mg); reductions that must combine
+// partials stay inside this package.
+func (p *Pool) Range(n int, body func(lo, hi int)) {
+	p.parRange(n, func(lo, hi, _ int) { body(lo, hi) })
+}
+
 // MulVecParallel computes y = A·x across the pool's workers, reusing y when
 // it has the right length. The result is bitwise identical to MulVec for
 // any worker count (rows are independent; no reduction is involved). A nil

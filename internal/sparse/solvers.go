@@ -36,6 +36,28 @@ type Options struct {
 	// across the many linear solves of a transient integration. The caller
 	// retains ownership and must Close it.
 	Pool *Pool
+	// MG supplies the multigrid hierarchy applied when Precond is PrecondMG.
+	// It must have been built for the same matrix passed to the solver
+	// (enforced by a size check). The solvers never build a hierarchy
+	// themselves: construction needs the grid structure behind the matrix,
+	// which the matrix alone does not carry — internal/fem builds and
+	// attaches hierarchies for its structured finite-volume grids.
+	MG MGSolver
+}
+
+// MGSolver is the hook through which a multigrid hierarchy (internal/mg)
+// plugs into the iterative solvers as a preconditioner without this package
+// importing it. Implementations must be fixed linear SPD operators —
+// CG's convergence theory assumes the preconditioner does not change
+// between iterations — and deterministic for any pool worker count.
+type MGSolver interface {
+	// Cycle applies one multigrid cycle approximating A⁻¹·r into z, running
+	// its kernels on pool p (nil = sequential). z and r have Size() elements.
+	Cycle(z, r []float64, p *Pool)
+	// Levels reports the hierarchy depth (≥ 1).
+	Levels() int
+	// Size reports the fine-grid unknown count the hierarchy was built for.
+	Size() int
 }
 
 // PrecondKind enumerates the available preconditioners.
@@ -59,6 +81,14 @@ const (
 	// element-wise update, so it parallelizes across workers and stays
 	// bit-identical for any worker count.
 	PrecondChebyshev
+	// PrecondMG applies one V-cycle of a geometric multigrid hierarchy
+	// supplied via Options.MG. On the structured finite-volume grids of this
+	// repository the CG iteration count becomes essentially mesh-independent,
+	// which is what makes fine-resolution reference solves tractable. Like
+	// Chebyshev, every operation is a matrix product, transfer, or
+	// element-wise update on a fixed chunk grid, so solves stay bit-identical
+	// for any worker count.
+	PrecondMG
 )
 
 func (p PrecondKind) String() string {
@@ -73,9 +103,32 @@ func (p PrecondKind) String() string {
 		return "ssor"
 	case PrecondChebyshev:
 		return "chebyshev"
+	case PrecondMG:
+		return "multigrid"
 	default:
 		return fmt.Sprintf("PrecondKind(%d)", int(p))
 	}
+}
+
+// ParsePrecond converts a command-line spelling into a PrecondKind.
+// "auto" and "default" select PrecondDefault (the caller's policy decides);
+// "mg" and "multigrid" both select PrecondMG.
+func ParsePrecond(s string) (PrecondKind, error) {
+	switch s {
+	case "auto", "default", "":
+		return PrecondDefault, nil
+	case "jacobi":
+		return PrecondJacobi, nil
+	case "none":
+		return PrecondNone, nil
+	case "ssor":
+		return PrecondSSOR, nil
+	case "chebyshev":
+		return PrecondChebyshev, nil
+	case "mg", "multigrid":
+		return PrecondMG, nil
+	}
+	return PrecondDefault, fmt.Errorf("sparse: unknown preconditioner %q (want auto, jacobi, none, ssor, chebyshev or mg)", s)
 }
 
 // Stats reports what an iterative solve did.
@@ -92,10 +145,16 @@ type Stats struct {
 	Wall time.Duration
 	// Workers is the kernel worker count the solve ran on (1 = sequential).
 	Workers int
+	// Levels is the multigrid hierarchy depth when Precond is PrecondMG,
+	// zero otherwise.
+	Levels int
 }
 
 func (s Stats) String() string {
 	out := fmt.Sprintf("%d iterations, residual %.3g, precond %v", s.Iterations, s.Residual, s.Precond)
+	if s.Levels > 0 {
+		out += fmt.Sprintf(" (%d levels)", s.Levels)
+	}
 	if s.Workers > 1 {
 		out += fmt.Sprintf(", %d workers", s.Workers)
 	}
@@ -192,7 +251,16 @@ func (p *ssorPrecond) apply(z, r []float64) {
 	}
 }
 
-func makePrecond(a *CSR, kind PrecondKind, pl *Pool) (preconditioner, PrecondKind, error) {
+// mgPrecond adapts an MGSolver hierarchy to the internal preconditioner
+// interface, binding the pool of the enclosing solve.
+type mgPrecond struct {
+	h    MGSolver
+	pool *Pool
+}
+
+func (m mgPrecond) apply(z, r []float64) { m.h.Cycle(z, r, m.pool) }
+
+func makePrecond(a *CSR, kind PrecondKind, mg MGSolver, pl *Pool) (preconditioner, PrecondKind, error) {
 	if kind == PrecondDefault {
 		if pl.Workers() > 1 {
 			kind = PrecondChebyshev
@@ -212,6 +280,14 @@ func makePrecond(a *CSR, kind PrecondKind, pl *Pool) (preconditioner, PrecondKin
 	case PrecondChebyshev:
 		p, err := newChebyshev(a, pl)
 		return p, PrecondChebyshev, err
+	case PrecondMG:
+		if mg == nil {
+			return nil, kind, fmt.Errorf("sparse: PrecondMG requires Options.MG (build a hierarchy with internal/mg)")
+		}
+		if mg.Size() != a.Rows() {
+			return nil, kind, fmt.Errorf("sparse: multigrid hierarchy built for %d unknowns, matrix has %d", mg.Size(), a.Rows())
+		}
+		return mgPrecond{h: mg, pool: pl}, PrecondMG, nil
 	default:
 		return nil, kind, fmt.Errorf("sparse: unknown preconditioner %v", kind)
 	}
@@ -254,9 +330,13 @@ func SolveCGCtx(ctx context.Context, a *CSR, b []float64, opt Options) ([]float6
 		defer pl.Close()
 	}
 	stats := func(it int, res float64, kind PrecondKind) Stats {
-		return Stats{Iterations: it, Residual: res, Precond: kind, Wall: time.Since(start), Workers: pl.Workers()}
+		st := Stats{Iterations: it, Residual: res, Precond: kind, Wall: time.Since(start), Workers: pl.Workers()}
+		if kind == PrecondMG && opt.MG != nil {
+			st.Levels = opt.MG.Levels()
+		}
+		return st
 	}
-	pre, kind, err := makePrecond(a, opt.Precond, pl)
+	pre, kind, err := makePrecond(a, opt.Precond, opt.MG, pl)
 	if err != nil {
 		return nil, stats(0, 0, kind), err
 	}
@@ -324,7 +404,7 @@ func SolveBiCGSTAB(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
 	if len(b) != n {
 		return nil, Stats{}, fmt.Errorf("sparse: BiCGSTAB rhs length %d, want %d", len(b), n)
 	}
-	pre, kind, err := makePrecond(a, opt.Precond, nil)
+	pre, kind, err := makePrecond(a, opt.Precond, opt.MG, nil)
 	if err != nil {
 		return nil, Stats{Precond: kind}, err
 	}

@@ -112,10 +112,29 @@ type (
 	// SolverStats reports an iterative linear solve (iterations, residual,
 	// preconditioner); see Result.Solver and SolveReferenceStats.
 	SolverStats = sparse.Stats
+	// PrecondKind selects the reference solver's preconditioner; see
+	// Resolution.Precond and the Precond* constants.
+	PrecondKind = sparse.PrecondKind
 	// PlanOptions controls worker count and memoization of insertion
 	// planning.
 	PlanOptions = plan.Options
 )
+
+// Preconditioner choices for Resolution.Precond. PrecondAuto picks per
+// system: geometric multigrid above a few thousand unknowns, SSOR
+// (sequential) or Chebyshev (parallel) below.
+const (
+	PrecondAuto      = sparse.PrecondDefault
+	PrecondJacobi    = sparse.PrecondJacobi
+	PrecondNone      = sparse.PrecondNone
+	PrecondSSOR      = sparse.PrecondSSOR
+	PrecondChebyshev = sparse.PrecondChebyshev
+	PrecondMG        = sparse.PrecondMG
+)
+
+// ParsePrecond converts a command-line spelling ("auto", "jacobi", "none",
+// "ssor", "chebyshev", "mg") into a PrecondKind.
+func ParsePrecond(s string) (PrecondKind, error) { return sparse.ParsePrecond(s) }
 
 // Stock materials (conductivities from the paper's §IV).
 var (
