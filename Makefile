@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify race bench bench-json fuzz clean
+.PHONY: all build test verify race bench bench-json bench-compare fuzz clean
 
 all: build test
 
@@ -40,6 +40,16 @@ BENCH_OUT ?= BENCH_ref.json
 bench-json:
 	@out=$$($(GO) test -run '^$$' -bench Reference -benchtime $(BENCHTIME) .) || { printf '%s\n' "$$out"; exit 1; }; \
 	printf '%s\n' "$$out" | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+
+# bench-compare guards the solver's performance: it reruns the reference
+# benchmarks and diffs them against the committed BENCH_ref.json, failing
+# when any wall time regresses by more than BENCH_THRESHOLD percent.
+# Wall-clock noise means a single 2x run can wobble; rerun (or re-archive
+# with bench-json) before trusting a marginal failure.
+BENCH_THRESHOLD ?= 25
+bench-compare:
+	@out=$$($(GO) test -run '^$$' -bench Reference -benchtime $(BENCHTIME) .) || { printf '%s\n' "$$out"; exit 1; }; \
+	printf '%s\n' "$$out" | $(GO) run ./cmd/benchjson -compare BENCH_ref.json -threshold $(BENCH_THRESHOLD)
 
 # Seed corpora run on every plain `go test`; this target explores further.
 # Usage: make fuzz FUZZ=FuzzLoadBlockConfig PKG=./internal/stack FUZZTIME=30s

@@ -10,6 +10,13 @@
 // Benchmark prefix and -P GOMAXPROCS suffix), the b.N iteration count,
 // ns/op, and all remaining value/unit pairs (B/op, allocs/op, custom
 // b.ReportMetric units such as cgiters or mglevels) in a metrics map.
+//
+// With -compare the parsed input is diffed against a previously archived
+// document instead of being re-emitted; the command fails when any
+// benchmark's wall time regresses past -threshold percent. This is the
+// engine behind `make bench-compare`:
+//
+//	go test -run '^$' -bench Reference -benchtime 2x . | benchjson -compare BENCH_ref.json
 package main
 
 import (
@@ -43,29 +50,86 @@ type Document struct {
 }
 
 func main() {
-	out := flag.String("o", "", "write JSON here instead of stdout")
-	flag.Parse()
-	doc, err := parse(os.Stdin)
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	w := io.Writer(os.Stdout)
-	if *out != "" {
-		f, err := os.Create(*out)
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	outPath := fs.String("o", "", "write JSON here instead of stdout")
+	refPath := fs.String("compare", "", "diff the input against this archived JSON instead of emitting JSON")
+	threshold := fs.Float64("threshold", 25, "with -compare, fail when any ns/op regresses by more than this percentage")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	doc, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if *refPath != "" {
+		return compare(doc, *refPath, *threshold, out)
+	}
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	return enc.Encode(doc)
+}
+
+// compare diffs doc against the archived reference document, one line per
+// benchmark, and fails when any matched benchmark's ns/op exceeds its
+// reference by more than threshold percent. Benchmarks present on only one
+// side are reported but never fail the comparison — the archive may predate
+// newly added benchmarks. Getting faster is never a failure.
+func compare(doc *Document, refPath string, threshold float64, w io.Writer) error {
+	data, err := os.ReadFile(refPath)
+	if err != nil {
+		return err
 	}
+	var ref Document
+	if err := json.Unmarshal(data, &ref); err != nil {
+		return fmt.Errorf("reference %s: %w", refPath, err)
+	}
+	refByName := make(map[string]Record, len(ref.Benchmarks))
+	for _, r := range ref.Benchmarks {
+		refByName[r.Name] = r
+	}
+	var regressed []string
+	matched := 0
+	for _, b := range doc.Benchmarks {
+		r, ok := refByName[b.Name]
+		if !ok || r.NsPerOp <= 0 {
+			fmt.Fprintf(w, "%-40s %14.0f ns/op   (no reference)\n", b.Name, b.NsPerOp)
+			continue
+		}
+		matched++
+		delta := 100 * (b.NsPerOp - r.NsPerOp) / r.NsPerOp
+		mark := ""
+		if delta > threshold {
+			mark = "   REGRESSION"
+			regressed = append(regressed, fmt.Sprintf("%s (%+.1f%%)", b.Name, delta))
+		}
+		fmt.Fprintf(w, "%-40s %14.0f ns/op   ref %14.0f   %+6.1f%%%s\n",
+			b.Name, b.NsPerOp, r.NsPerOp, delta, mark)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmark on input matches the reference %s", refPath)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %g%% vs %s: %s",
+			len(regressed), threshold, refPath, strings.Join(regressed, ", "))
+	}
+	fmt.Fprintf(w, "ok: %d benchmark(s) within %g%% of %s\n", matched, threshold, refPath)
+	return nil
 }
 
 func parse(r io.Reader) (*Document, error) {

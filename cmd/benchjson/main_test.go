@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -48,5 +51,97 @@ func TestParseRejectsEmpty(t *testing.T) {
 func TestParseRejectsMalformed(t *testing.T) {
 	if _, err := parse(strings.NewReader("BenchmarkX-4 notanumber 5 ns/op\n")); err == nil {
 		t.Fatal("accepted a malformed count")
+	}
+}
+
+// writeRef archives sample (scaled by factor on ns/op) as a reference JSON
+// for the compare tests.
+func writeRef(t *testing.T, json string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ref.json")
+	if err := os.WriteFile(path, []byte(json), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const refJSON = `{
+  "benchmarks": [
+    {"name": "ReferenceSolveDefault", "iterations": 10, "ns_per_op": 100000000},
+    {"name": "ReferenceMGRefined2", "iterations": 5, "ns_per_op": 222333444}
+  ]
+}`
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	// Sample's ReferenceSolveDefault runs 111222333 ns/op vs a 1e8 reference:
+	// an 11.2% regression, inside the 25% default.
+	ref := writeRef(t, refJSON)
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", ref}, strings.NewReader(sample), &buf); err != nil {
+		t.Fatalf("within-threshold compare failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ok: 2 benchmark(s) within 25%") {
+		t.Errorf("no pass summary:\n%s", out)
+	}
+	if !strings.Contains(out, "+11.2%") {
+		t.Errorf("delta not reported:\n%s", out)
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	ref := writeRef(t, refJSON)
+	var buf bytes.Buffer
+	err := run([]string{"-compare", ref, "-threshold", "10"}, strings.NewReader(sample), &buf)
+	if err == nil {
+		t.Fatalf("11.2%% regression passed a 10%% threshold:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "ReferenceSolveDefault") {
+		t.Errorf("error does not name the regressed benchmark: %v", err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("regression not marked in the table:\n%s", buf.String())
+	}
+}
+
+func TestCompareIgnoresUnmatchedBenchmarks(t *testing.T) {
+	// Only one of the two input benchmarks has a reference; the other is
+	// reported but cannot fail the run.
+	ref := writeRef(t, `{"benchmarks": [{"name": "ReferenceMGRefined2", "iterations": 5, "ns_per_op": 222333444}]}`)
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", ref}, strings.NewReader(sample), &buf); err != nil {
+		t.Fatalf("unmatched benchmark failed the compare: %v", err)
+	}
+	if !strings.Contains(buf.String(), "(no reference)") {
+		t.Errorf("unmatched benchmark not flagged:\n%s", buf.String())
+	}
+}
+
+func TestCompareRejectsDisjointSets(t *testing.T) {
+	ref := writeRef(t, `{"benchmarks": [{"name": "SomethingElse", "iterations": 1, "ns_per_op": 5}]}`)
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", ref}, strings.NewReader(sample), &buf); err == nil {
+		t.Fatal("compare with zero matched benchmarks passed")
+	}
+}
+
+func TestCompareRejectsBadReference(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", "/does/not/exist.json"}, strings.NewReader(sample), &buf); err == nil {
+		t.Fatal("missing reference accepted")
+	}
+	ref := writeRef(t, "not json")
+	if err := run([]string{"-compare", ref}, strings.NewReader(sample), &buf); err == nil {
+		t.Fatal("malformed reference accepted")
+	}
+}
+
+func TestRunEmitsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, strings.NewReader(sample), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"name": "ReferenceSolveDefault"`) {
+		t.Errorf("JSON output missing record:\n%s", buf.String())
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/cliobs"
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/sparse"
@@ -39,7 +40,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("ttsvlab", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "thin sweeps and a coarser reference mesh")
 	plot := fs.Bool("plot", false, "draw ASCII figures for the sweeps")
@@ -47,8 +48,9 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all CPUs); tables are identical for any count")
 	solverWorkers := fs.Int("solver-workers", 0, "parallel linear-solver kernel workers per reference solve (<= 1 = sequential)")
 	precond := fs.String("precond", "auto", "reference-solver preconditioner: auto, jacobi, ssor, chebyshev, mg or none")
+	obsf := cliobs.Register(fs)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: ttsvlab [-quick] [-plot] [-csv DIR] [-workers N] [-solver-workers N] [-precond KIND] {fig4|fig5|fig6|fig7|table1|casestudy|calibrate|planes|transient|all}")
+		fmt.Fprintln(fs.Output(), "usage: ttsvlab [-quick] [-plot] [-csv DIR] [-workers N] [-solver-workers N] [-precond KIND] [-trace FILE] [-metrics] [-pprof ADDR] {fig4|fig5|fig6|fig7|table1|casestudy|calibrate|planes|transient|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -58,10 +60,20 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("exactly one experiment required")
 	}
+	tracer, err := obsf.Start(out)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := obsf.Finish(out); err == nil {
+			err = ferr
+		}
+	}()
 	cfg := experiments.Default()
 	if *quick {
 		cfg = experiments.Quick()
 	}
+	cfg.Trace = tracer
 	cfg.Workers = *workers
 	cfg.Resolution.Workers = *solverWorkers
 	pk, err := sparse.ParsePrecond(*precond)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -69,6 +71,38 @@ func TestRunCSVExport(t *testing.T) {
 func TestRunPlotFlag(t *testing.T) {
 	if err := run([]string{"-quick", "-plot", "fig7"}, io.Discard); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunTraceAndMetrics(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "fig7.ndjson")
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-trace", trace, "-metrics", "fig7"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var r struct {
+			Span string `json:"span"`
+		}
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		seen[r.Span] = true
+	}
+	for _, want := range []string{"experiments.fig7", "sweep.run", "sweep.job", "fem.solve", "sparse.cg"} {
+		if !seen[want] {
+			t.Errorf("trace missing %q span (have %v)", want, seen)
+		}
+	}
+	for _, want := range []string{"sweep.jobs", "sparse.cg.solves", "experiments.runs"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("-metrics dump missing %q", want)
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"os"
 
 	ttsv "repro"
+	"repro/internal/cliobs"
 )
 
 func main() {
@@ -38,7 +39,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("ttsvplan", flag.ContinueOnError)
 	fpPath := fs.String("floorplan", "", "JSON floorplan file (required)")
 	budget := fs.Float64("budget", 15, "maximum allowed temperature rise [K]")
@@ -49,6 +50,7 @@ func run(args []string, out io.Writer) error {
 	c1 := fs.Float64("c1", 3.5, "Model A plane-1 spreading coefficient")
 	verify := fs.Bool("verify", false, "run the full-chip 3-D verification solve")
 	workers := fs.Int("workers", 0, "parallel tile-planning workers (0 = all CPUs); the plan is identical for any count")
+	obsf := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +58,15 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-floorplan is required")
 	}
+	tracer, err := obsf.Start(out)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := obsf.Finish(out); err == nil {
+			err = ferr
+		}
+	}()
 	f, err := loadFloorplan(*fpPath)
 	if err != nil {
 		return err
@@ -74,7 +85,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	tech := ttsv.DefaultTechnology()
-	res, err := ttsv.PlanInsertionWith(f, tech, *budget, m, ttsv.PlanOptions{Workers: *workers})
+	res, err := ttsv.PlanInsertionWith(f, tech, *budget, m, ttsv.PlanOptions{Workers: *workers, Trace: tracer})
 	if err != nil {
 		return err
 	}

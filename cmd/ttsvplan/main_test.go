@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -77,6 +78,47 @@ func TestPlanCLIVerify(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "plan holds chip-wide") {
 		t.Errorf("verification did not confirm the plan:\n%s", buf.String())
+	}
+}
+
+func TestPlanCLITraceAndMetrics(t *testing.T) {
+	path := writeFloorplan(t, demoFP)
+	trace := filepath.Join(t.TempDir(), "plan.ndjson")
+	var buf bytes.Buffer
+	if err := run([]string{"-floorplan", path, "-budget", "12", "-trace", trace, "-metrics"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		Span   string `json:"span"`
+		ID     int64  `json:"id"`
+		Parent int64  `json:"parent"`
+	}
+	var runID int64
+	tiles := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		switch r.Span {
+		case "plan.run":
+			runID = r.ID
+		case "plan.tile":
+			tiles++
+		}
+	}
+	if runID == 0 {
+		t.Error("no plan.run span")
+	}
+	if tiles != 4 {
+		t.Errorf("got %d plan.tile spans for a 2×2 floorplan, want 4", tiles)
+	}
+	if !strings.Contains(buf.String(), "plan.tiles") {
+		t.Errorf("-metrics dump missing plan.tiles:\n%s", buf.String())
 	}
 }
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	ttsv "repro"
+	"repro/internal/cliobs"
 	"repro/internal/stack"
 	"repro/internal/units"
 )
@@ -27,7 +29,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("ttsvsolve", flag.ContinueOnError)
 	model := fs.String("model", "all", "model to run: A, B, 1D, ref or all")
 	segments := fs.Int("segments", 100, "Model B segments per plane")
@@ -48,9 +50,19 @@ func run(args []string, out io.Writer) error {
 	precond := fs.String("precond", "auto", "reference-solver preconditioner: auto, jacobi, ssor, chebyshev, mg or none (only -model ref)")
 	verbose := fs.Bool("v", false, "print per-solve linear-solver statistics (iterations, residual, preconditioner)")
 	config := fs.String("config", "", "JSON block config file (SI units); explicit flags override its fields")
+	obsf := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tracer, err := obsf.Start(out)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := obsf.Finish(out); err == nil {
+			err = ferr
+		}
+	}()
 
 	cfg := ttsv.DefaultBlock()
 	if *config != "" {
@@ -111,7 +123,8 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		dt, st, err := ttsv.SolveReferenceStats(s, res)
+		ctx := ttsv.TraceContext(context.Background(), tracer)
+		dt, st, err := ttsv.SolveReferenceStatsCtx(ctx, s, res)
 		if err != nil {
 			return err
 		}

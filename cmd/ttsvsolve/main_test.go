@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -83,6 +84,67 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-not-a-flag"}, &buf); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// A reference solve behind -trace must emit a parseable NDJSON span chain
+// covering assembly → preconditioner setup → CG, and -metrics must dump the
+// solver series.
+func TestRunTraceAndMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	var buf bytes.Buffer
+	if err := run([]string{"-model", "ref", "-r", "10", "-trace", path, "-metrics"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		Span   string `json:"span"`
+		ID     int64  `json:"id"`
+		Parent int64  `json:"parent"`
+	}
+	byName := map[string][]rec{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		byName[r.Span] = append(byName[r.Span], r)
+	}
+	solves := byName["fem.solve"]
+	if len(solves) != 1 {
+		t.Fatalf("got %d fem.solve spans, want 1 (spans: %v)", len(solves), byName)
+	}
+	for _, name := range []string{"fem.assemble", "fem.precond", "sparse.cg"} {
+		rs := byName[name]
+		if len(rs) == 0 {
+			t.Errorf("trace missing %q span", name)
+			continue
+		}
+		if rs[0].Parent != solves[0].ID {
+			t.Errorf("%s parented to %d, want fem.solve id %d", name, rs[0].Parent, solves[0].ID)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "trace: wrote "+path) {
+		t.Errorf("trace destination not reported:\n%s", out)
+	}
+	for _, want := range []string{"counter", "sparse.cg.solves", "sparse.cg.iterations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-metrics dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPprofFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-model", "1D", "-pprof", "127.0.0.1:0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pprof: serving on http://127.0.0.1:") {
+		t.Errorf("pprof address not reported:\n%s", buf.String())
 	}
 }
 

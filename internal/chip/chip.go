@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fem"
 	"repro/internal/materials"
+	"repro/internal/obs"
 	"repro/internal/stack"
 	"repro/internal/units"
 )
@@ -152,6 +153,7 @@ func (sys System) UnitCell() (*stack.Stack, error) {
 // Analyze runs a core model on the system's unit cell. The returned MaxDT is
 // the system's maximum temperature rise above the heat sink.
 func (sys System) Analyze(m core.Model) (*core.Result, error) {
+	obs.Default().Counter("chip.analyze.runs").Inc()
 	cell, err := sys.UnitCell()
 	if err != nil {
 		return nil, err
@@ -162,6 +164,7 @@ func (sys System) Analyze(m core.Model) (*core.Result, error) {
 // AnalyzeReference runs the FVM reference solver on the unit cell and
 // returns the maximum temperature rise.
 func (sys System) AnalyzeReference(res fem.Resolution) (float64, *fem.AxiSolution, error) {
+	obs.Default().Counter("chip.analyze.runs").Inc()
 	cell, err := sys.UnitCell()
 	if err != nil {
 		return 0, nil, err

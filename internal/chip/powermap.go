@@ -3,10 +3,12 @@ package chip
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fem"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sparse"
 )
@@ -54,6 +56,13 @@ type PowerMapSolution struct {
 // ignore — tile-to-tile lateral coupling. This mirrors how the paper itself
 // calibrates simple structures against richer references.
 func SolvePowerMap(f *plan.Floorplan, tech plan.Technology, counts [][]int, res PowerMapResolution) (*PowerMapSolution, error) {
+	if r := obs.Default(); r != nil {
+		r.Counter("chip.powermap.solves").Inc()
+		t0 := time.Now()
+		defer func() {
+			r.Histogram("chip.powermap.seconds", obs.ExpBuckets(1e-3, 4, 10)).Observe(time.Since(t0).Seconds())
+		}()
+	}
 	if err := f.Validate(tech); err != nil {
 		return nil, err
 	}

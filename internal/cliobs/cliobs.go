@@ -1,0 +1,76 @@
+// Package cliobs wires the observability flags shared by the ttsv
+// command-line tools: -trace (NDJSON span export), -metrics (registry dump)
+// and -pprof (net/http/pprof debug server).
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Flags holds the parsed observability flag values for one command run.
+type Flags struct {
+	tracePath string
+	metrics   bool
+	pprofAddr string
+
+	traceFile *os.File
+	tracer    *obs.Tracer
+}
+
+// Register adds the -trace, -metrics and -pprof flags to fs and returns the
+// holder to Start/Finish around the command's work.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.tracePath, "trace", "", "write an NDJSON span trace to this file")
+	fs.BoolVar(&f.metrics, "metrics", false, "dump the metrics registry after the run")
+	fs.StringVar(&f.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Start opens the trace sink and the pprof server as requested by the parsed
+// flags and returns the tracer to thread into the run (nil when -trace is
+// unset, which disables span recording throughout the library).
+func (f *Flags) Start(out io.Writer) (*obs.Tracer, error) {
+	if f.pprofAddr != "" {
+		addr, err := obs.ServePprof(f.pprofAddr)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(out, "pprof: serving on http://%s/debug/pprof/\n", addr)
+	}
+	if f.tracePath != "" {
+		fh, err := os.Create(f.tracePath)
+		if err != nil {
+			return nil, err
+		}
+		f.traceFile = fh
+		f.tracer = obs.NewTracer(fh)
+	}
+	return f.tracer, nil
+}
+
+// Finish closes the trace file and dumps the metrics registry when
+// requested. Call it once after the command's work, on success and error
+// paths alike, so a partial trace is still flushed and well-formed.
+func (f *Flags) Finish(out io.Writer) error {
+	if f.traceFile != nil {
+		err := f.tracer.Err()
+		if cerr := f.traceFile.Close(); err == nil {
+			err = cerr
+		}
+		f.traceFile = nil
+		if err != nil {
+			return fmt.Errorf("trace %s: %w", f.tracePath, err)
+		}
+		fmt.Fprintf(out, "trace: wrote %s\n", f.tracePath)
+	}
+	if f.metrics {
+		fmt.Fprint(out, obs.Default().Snapshot().String())
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package cliobs
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func parsed(t *testing.T, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNoFlagsIsInert(t *testing.T) {
+	f := parsed(t)
+	var buf bytes.Buffer
+	tr, err := f.Start(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != nil {
+		t.Error("tracer created without -trace")
+	}
+	if err := f.Finish(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("inert run wrote output: %q", buf.String())
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.ndjson")
+	f := parsed(t, "-trace", path)
+	var buf bytes.Buffer
+	tr, err := f.Start(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil {
+		t.Fatal("no tracer despite -trace")
+	}
+	tr.Start("demo").End()
+	if err := f.Finish(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"span":"demo"`) {
+		t.Errorf("trace file missing span: %q", data)
+	}
+	if !strings.Contains(buf.String(), "trace: wrote "+path) {
+		t.Errorf("destination not reported: %q", buf.String())
+	}
+}
+
+func TestStartRejectsBadTracePath(t *testing.T) {
+	f := parsed(t, "-trace", filepath.Join(t.TempDir(), "missing", "t.ndjson"))
+	if _, err := f.Start(io.Discard); err == nil {
+		t.Error("unwritable trace path accepted")
+	}
+}
+
+func TestMetricsDump(t *testing.T) {
+	obs.Default().Counter("cliobs.test.counter").Inc()
+	f := parsed(t, "-metrics")
+	var buf bytes.Buffer
+	if _, err := f.Start(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Finish(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cliobs.test.counter") {
+		t.Errorf("dump missing counter:\n%s", buf.String())
+	}
+}
+
+func TestPprofServes(t *testing.T) {
+	f := parsed(t, "-pprof", "127.0.0.1:0")
+	var buf bytes.Buffer
+	if _, err := f.Start(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pprof: serving on http://127.0.0.1:") {
+		t.Errorf("address not reported: %q", buf.String())
+	}
+	if err := f.Finish(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

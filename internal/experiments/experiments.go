@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fem"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sparse"
 	"repro/internal/stack"
@@ -49,6 +50,10 @@ type Config struct {
 	// Workers is the concurrency of the batch evaluation engine; values
 	// < 1 select GOMAXPROCS. Results are identical for any worker count.
 	Workers int
+	// Trace optionally records every experiment as NDJSON spans: one
+	// "experiments.<id>" root per sweep with the batch engine's sweep.run /
+	// sweep.job spans and the reference solver's fem/sparse spans below it.
+	Trace *obs.Tracer
 }
 
 // Default returns the paper-faithful configuration.
@@ -131,7 +136,11 @@ func runSweepPoints(cfg Config, sw *Sweep, xs []float64, stacks []*stack.Stack, 
 			jobs = jobs.Add(nm.name, s, nm.model)
 		}
 	}
-	outs, err := sweep.Run(context.Background(), jobs, sweep.Options{Workers: cfg.Workers})
+	ctx := obs.ContextWithTracer(context.Background(), cfg.Trace)
+	ctx, sp := obs.StartSpan(ctx, "experiments."+sw.ID)
+	defer sp.End()
+	obs.Default().Counter("experiments.runs").Inc()
+	outs, err := sweep.Run(ctx, jobs, sweep.Options{Workers: cfg.Workers})
 	if err != nil {
 		return fmt.Errorf("experiments: %s: %w", sw.ID, err)
 	}
@@ -148,6 +157,11 @@ func runSweepPoints(cfg Config, sw *Sweep, xs []float64, stacks []*stack.Stack, 
 				return fmt.Errorf("experiments: %s at x=%g: %w", nm.name, xs[pi], oc.Err)
 			}
 			p.DT[nm.name] = oc.Result.MaxDT
+			if oc.FromCache {
+				// A cached outcome carries the original solve's stats; counting
+				// them again would double-book iterations and wall time.
+				continue
+			}
 			p.Runtime[nm.name] = oc.Runtime
 			p.Solver[nm.name] = oc.Result.Solver
 		}

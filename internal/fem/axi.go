@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -205,14 +206,31 @@ func SolveAxi(p *AxiProblem, opt sparse.Options) (*AxiSolution, error) {
 // SolveAxiCtx is SolveAxi honoring cancellation: the conjugate-gradient
 // iteration checks ctx between iterations, so a cancelled caller (e.g. an
 // aborted sweep) does not run an in-flight solve to completion.
+//
+// When ctx carries an obs.Tracer the solve emits a "fem.solve" span with
+// "fem.assemble" and "fem.precond" children; the CG iteration's "sparse.cg"
+// span nests under "fem.solve", giving the assembly → preconditioner → CG
+// chain in the trace.
 func SolveAxiCtx(ctx context.Context, p *AxiProblem, opt sparse.Options) (*AxiSolution, error) {
+	ctx, root := obs.StartSpan(ctx, "fem.solve")
+	defer root.End()
+	_, asp := obs.StartSpan(ctx, "fem.assemble")
 	sys, err := assembleAxi(p)
+	asp.End()
 	if err != nil {
+		root.Set("error", err.Error())
 		return nil, err
 	}
+	root.Set("unknowns", len(sys.rhs))
+	_, psp := obs.StartSpan(ctx, "fem.precond")
 	o := solveDefaults(opt, sys)
+	if psp != nil {
+		psp.Set("precond", o.Precond.String())
+		psp.End()
+	}
 	x, st, err := sparse.SolveCGCtx(ctx, sys.matrix, sys.rhs, o)
 	if err != nil {
+		root.Set("error", err.Error())
 		return nil, solveErr("axisymmetric solve", len(sys.rhs), st, err)
 	}
 	return &AxiSolution{p: p, RCenters: sys.rc, ZCenters: sys.zc, Stats: st, T: sys.fieldFrom(x)}, nil

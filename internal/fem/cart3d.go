@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 	"repro/internal/stack"
 )
@@ -182,20 +183,33 @@ func SolveCart(p *CartProblem, opt sparse.Options) (*CartSolution, error) {
 }
 
 // SolveCartCtx is SolveCart honoring cancellation between conjugate-gradient
-// iterations.
+// iterations. Like SolveAxiCtx it emits fem.solve/fem.assemble/fem.precond
+// spans when ctx carries an obs.Tracer.
 func SolveCartCtx(ctx context.Context, p *CartProblem, opt sparse.Options) (*CartSolution, error) {
+	ctx, root := obs.StartSpan(ctx, "fem.solve")
+	defer root.End()
+	_, asp := obs.StartSpan(ctx, "fem.assemble")
 	sys, err := assembleCart(p)
+	asp.End()
 	if err != nil {
+		root.Set("error", err.Error())
 		return nil, err
 	}
 	o := opt
 	if o.Tol == 0 {
 		o.Tol = 1e-9
 	}
+	_, psp := obs.StartSpan(ctx, "fem.precond")
 	o = resolveSolver(o, sys.matrix, sys.grid)
-	x, st, err := sparse.SolveCGCtx(ctx, sys.matrix, sys.rhs, o)
+	if psp != nil {
+		psp.Set("precond", o.Precond.String())
+		psp.End()
+	}
 	n := sys.nx * sys.ny * sys.nz
+	root.Set("unknowns", n)
+	x, st, err := sparse.SolveCGCtx(ctx, sys.matrix, sys.rhs, o)
 	if err != nil {
+		root.Set("error", err.Error())
 		return nil, solveErr("3-D solve", n, st, err)
 	}
 	nx, ny, nz := sys.nx, sys.ny, sys.nz

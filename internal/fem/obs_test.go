@@ -1,0 +1,166 @@
+package fem
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sparse"
+)
+
+// counterDelta runs fn and returns how much the named obs counter moved.
+// Deltas (not absolute values) keep the assertions valid when other tests
+// run in parallel against the shared default registry.
+func counterDelta(name string, fn func()) int64 {
+	before := obs.Default().Counter(name).Value()
+	fn()
+	return obs.Default().Counter(name).Value() - before
+}
+
+// TestMGFallbackSelectsWorkingPrecondAndCounts: an explicit multigrid
+// request on a grid too small to coarsen must fall back to a preconditioner
+// that actually converges, and the fallback must be visible in the metrics
+// registry.
+func TestMGFallbackSelectsWorkingPrecondAndCounts(t *testing.T) {
+	s := fig4(t, 10)
+	res := coarse()
+	res.RadialVia, res.RadialLiner, res.RadialOuter = 1, 1, 2
+	res.AxialPerLayer, res.AxialMin, res.Bulk = 1, 1, 2
+	res.Precond = sparse.PrecondMG
+
+	var sol *AxiSolution
+	var err error
+	d := counterDelta("fem.mg.fallback", func() {
+		sol, err = SolveStack(s, res)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 1 {
+		t.Errorf("fem.mg.fallback moved by %d, want >= 1", d)
+	}
+	if sol.Stats.Precond == sparse.PrecondMG || sol.Stats.Precond == sparse.PrecondDefault {
+		t.Errorf("fallback ran %v, want a concrete single-level preconditioner", sol.Stats.Precond)
+	}
+	if sol.Stats.Levels != 0 {
+		t.Errorf("fallback reports %d multigrid levels, want 0", sol.Stats.Levels)
+	}
+	if sol.Stats.Residual > 1e-10 {
+		t.Errorf("fallback preconditioner did not converge: residual %g", sol.Stats.Residual)
+	}
+}
+
+// TestNotConvergedCarriesResidualAndCounts starves a solve of iterations
+// and asserts the structured error: it matches both ErrNotConverged
+// sentinels, exposes the achieved residual via ConvergenceError, and bumps
+// the not-converged counter.
+func TestNotConvergedCarriesResidualAndCounts(t *testing.T) {
+	s := fig4(t, 10)
+	p, err := BuildAxiProblem(s, coarse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solveErr error
+	d := counterDelta("fem.solve.notconverged", func() {
+		_, solveErr = SolveAxi(p, sparse.Options{MaxIter: 2})
+	})
+	if solveErr == nil {
+		t.Fatal("2-iteration budget converged; test cannot probe the failure path")
+	}
+	if d < 1 {
+		t.Errorf("fem.solve.notconverged moved by %d, want >= 1", d)
+	}
+	if !errors.Is(solveErr, ErrNotConverged) {
+		t.Errorf("error does not match fem.ErrNotConverged: %v", solveErr)
+	}
+	if !errors.Is(solveErr, sparse.ErrNotConverged) {
+		t.Errorf("error does not match sparse.ErrNotConverged: %v", solveErr)
+	}
+	var ce *ConvergenceError
+	if !errors.As(solveErr, &ce) {
+		t.Fatalf("error is not a *ConvergenceError: %v", solveErr)
+	}
+	if ce.Stats.Iterations != 2 {
+		t.Errorf("ConvergenceError iterations = %d, want 2", ce.Stats.Iterations)
+	}
+	if ce.Stats.Residual <= 0 {
+		t.Errorf("ConvergenceError residual = %g, want the achieved (positive) residual", ce.Stats.Residual)
+	}
+	if ce.Cells == 0 || ce.What == "" {
+		t.Errorf("ConvergenceError context incomplete: %+v", ce)
+	}
+	if !strings.Contains(solveErr.Error(), "residual") {
+		t.Errorf("error message lost the residual: %v", solveErr)
+	}
+}
+
+// TestSolveStackCtxEmitsSpanChain runs a reference solve under a tracer and
+// checks the NDJSON trace contains the fem.stack → fem.solve →
+// {fem.assemble, fem.precond, sparse.cg} chain with correct parent links.
+func TestSolveStackCtxEmitsSpanChain(t *testing.T) {
+	s := fig4(t, 10)
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	ctx := obs.ContextWithTracer(context.Background(), tr)
+	if _, err := SolveStackCtx(ctx, s, coarse()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		Span   string         `json:"span"`
+		ID     int64          `json:"id"`
+		Parent int64          `json:"parent"`
+		DurNS  int64          `json:"dur_ns"`
+		Attrs  map[string]any `json:"attrs"`
+	}
+	byName := map[string]rec{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("unparseable NDJSON line %q: %v", line, err)
+		}
+		byName[r.Span] = r
+	}
+	for _, want := range []string{"fem.stack", "fem.solve", "fem.assemble", "fem.precond", "sparse.cg"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("trace missing span %q (have %v)", want, buf.String())
+		}
+	}
+	if byName["fem.stack"].Parent != 0 {
+		t.Error("fem.stack is not a root span")
+	}
+	if byName["fem.solve"].Parent != byName["fem.stack"].ID {
+		t.Error("fem.solve not parented to fem.stack")
+	}
+	for _, child := range []string{"fem.assemble", "fem.precond", "sparse.cg"} {
+		if byName[child].Parent != byName["fem.solve"].ID {
+			t.Errorf("%s not parented to fem.solve", child)
+		}
+	}
+	if _, ok := byName["sparse.cg"].Attrs["iterations"]; !ok {
+		t.Error("sparse.cg span lacks the iterations attribute")
+	}
+}
+
+// TestSolveRecordsMetrics asserts one reference solve feeds the solver
+// series of the default registry.
+func TestSolveRecordsMetrics(t *testing.T) {
+	s := fig4(t, 10)
+	before := obs.Default().Snapshot()
+	if _, err := SolveStack(s, coarse()); err != nil {
+		t.Fatal(err)
+	}
+	after := obs.Default().Snapshot()
+	if d := after.Counters["sparse.cg.solves"] - before.Counters["sparse.cg.solves"]; d < 1 {
+		t.Errorf("sparse.cg.solves moved by %d, want >= 1", d)
+	}
+	if d := after.Histograms["sparse.cg.iterations"].Count - before.Histograms["sparse.cg.iterations"].Count; d < 1 {
+		t.Errorf("sparse.cg.iterations histogram gained %d observations, want >= 1", d)
+	}
+}

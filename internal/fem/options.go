@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/mg"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -13,6 +14,30 @@ import (
 // budget; the error message carries the achieved residual, iteration count
 // and preconditioner so a failed solve is diagnosable without a rerun.
 var ErrNotConverged = errors.New("fem: reference solve did not converge")
+
+// ConvergenceError is the concrete error behind ErrNotConverged: it keeps
+// the solver stats of the failed attempt structurally accessible (via
+// errors.As), so callers can read the achieved residual and iteration count
+// instead of parsing the message.
+type ConvergenceError struct {
+	// What names the solve that failed (e.g. "axisymmetric solve").
+	What string
+	// Cells is the unknown count of the system.
+	Cells int
+	// Stats reports the failed solve, including the residual it reached.
+	Stats sparse.Stats
+
+	err error
+}
+
+func (e *ConvergenceError) Error() string {
+	return fmt.Sprintf("%v: %s (%d cells): %v preconditioner stopped at residual %.3g after %d iterations: %v",
+		ErrNotConverged, e.What, e.Cells, e.Stats.Precond, e.Stats.Residual, e.Stats.Iterations, e.err)
+}
+
+// Unwrap exposes both ErrNotConverged and the underlying sparse error to
+// errors.Is chains.
+func (e *ConvergenceError) Unwrap() []error { return []error{ErrNotConverged, e.err} }
 
 // mgAutoThreshold is the unknown count above which the default
 // preconditioner becomes geometric multigrid. Below it the hierarchy setup
@@ -50,14 +75,20 @@ func resolveSolver(opt sparse.Options, a *sparse.CSR, g solverGrid) sparse.Optio
 	if opt.MG == nil && (opt.Precond == sparse.PrecondMG ||
 		(opt.Precond == sparse.PrecondDefault && a.Rows() >= mgAutoThreshold)) {
 		if h, err := mg.Build(a, g.dims, mg.Options{}); err == nil {
+			if opt.Precond == sparse.PrecondDefault {
+				obs.Default().Counter("fem.mg.auto").Inc()
+			}
 			opt.Precond = sparse.PrecondMG
 			opt.MG = h
-		} else if opt.Precond == sparse.PrecondMG {
-			// An explicit request on a grid that cannot support a hierarchy
-			// (too few cells to coarsen, degenerate operator): fall back to
-			// the default selection rather than failing the solve; Stats
-			// reports the preconditioner that actually ran.
-			opt.Precond = sparse.PrecondDefault
+		} else {
+			obs.Default().Counter("fem.mg.fallback").Inc()
+			if opt.Precond == sparse.PrecondMG {
+				// An explicit request on a grid that cannot support a hierarchy
+				// (too few cells to coarsen, degenerate operator): fall back to
+				// the default selection rather than failing the solve; Stats
+				// reports the preconditioner that actually ran.
+				opt.Precond = sparse.PrecondDefault
+			}
 		}
 	}
 	opt = pickPrecond(opt)
@@ -91,12 +122,12 @@ func maxIterFor(p sparse.PrecondKind, n int) int {
 }
 
 // solveErr wraps a linear-solver failure with the system context; iteration
-// exhaustion maps to the distinct ErrNotConverged carrying the achieved
-// residual.
+// exhaustion maps to a *ConvergenceError matching ErrNotConverged and
+// carrying the achieved residual.
 func solveErr(what string, n int, st sparse.Stats, err error) error {
 	if errors.Is(err, sparse.ErrNotConverged) {
-		return fmt.Errorf("%w: %s (%d cells): %v preconditioner stopped at residual %.3g after %d iterations: %w",
-			ErrNotConverged, what, n, st.Precond, st.Residual, st.Iterations, err)
+		obs.Default().Counter("fem.solve.notconverged").Inc()
+		return &ConvergenceError{What: what, Cells: n, Stats: st, err: err}
 	}
 	return fmt.Errorf("fem: %s (%d cells): %w", what, n, err)
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 	"repro/internal/stack"
 )
@@ -284,10 +285,14 @@ func SolveStack(s *stack.Stack, res Resolution) (*AxiSolution, error) {
 // SolveStackCtx is SolveStack honoring cancellation and the resolution's
 // solver worker count.
 func SolveStackCtx(ctx context.Context, s *stack.Stack, res Resolution) (*AxiSolution, error) {
+	ctx, sp := obs.StartSpan(ctx, "fem.stack")
+	defer sp.End()
 	p, err := BuildAxiProblem(s, res)
 	if err != nil {
+		sp.Set("error", err.Error())
 		return nil, err
 	}
+	sp.Set("planes", len(s.Planes))
 	o := sparseDefaults()
 	o.Workers = res.Workers
 	o.Precond = res.Precond

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -105,6 +106,7 @@ func SolveAxiTransient(p *AxiProblem, dt float64, steps int, opt sparse.Options)
 		out.MaxT = append(out.MaxT, max)
 	}
 	out.Final = &AxiSolution{p: p, RCenters: sys.rc, ZCenters: sys.zc, T: sys.fieldFrom(x), Stats: out.Stats}
+	obs.Default().Counter("fem.transient.steps").Add(int64(steps))
 	return out, nil
 }
 

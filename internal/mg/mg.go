@@ -29,8 +29,10 @@ package mg
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -110,6 +112,12 @@ type level struct {
 type Hierarchy struct {
 	levels []*level
 	coarse *linalg.Cholesky
+
+	// Metric handles bound at Build time so cycling never takes the
+	// registry lock. Both are nil when the obs default registry is disabled,
+	// which reduces the per-cycle instrumentation to one nil check.
+	cycles    *obs.Counter
+	levelWall []*obs.Histogram
 }
 
 // Build constructs a hierarchy for the n-unknown matrix a laid out on a
@@ -121,6 +129,7 @@ type Hierarchy struct {
 // with a positive diagonal; Build fails — and the caller falls back to a
 // single-level preconditioner — when it is not, or when it cannot coarsen.
 func Build(a *sparse.CSR, dims []int, opt Options) (*Hierarchy, error) {
+	buildStart := time.Now()
 	n := a.Rows()
 	if a.Cols() != n {
 		return nil, fmt.Errorf("mg: matrix %dx%d is not square", a.Rows(), a.Cols())
@@ -171,7 +180,25 @@ func Build(a *sparse.CSR, dims []int, opt Options) (*Hierarchy, error) {
 		return nil, fmt.Errorf("mg: coarse-grid factorization: %w", err)
 	}
 	h.coarse = chol
+	h.bindMetrics(time.Since(buildStart))
 	return h, nil
+}
+
+// bindMetrics records the finished build and caches per-level handles so
+// Cycle records without touching the registry's lock.
+func (h *Hierarchy) bindMetrics(buildWall time.Duration) {
+	r := obs.Default()
+	if r == nil {
+		return
+	}
+	r.Counter("mg.builds").Inc()
+	r.Histogram("mg.build.seconds", obs.ExpBuckets(1e-4, 4, 10)).Observe(buildWall.Seconds())
+	r.Gauge("mg.levels").Set(float64(len(h.levels)))
+	h.cycles = r.Counter("mg.cycles")
+	h.levelWall = make([]*obs.Histogram, len(h.levels))
+	for k := range h.levels {
+		h.levelWall[k] = r.Histogram(fmt.Sprintf("mg.cycle.level%d.seconds", k), obs.ExpBuckets(1e-7, 4, 12))
+	}
 }
 
 // newLevel wraps a matrix with its smoother and scratch space.
@@ -215,10 +242,17 @@ func (h *Hierarchy) LevelSizes() []int {
 // runs before and after the coarse correction and the coarse solve is
 // exact, so the cycle is a fixed symmetric positive definite operator.
 func (h *Hierarchy) Cycle(z, r []float64, p *sparse.Pool) {
+	h.cycles.Inc()
 	h.vcycle(0, z, r, p)
 }
 
 func (h *Hierarchy) vcycle(k int, x, b []float64, p *sparse.Pool) {
+	if h.levelWall != nil {
+		// Inclusive per-level wall time: level k's bucket covers its smoothing,
+		// transfers, and everything below it.
+		start := time.Now()
+		defer func() { h.levelWall[k].Observe(time.Since(start).Seconds()) }()
+	}
 	lv := h.levels[k]
 	if k == len(h.levels)-1 {
 		// Dense Cholesky backsolve; sequential (the coarsest grid is a few

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServePprof starts an HTTP server exposing the standard net/http/pprof
+// endpoints under /debug/pprof/ on addr (e.g. "localhost:6060"; ":0" picks
+// a free port) and returns the bound address. The server runs in a
+// background goroutine for the life of the process — it exists for the
+// CLIs' -pprof flag, profiling long sweeps and planning runs in flight.
+func ServePprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // best-effort diagnostics endpoint
+	return ln.Addr().String(), nil
+}

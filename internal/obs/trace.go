@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer emits completed spans as NDJSON: one JSON object per line, written
+// atomically, so concurrent spans from a parallel sweep interleave cleanly.
+// A nil Tracer is the disabled fast path — Start returns a nil span and
+// every span method no-ops.
+//
+// Each record carries the span name, its id and parent id (0 = root), the
+// start time in nanoseconds since the Unix epoch, the duration in
+// nanoseconds, and the key/value attributes set on the span:
+//
+//	{"span":"sparse.cg","id":3,"parent":2,"start_ns":…,"dur_ns":…,"attrs":{"iterations":27}}
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	ids atomic.Int64
+	err error
+}
+
+// NewTracer returns a tracer writing NDJSON records to w. The caller
+// retains ownership of w (and closes it, if it is a file).
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w}
+}
+
+// Err returns the first write error the tracer encountered, if any;
+// recording continues dropping records after a failure rather than
+// propagating errors into solver hot paths.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Start begins a root span. End must be called to emit the record.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, id: t.ids.Add(1), name: name, start: time.Now()}
+}
+
+// Span is one timed operation. Spans are created by Tracer.Start or
+// Span.Child and emitted by End. A nil Span no-ops everywhere, so call
+// sites need no guards.
+type Span struct {
+	t      *Tracer
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+// Child begins a sub-span linked to s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{t: s.t, id: s.t.ids.Add(1), parent: s.id, name: name, start: time.Now()}
+}
+
+// Set attaches a key/value attribute to the span. Non-finite floats are
+// stringified — the trace stays valid JSON even when a solve diverges.
+func (s *Span) Set(key string, value any) {
+	if s == nil {
+		return
+	}
+	if f, ok := value.(float64); ok && (math.IsNaN(f) || math.IsInf(f, 0)) {
+		value = formatFloat(f)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any)
+	}
+	s.attrs[key] = value
+}
+
+func formatFloat(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "+Inf"
+	default:
+		return "-Inf"
+	}
+}
+
+// End stamps the span's duration and writes its NDJSON record. End is
+// idempotent; only the first call emits.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	rec := spanRecord{
+		Span:    s.name,
+		ID:      s.id,
+		Parent:  s.parent,
+		StartNS: s.start.UnixNano(),
+		DurNS:   end.Sub(s.start).Nanoseconds(),
+		Attrs:   attrs,
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		// Attributes of an unmarshalable type: drop them, keep the timing.
+		rec.Attrs = nil
+		line, err = json.Marshal(rec)
+		if err != nil {
+			return
+		}
+	}
+	line = append(line, '\n')
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err == nil {
+		if _, werr := t.w.Write(line); werr != nil {
+			t.err = werr
+		}
+	}
+}
+
+type spanRecord struct {
+	Span    string         `json:"span"`
+	ID      int64          `json:"id"`
+	Parent  int64          `json:"parent,omitempty"`
+	StartNS int64          `json:"start_ns"`
+	DurNS   int64          `json:"dur_ns"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+type tracerKey struct{}
+type spanKey struct{}
+
+// ContextWithTracer makes t the context's tracer, so StartSpan calls down
+// the call chain emit spans. A nil tracer returns ctx unchanged — passing
+// an unset -trace flag through costs nothing.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context's tracer, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// StartSpan begins a span under the context's current span (or as a root
+// span under the context's tracer) and returns a derived context carrying
+// it, so nested StartSpan calls build the parent chain. Without a tracer in
+// ctx it returns (ctx, nil) — two context lookups and no allocation, the
+// disabled fast path of every instrumented solve.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		sp := parent.Child(name)
+		return context.WithValue(ctx, spanKey{}, sp), sp
+	}
+	if t := TracerFrom(ctx); t != nil {
+		sp := t.Start(name)
+		return context.WithValue(ctx, spanKey{}, sp), sp
+	}
+	return ctx, nil
+}

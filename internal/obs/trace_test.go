@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func decodeSpans(t *testing.T, buf *bytes.Buffer) []spanRecord {
+	t.Helper()
+	var out []spanRecord
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec spanRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestTracerParentLinks(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	root := tr.Start("root")
+	child := root.Child("child")
+	child.Set("iterations", 27)
+	child.End()
+	child.End() // idempotent: must not emit twice
+	root.End()
+
+	recs := decodeSpans(t, &buf)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2: %+v", len(recs), recs)
+	}
+	// Spans emit at End, so the child record comes first.
+	if recs[0].Span != "child" || recs[1].Span != "root" {
+		t.Fatalf("order = %q, %q", recs[0].Span, recs[1].Span)
+	}
+	if recs[0].Parent != recs[1].ID {
+		t.Fatalf("child.parent = %d, root.id = %d", recs[0].Parent, recs[1].ID)
+	}
+	if recs[1].Parent != 0 {
+		t.Fatalf("root has parent %d", recs[1].Parent)
+	}
+	if got := recs[0].Attrs["iterations"]; got != float64(27) {
+		t.Fatalf("iterations attr = %v", got)
+	}
+	if recs[0].DurNS < 0 || recs[1].DurNS < recs[0].DurNS {
+		t.Fatalf("durations inconsistent: child=%d root=%d", recs[0].DurNS, recs[1].DurNS)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatalf("tracer error: %v", err)
+	}
+}
+
+func TestSpanNonFiniteAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	sp := tr.Start("diverged")
+	sp.Set("residual", math.NaN())
+	sp.Set("bound", math.Inf(1))
+	sp.End()
+	recs := decodeSpans(t, &buf)
+	if recs[0].Attrs["residual"] != "NaN" || recs[0].Attrs["bound"] != "+Inf" {
+		t.Fatalf("attrs = %v", recs[0].Attrs)
+	}
+}
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	sp.Set("k", 1)
+	sp.End()
+	sp.Child("y").End()
+	if err := tr.Err(); err != nil {
+		t.Fatalf("nil tracer err = %v", err)
+	}
+}
+
+func TestTracerFirstWriteErrorSticks(t *testing.T) {
+	tr := NewTracer(failWriter{})
+	tr.Start("a").End()
+	if tr.Err() == nil {
+		t.Fatal("write error not recorded")
+	}
+	tr.Start("b").End() // must not panic; records are dropped
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("disk full") }
+
+func TestStartSpanContextChain(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	ctx := ContextWithTracer(context.Background(), tr)
+
+	ctx1, outer := StartSpan(ctx, "outer")
+	ctx2, inner := StartSpan(ctx1, "inner")
+	if _, grand := StartSpan(ctx2, "grand"); grand != nil {
+		grand.End()
+	}
+	inner.End()
+	outer.End()
+
+	recs := decodeSpans(t, &buf)
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	byName := map[string]spanRecord{}
+	for _, r := range recs {
+		byName[r.Span] = r
+	}
+	if byName["inner"].Parent != byName["outer"].ID {
+		t.Fatal("inner not parented to outer")
+	}
+	if byName["grand"].Parent != byName["inner"].ID {
+		t.Fatal("grand not parented to inner")
+	}
+	if byName["outer"].Parent != 0 {
+		t.Fatal("outer is not a root span")
+	}
+}
+
+func TestStartSpanWithoutTracer(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "x")
+	if sp != nil {
+		t.Fatal("got a span without a tracer")
+	}
+	if ctx2 != ctx {
+		t.Fatal("context was rewrapped on the disabled path")
+	}
+	if ContextWithTracer(ctx, nil) != ctx {
+		t.Fatal("nil tracer rewrapped the context")
+	}
+}
+
+func TestServePprof(t *testing.T) {
+	addr, err := ServePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServePprof: %v", err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET pprof index: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -13,13 +13,16 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/materials"
+	"repro/internal/obs"
 	"repro/internal/stack"
 	"repro/internal/sweep"
 )
@@ -142,6 +145,9 @@ type Options struct {
 	// tile then re-walks identical via counts; a shared cache makes the
 	// repeats free. Nil creates a fresh cache per call.
 	Cache *sweep.Cache
+	// Trace optionally records the planning run as NDJSON spans: one
+	// "plan.run" root with a "plan.tile" child per tile.
+	Trace *obs.Tracer
 }
 
 // Plan assigns the minimum via count per tile keeping every tile's maximum
@@ -187,6 +193,16 @@ func PlanWith(f *Floorplan, tech Technology, budget float64, m core.Model, opt O
 		workers = rows * cols
 	}
 
+	ctx := obs.ContextWithTracer(context.Background(), opt.Trace)
+	ctx, run := obs.StartSpan(ctx, "plan.run")
+	if run != nil {
+		run.Set("tiles", rows*cols)
+		run.Set("workers", workers)
+		defer run.End()
+	}
+	tileCounter := obs.Default().Counter("plan.tiles")
+	tileWall := obs.Default().Histogram("plan.tile.seconds", obs.ExpBuckets(1e-6, 4, 13))
+
 	counts := make([]int, rows*cols)
 	dts := make([]float64, rows*cols)
 	errs := make([]error, rows*cols)
@@ -198,7 +214,19 @@ func PlanWith(f *Floorplan, tech Technology, budget float64, m core.Model, opt O
 			defer wg.Done()
 			for i := range tiles {
 				r, c := i/cols, i%cols
+				_, sp := obs.StartSpan(ctx, "plan.tile")
+				t0 := time.Now()
 				count, dt, err := planTile(f.PlanePowers[r][c], tileArea, tech, budget, m, maxCount)
+				tileCounter.Inc()
+				tileWall.Observe(time.Since(t0).Seconds())
+				if sp != nil {
+					sp.Set("tile", fmt.Sprintf("%d,%d", r, c))
+					sp.Set("vias", count)
+					if err != nil {
+						sp.Set("error", err.Error())
+					}
+					sp.End()
+				}
 				if err != nil {
 					errs[i] = fmt.Errorf("plan: tile (%d,%d): %w", r, c, err)
 					continue

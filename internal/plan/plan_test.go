@@ -244,7 +244,7 @@ func TestPlanWithSharedCacheCollapsesRepeatedTiles(t *testing.T) {
 	if !reflect.DeepEqual(res, plain) {
 		t.Error("cached plan differs from uncached plan")
 	}
-	hits, misses := cache.Counters()
+	hits, misses, _ := cache.Counters()
 	// 16 identical tiles bisect over identical via counts: every solve after
 	// the first pass over the distinct counts must be a cache hit.
 	if hits == 0 {

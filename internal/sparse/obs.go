@@ -1,0 +1,31 @@
+package sparse
+
+import "repro/internal/obs"
+
+// Metric names recorded by SolveCGCtx. Kept as constants so tests and the
+// README stay in sync with the code.
+const (
+	metricSolves      = "sparse.cg.solves"
+	metricFailures    = "sparse.cg.failures"
+	metricIterations  = "sparse.cg.iterations"
+	metricResidual    = "sparse.cg.residual"
+	metricWallSeconds = "sparse.cg.wall_seconds"
+)
+
+// recordSolve feeds one finished CG solve into the obs default registry.
+// With the registry disabled (obs.SetDefault(nil)) this is a single pointer
+// load and a return.
+func recordSolve(st Stats, err error) {
+	r := obs.Default()
+	if r == nil {
+		return
+	}
+	r.Counter(metricSolves).Inc()
+	r.Counter("sparse.cg.precond." + st.Precond.String()).Inc()
+	if err != nil {
+		r.Counter(metricFailures).Inc()
+	}
+	r.Histogram(metricIterations, obs.ExpBuckets(1, 2, 14)).Observe(float64(st.Iterations))
+	r.Histogram(metricResidual, obs.ExpBuckets(1e-16, 10, 15)).Observe(st.Residual)
+	r.Histogram(metricWallSeconds, obs.ExpBuckets(1e-6, 4, 13)).Observe(st.Wall.Seconds())
+}

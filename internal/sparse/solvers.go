@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrNotConverged is returned when an iterative solver exhausts its
@@ -315,7 +317,33 @@ func SolveCG(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
 // iterate so far and an error wrapping ctx.Err(). Kernels run across
 // opt.Workers workers (or opt.Pool); with a fixed preconditioner the result
 // is bit-identical for any worker count.
+//
+// Each solve emits a "sparse.cg" span when the context carries an
+// obs.Tracer, and records iteration/residual/wall histograms plus
+// per-preconditioner counters into the obs default registry. Neither
+// touches the numerical path.
 func SolveCGCtx(ctx context.Context, a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
+	ctx, sp := obs.StartSpan(ctx, "sparse.cg")
+	x, st, err := solveCG(ctx, a, b, opt)
+	if sp != nil {
+		sp.Set("unknowns", a.Rows())
+		sp.Set("iterations", st.Iterations)
+		sp.Set("residual", st.Residual)
+		sp.Set("precond", st.Precond.String())
+		sp.Set("workers", st.Workers)
+		if st.Levels > 0 {
+			sp.Set("mg_levels", st.Levels)
+		}
+		if err != nil {
+			sp.Set("error", err.Error())
+		}
+		sp.End()
+	}
+	recordSolve(st, err)
+	return x, st, err
+}
+
+func solveCG(ctx context.Context, a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
 	start := time.Now()
 	n := a.rows
 	if a.cols != n {

@@ -1,56 +1,101 @@
 package sweep
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stack"
 )
+
+// DefaultCacheCapacity bounds NewCache: generous enough that every sweep and
+// planning run in this repository fits with room to spare, small enough that
+// a long-lived process hammering the solve path (a design-planning loop
+// bisecting across a large floorplan) cannot hold every point it ever solved.
+const DefaultCacheCapacity = 1 << 16
 
 // Cache memoizes solve results keyed on the full geometry and model
 // configuration. Planning loops (plan.Plan bisections, calibration,
 // design-space search) revisit identical (stack, model) points constantly;
 // with a cache those repeats cost a map lookup instead of a solve.
 //
+// The cache holds at most its capacity and evicts least-recently-used
+// entries beyond it; Counters reports how many lookups hit, missed and how
+// many entries were evicted, and the same counts feed the obs default
+// registry as sweep.cache.{hits,misses,evictions}.
+//
 // A Cache is safe for concurrent use. Cached *core.Result values are shared
 // between all callers and must be treated as read-only.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]cacheEntry
-	hits    int
-	misses  int
+	mu        sync.Mutex
+	capacity  int
+	entries   map[string]*list.Element
+	order     *list.List // front = most recently used
+	hits      int
+	misses    int
+	evictions int
 }
 
 type cacheEntry struct {
+	key string
 	res *core.Result
 	err error
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache {
-	return &Cache{entries: make(map[string]cacheEntry)}
+// NewCache returns an empty cache bounded at DefaultCacheCapacity entries.
+func NewCache() *Cache { return NewCacheSize(DefaultCacheCapacity) }
+
+// NewCacheSize returns an empty cache holding at most capacity entries,
+// evicting least-recently-used ones beyond that. capacity <= 0 means
+// unbounded (the historical behavior).
+func NewCacheSize(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
 }
 
-// lookup returns the cached outcome for key, counting hit/miss.
+// lookup returns the cached outcome for key, counting hit/miss and marking
+// the entry most recently used.
 func (c *Cache) lookup(key string) (*core.Result, error, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[key]
-	if ok {
-		c.hits++
-	} else {
+	el, ok := c.entries[key]
+	if !ok {
 		c.misses++
+		obs.Default().Counter("sweep.cache.misses").Inc()
+		return nil, nil, false
 	}
-	return e.res, e.err, ok
+	c.hits++
+	obs.Default().Counter("sweep.cache.hits").Inc()
+	c.order.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.res, e.err, true
 }
 
 // store records an outcome (including failures, so repeatedly-invalid
-// geometries fail fast).
+// geometries fail fast), evicting the least-recently-used entry when the
+// capacity is exceeded.
 func (c *Cache) store(key string, res *core.Result, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries[key] = cacheEntry{res: res, err: err}
+	if el, ok := c.entries[key]; ok {
+		// Concurrent workers may race to solve the same point; keep one.
+		el.Value = &cacheEntry{key: key, res: res, err: err}
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res, err: err})
+	if c.capacity > 0 && c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+		obs.Default().Counter("sweep.cache.evictions").Inc()
+	}
 }
 
 // Len returns the number of distinct memoized points.
@@ -60,20 +105,26 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
-// Counters reports the lookup hit/miss totals since creation.
-func (c *Cache) Counters() (hits, misses int) {
+// Capacity returns the entry bound (0 = unbounded).
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Counters reports the lookup hit/miss totals and the number of entries
+// evicted by the capacity bound since creation.
+func (c *Cache) Counters() (hits, misses, evictions int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits, c.misses, c.evictions
 }
 
 // cacheKey fingerprints a (model, stack) pair. Both are plain value structs
-// (materials are names plus scalar properties), so their %+v rendering is a
-// complete, deterministic serialization: distinct float64 values print
-// distinctly under Go's shortest round-trip formatting, and the concrete
-// model type is included to separate models whose field sets collide.
+// (materials are names plus scalar properties), so their Go-syntax %#v
+// rendering is a complete, deterministic serialization: distinct float64
+// values print distinctly under Go's shortest round-trip formatting, the
+// concrete type names are embedded, and — unlike %+v — string fields are
+// quoted, so a string containing "} " cannot make two different values
+// render identically.
 func cacheKey(m core.Model, s *stack.Stack) string {
-	return fmt.Sprintf("%T|%+v|%+v", m, m, *s)
+	return fmt.Sprintf("%T|%#v|%#v", m, m, *s)
 }
 
 // Cached wraps a model so every Solve is memoized in c. The wrapper

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stack"
 )
 
@@ -62,8 +63,11 @@ type Outcome struct {
 	// Runtime is the wall-clock time of this job's solve. Zero for cache
 	// hits, which perform no solve.
 	Runtime time.Duration
-	// Cached reports whether the result came from the memoization cache.
-	Cached bool
+	// FromCache reports whether the result came from the memoization cache.
+	// A cached Result carries the Solver stats of the original solve, so
+	// stats aggregation must skip outcomes with FromCache set or it
+	// double-counts iterations and wall time.
+	FromCache bool
 }
 
 // Options configures a batch run. The zero value runs on GOMAXPROCS workers
@@ -76,6 +80,10 @@ type Options struct {
 	// repeated points (common in planning loops) free. The same Cache may
 	// be shared across batches and is safe for concurrent use.
 	Cache *Cache
+	// Trace optionally records the batch as NDJSON spans: one "sweep.run"
+	// root span with a "sweep.job" child per job, under which the solver
+	// spans (fem.solve, sparse.cg) of context-aware models nest.
+	Trace *obs.Tracer
 }
 
 // Batch is an ordered set of evaluation jobs.
@@ -100,6 +108,7 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx = obs.ContextWithTracer(ctx, opt.Trace)
 	workers := opt.Workers
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
@@ -111,6 +120,13 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 	if len(jobs) == 0 {
 		return out, ctx.Err()
 	}
+	ctx, run := obs.StartSpan(ctx, "sweep.run")
+	if run != nil {
+		run.Set("jobs", len(jobs))
+		run.Set("workers", workers)
+		defer run.End()
+	}
+	busy := obs.Default().Gauge("sweep.workers.busy")
 
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -119,7 +135,9 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				busy.Add(1)
 				out[i] = evaluate(ctx, jobs[i], opt.Cache)
+				busy.Add(-1)
 			}
 		}()
 	}
@@ -165,23 +183,48 @@ func evaluate(ctx context.Context, j Job, c *Cache) Outcome {
 		oc.Err = fmt.Errorf("sweep: job %q has no stack", j.Name())
 		return oc
 	}
+	ctx, sp := obs.StartSpan(ctx, "sweep.job")
+	if sp != nil {
+		sp.Set("job", j.Name())
+		defer func() {
+			sp.Set("from_cache", oc.FromCache)
+			if oc.Err != nil {
+				sp.Set("error", oc.Err.Error())
+			}
+			sp.End()
+		}()
+	}
 	var key string
 	if c != nil {
 		key = cacheKey(j.Model, j.Stack)
 		if res, err, ok := c.lookup(key); ok {
-			oc.Result, oc.Err, oc.Cached = res, wrapErr(j, err), true
+			oc.Result, oc.Err, oc.FromCache = res, wrapErr(j, err), true
 			return oc
 		}
 	}
 	t0 := time.Now()
 	res, err := solve(ctx, j)
 	oc.Runtime = time.Since(t0)
+	recordJob(oc.Runtime, err)
 	if c != nil {
 		// Raw errors are cached so each job wraps them with its own label.
 		c.store(key, res, err)
 	}
 	oc.Result, oc.Err = res, wrapErr(j, err)
 	return oc
+}
+
+// recordJob feeds one solved (non-cached) job into the obs default registry.
+func recordJob(d time.Duration, err error) {
+	r := obs.Default()
+	if r == nil {
+		return
+	}
+	r.Counter("sweep.jobs").Inc()
+	if err != nil {
+		r.Counter("sweep.job.failures").Inc()
+	}
+	r.Histogram("sweep.job.seconds", obs.ExpBuckets(1e-6, 4, 13)).Observe(d.Seconds())
 }
 
 // wrapErr labels a job's failure with the job name.

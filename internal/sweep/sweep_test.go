@@ -156,12 +156,12 @@ func TestCacheHits(t *testing.T) {
 	if cache.Len() != 1 {
 		t.Errorf("cache holds %d entries, want 1", cache.Len())
 	}
-	hits, misses := cache.Counters()
+	hits, misses, _ := cache.Counters()
 	if hits != 2 || misses != 1 {
 		t.Errorf("hits=%d misses=%d, want 2/1", hits, misses)
 	}
-	if outs[0].Cached || !outs[1].Cached || !outs[2].Cached {
-		t.Errorf("cached flags wrong: %v %v %v", outs[0].Cached, outs[1].Cached, outs[2].Cached)
+	if outs[0].FromCache || !outs[1].FromCache || !outs[2].FromCache {
+		t.Errorf("cached flags wrong: %v %v %v", outs[0].FromCache, outs[1].FromCache, outs[2].FromCache)
 	}
 	for i := 1; i < 3; i++ {
 		if outs[i].Result != outs[0].Result {
@@ -192,7 +192,7 @@ func TestCacheStoresFailuresWithPerJobLabels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !outs[1].Cached {
+	if !outs[1].FromCache {
 		t.Error("second failure was not served from cache")
 	}
 	if !strings.Contains(outs[0].Err.Error(), `"first"`) ||
@@ -219,7 +219,7 @@ func TestCachedModelWrapper(t *testing.T) {
 	if r1 != r2 {
 		t.Error("second solve was not memoized")
 	}
-	if hits, _ := cache.Counters(); hits != 1 {
+	if hits, _, _ := cache.Counters(); hits != 1 {
 		t.Errorf("hits=%d, want 1", hits)
 	}
 	if Cached(core.Model1D{}, nil) == nil {

@@ -1,0 +1,120 @@
+package ttsv_test
+
+// Facade tests for the observability surface: metrics snapshots, NDJSON
+// span tracing, and the enable/disable switches, exercised exactly as a
+// downstream user would.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	ttsv "repro"
+)
+
+func TestMetricsThroughFacade(t *testing.T) {
+	s, err := ttsv.Fig4Block(10e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ttsv.Metrics().Counters["sparse.cg.solves"]
+	if _, _, err := ttsv.SolveReferenceStats(s, ttsv.DefaultResolution()); err != nil {
+		t.Fatal(err)
+	}
+	snap := ttsv.Metrics()
+	if got := snap.Counters["sparse.cg.solves"]; got != before+1 {
+		t.Errorf("sparse.cg.solves = %d, want %d", got, before+1)
+	}
+	h, ok := snap.Histograms["sparse.cg.iterations"]
+	if !ok {
+		t.Fatal("no sparse.cg.iterations histogram in snapshot")
+	}
+	if h.Count == 0 || h.Mean() <= 0 {
+		t.Errorf("iterations histogram empty: count=%d mean=%g", h.Count, h.Mean())
+	}
+	if snap.String() == "" {
+		t.Error("snapshot String is empty")
+	}
+}
+
+func TestTraceContextEmitsSolverSpans(t *testing.T) {
+	s, err := ttsv.Fig4Block(10e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr := ttsv.NewTracer(&buf)
+	ctx := ttsv.TraceContext(context.Background(), tr)
+	if _, _, err := ttsv.SolveReferenceStatsCtx(ctx, s, ttsv.DefaultResolution()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var r struct {
+			Span string `json:"span"`
+		}
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad NDJSON %q: %v", line, err)
+		}
+		seen[r.Span] = true
+	}
+	for _, want := range []string{"fem.stack", "fem.solve", "fem.assemble", "fem.precond", "sparse.cg"} {
+		if !seen[want] {
+			t.Errorf("trace missing %q span (have %v)", want, seen)
+		}
+	}
+}
+
+func TestDisableMetricsStopsRecording(t *testing.T) {
+	defer ttsv.EnableMetrics()
+	ttsv.DisableMetrics()
+	s, err := ttsv.Fig4Block(10e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ttsv.SolveReferenceStats(s, ttsv.DefaultResolution()); err != nil {
+		t.Fatal(err)
+	}
+	snap := ttsv.Metrics()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Errorf("disabled registry recorded %d series", len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
+	}
+	ttsv.EnableMetrics()
+	if _, _, err := ttsv.SolveReferenceStats(s, ttsv.DefaultResolution()); err != nil {
+		t.Fatal(err)
+	}
+	if ttsv.Metrics().Counters["sparse.cg.solves"] != 1 {
+		t.Errorf("re-enabled registry counted %d solves, want 1", ttsv.Metrics().Counters["sparse.cg.solves"])
+	}
+	ttsv.ResetMetrics()
+	if n := ttsv.Metrics().Counters["sparse.cg.solves"]; n != 0 {
+		t.Errorf("after reset, sparse.cg.solves = %d, want 0", n)
+	}
+}
+
+func TestBoundedSweepCacheThroughFacade(t *testing.T) {
+	c := ttsv.NewSweepCacheSize(1)
+	s, err := ttsv.Fig4Block(10e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := ttsv.Batch{}.
+		Add("a", s, ttsv.ModelA{Coeffs: ttsv.PaperBlockCoeffs()}).
+		Add("b", s, ttsv.Model1D{}).
+		Add("a2", s, ttsv.ModelA{Coeffs: ttsv.PaperBlockCoeffs()})
+	if _, err := ttsv.Sweep(context.Background(), jobs, ttsv.SweepOptions{Workers: 1, Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("capacity-1 cache holds %d entries", c.Len())
+	}
+	_, _, ev := c.Counters()
+	if ev == 0 {
+		t.Error("capacity-1 cache over 2 distinct jobs reported no evictions")
+	}
+}

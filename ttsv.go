@@ -34,12 +34,14 @@ package ttsv
 
 import (
 	"context"
+	"io"
 
 	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/fem"
 	"repro/internal/fit"
 	"repro/internal/materials"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sparse"
 	"repro/internal/stack"
@@ -118,6 +120,12 @@ type (
 	// PlanOptions controls worker count and memoization of insertion
 	// planning.
 	PlanOptions = plan.Options
+
+	// Tracer records solver/sweep/plan spans as NDJSON; see NewTracer.
+	Tracer = obs.Tracer
+	// MetricsSnapshot is a frozen copy of the library's metrics registry;
+	// see Metrics.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Preconditioner choices for Resolution.Precond. PrecondAuto picks per
@@ -236,8 +244,43 @@ func Sweep(ctx context.Context, jobs Batch, opt SweepOptions) ([]SweepOutcome, e
 
 // NewSweepCache returns an empty memoization cache for SweepOptions.Cache or
 // PlanOptions.Cache; it is safe for concurrent use and may be shared across
-// batches.
+// batches. The cache is bounded (LRU eviction beyond a generous default
+// capacity); use NewSweepCacheSize(0) for the unbounded behavior.
 func NewSweepCache() *SweepCache { return sweep.NewCache() }
+
+// NewSweepCacheSize returns a memoization cache holding at most capacity
+// entries with least-recently-used eviction; capacity <= 0 means unbounded.
+func NewSweepCacheSize(capacity int) *SweepCache { return sweep.NewCacheSize(capacity) }
+
+// NewTracer returns a span tracer writing NDJSON records (one JSON object
+// per line) to w. Attach it to SweepOptions.Trace or PlanOptions.Trace, or
+// thread it through a context with TraceContext to record individual
+// reference solves.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// TraceContext returns a context carrying t, so context-threaded solves
+// (SolveReferenceStatsCtx, Sweep) emit spans into it. A nil tracer returns
+// ctx unchanged.
+func TraceContext(ctx context.Context, t *Tracer) context.Context {
+	return obs.ContextWithTracer(ctx, t)
+}
+
+// Metrics returns a point-in-time snapshot of the library's metrics
+// registry: solver series (sparse.cg.*, mg.*, fem.*), batch-engine series
+// (sweep.*, plan.*) and workload counters (chip.*, experiments.*). The
+// snapshot is safe to read and serialize while solves continue.
+func Metrics() MetricsSnapshot { return obs.Default().Snapshot() }
+
+// ResetMetrics clears every metric series, e.g. between benchmark phases.
+func ResetMetrics() { obs.Default().Reset() }
+
+// DisableMetrics turns metric recording off process-wide; every record site
+// reduces to a nil check. EnableMetrics turns it back on (with a fresh
+// registry).
+func DisableMetrics() { obs.SetDefault(nil) }
+
+// EnableMetrics (re)starts metric collection into a fresh registry.
+func EnableMetrics() { obs.SetDefault(obs.NewRegistry()) }
 
 // CalibrateModelA fits Model A's (k1, k2) to reference temperatures, the
 // paper's calibration workflow. start supplies the fixed c1 and a fallback.
