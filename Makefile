@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify race bench bench-json bench-compare fuzz clean
+.PHONY: all build test verify race bench bench-json bench-compare profile fuzz clean
 
 all: build test
 
@@ -13,12 +13,15 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the pre-merge gate: static analysis, the whole suite — including
-# the parallel sweep/plan/solver property tests — under the race detector,
-# one pass over every benchmark so the harness itself cannot rot, and a
-# single-iteration smoke run of the bench-json pipeline.
+# verify is the pre-merge gate: static analysis, the cross-solve reuse
+# determinism properties under the race detector (run first and by name —
+# they are the contract that assembly/hierarchy reuse and warm-started
+# sweeps never change results), then the whole suite under the race
+# detector, one pass over every benchmark so the harness itself cannot rot,
+# and a single-iteration smoke run of the bench-json pipeline.
 verify:
 	$(GO) vet ./...
+	$(GO) test -race -run 'SolveContext|WarmStart|SweepReuse|RebuildMatches|RebuildAcross' ./internal/fem ./internal/sweep ./internal/mg
 	$(GO) test -race ./...
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(MAKE) bench-json BENCHTIME=1x BENCH_OUT=/dev/null
@@ -31,25 +34,44 @@ bench:
 
 # bench-json archives the reference-solver costs (the BenchmarkReference*
 # family, including the multigrid variants with their cgiters/mglevels
-# metrics) as JSON. The committed BENCH_ref.json is regenerated with the
-# default settings; verify smoke-runs the pipeline into /dev/null.
+# metrics, plus the SweepReuse/SweepNoReuse A/B pair) as JSON. The committed
+# BENCH_ref.json is regenerated with BENCHTIME=5x (averaging five iterations
+# tames the multi-worker benchmarks' scheduling wobble); verify smoke-runs
+# the pipeline into /dev/null.
 BENCHTIME ?= 2x
 BENCH_OUT ?= BENCH_ref.json
+BENCH_PATTERN ?= 'Reference|SweepReuse|SweepNoReuse'
 # Captured into a shell variable rather than piped directly: in a plain
 # pipe a failing `go test` is masked by the parser's exit status.
 bench-json:
-	@out=$$($(GO) test -run '^$$' -bench Reference -benchtime $(BENCHTIME) .) || { printf '%s\n' "$$out"; exit 1; }; \
+	@out=$$($(GO) test -run '^$$' -bench $(BENCH_PATTERN) -benchtime $(BENCHTIME) .) || { printf '%s\n' "$$out"; exit 1; }; \
 	printf '%s\n' "$$out" | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 # bench-compare guards the solver's performance: it reruns the reference
 # benchmarks and diffs them against the committed BENCH_ref.json, failing
-# when any wall time regresses by more than BENCH_THRESHOLD percent.
+# when any wall time regresses by more than BENCH_THRESHOLD percent or any
+# B/op / allocs/op regresses by more than BENCH_ALLOC_THRESHOLD percent
+# (allocation counts are deterministic, so their gate is tighter).
 # Wall-clock noise means a single 2x run can wobble; rerun (or re-archive
 # with bench-json) before trusting a marginal failure.
 BENCH_THRESHOLD ?= 25
+BENCH_ALLOC_THRESHOLD ?= 10
 bench-compare:
-	@out=$$($(GO) test -run '^$$' -bench Reference -benchtime $(BENCHTIME) .) || { printf '%s\n' "$$out"; exit 1; }; \
-	printf '%s\n' "$$out" | $(GO) run ./cmd/benchjson -compare BENCH_ref.json -threshold $(BENCH_THRESHOLD)
+	@out=$$($(GO) test -run '^$$' -bench $(BENCH_PATTERN) -benchtime $(BENCHTIME) .) || { printf '%s\n' "$$out"; exit 1; }; \
+	printf '%s\n' "$$out" | $(GO) run ./cmd/benchjson -compare BENCH_ref.json -threshold $(BENCH_THRESHOLD) -alloc-threshold $(BENCH_ALLOC_THRESHOLD)
+
+# profile captures CPU and allocation pprof profiles of the sweep-reuse
+# benchmark (the tentpole's end-to-end hot path: symbolic refill, hierarchy
+# re-Galerkin, pooled CG). Inspect with
+#   go tool pprof profiles/repro.test profiles/sweep_cpu.pprof
+PROFILE_DIR ?= profiles
+profile:
+	@mkdir -p $(PROFILE_DIR)
+	$(GO) test -run '^$$' -bench SweepReuseFVM -benchtime 3x \
+		-cpuprofile $(PROFILE_DIR)/sweep_cpu.pprof \
+		-memprofile $(PROFILE_DIR)/sweep_mem.pprof \
+		-o $(PROFILE_DIR)/repro.test .
+	@echo "profiles written to $(PROFILE_DIR)/"
 
 # Seed corpora run on every plain `go test`; this target explores further.
 # Usage: make fuzz FUZZ=FuzzLoadBlockConfig PKG=./internal/stack FUZZTIME=30s

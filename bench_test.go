@@ -217,7 +217,29 @@ func BenchmarkReferenceSolveDefault(b *testing.B) {
 	}
 }
 
+// BenchmarkReferenceSolveRefined measures the refined solve the way a sweep
+// pays for it: through a persistent SolveContext, so the sparsity pattern,
+// multigrid hierarchy and solver scratch amortize across solves. The
+// operator here never changes between iterations, so this is the reuse
+// upper bound (hierarchy served from cache); BenchmarkSweepReuseFVM pays
+// the honest rebuild cost of an actual parameter sweep, and
+// ...RefinedFresh keeps the no-reuse baseline measurable.
 func BenchmarkReferenceSolveRefined(b *testing.B) {
+	s := mustFig4(b, 10)
+	res := ttsv.DefaultResolution().Refine(2)
+	sc := ttsv.NewSolveContext()
+	defer sc.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ttsv.SolveReferenceStatsWith(context.Background(), sc, s, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReferenceSolveRefinedFresh is the pre-reuse path: every solve
+// re-derives the pattern and hierarchy from scratch.
+func BenchmarkReferenceSolveRefinedFresh(b *testing.B) {
 	s := mustFig4(b, 10)
 	res := ttsv.DefaultResolution().Refine(2)
 	b.ReportAllocs()
@@ -264,6 +286,7 @@ func BenchmarkReferenceSolveSpeedup4(b *testing.B) {
 	}
 	opt := sparse.Options{Tol: 1e-10, Precond: sparse.PrecondChebyshev}
 	var seq, par time.Duration
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		opt.Workers = 1
@@ -547,6 +570,40 @@ func BenchmarkSweepSequentialFVM(b *testing.B) { benchSweepEngine(b, 1) }
 func BenchmarkSweepParallelFVM(b *testing.B) { benchSweepEngine(b, runtime.GOMAXPROCS(0)) }
 
 func BenchmarkSweepParallelFVM4(b *testing.B) { benchSweepEngine(b, 4) }
+
+// BenchmarkSweepReuseFVM / BenchmarkSweepNoReuseFVM A/B the cross-solve
+// reuse the sweep engine applies by default: a refined-mesh radius sweep in
+// which every point shares the mesh topology but not the operator values, so
+// each job after the first refills the cached pattern and rebuilds the
+// multigrid hierarchy through recycled memory instead of re-deriving both.
+// This is the honest reuse case — the per-point win of an actual sweep —
+// as opposed to BenchmarkReferenceSolveRefined's unchanged-operator upper
+// bound.
+func benchSweepReuse(b *testing.B, noReuse bool) {
+	b.Helper()
+	m := ttsv.ReferenceModel(ttsv.DefaultResolution().Refine(2))
+	var jobs ttsv.Batch
+	for _, r := range []float64{5, 8, 12, 16, 20} {
+		jobs = jobs.Add("", mustFig4(b, r), m)
+	}
+	opts := ttsv.SweepOptions{Workers: 1, NoReuse: noReuse}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs, err := ttsv.Sweep(context.Background(), jobs, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, oc := range outs {
+			if oc.Err != nil {
+				b.Fatal(oc.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkSweepReuseFVM(b *testing.B)   { benchSweepReuse(b, false) }
+func BenchmarkSweepNoReuseFVM(b *testing.B) { benchSweepReuse(b, true) }
 
 // BenchmarkSweepCachedFVM measures the memoized path: after the first
 // iteration every job is a cache hit, so this reports the engine's per-job

@@ -61,6 +61,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	outPath := fs.String("o", "", "write JSON here instead of stdout")
 	refPath := fs.String("compare", "", "diff the input against this archived JSON instead of emitting JSON")
 	threshold := fs.Float64("threshold", 25, "with -compare, fail when any ns/op regresses by more than this percentage")
+	allocThreshold := fs.Float64("alloc-threshold", 10, "with -compare, fail when any B/op or allocs/op regresses by more than this percentage (memory is deterministic, so the gate can be tighter than wall time)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,7 +70,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		return err
 	}
 	if *refPath != "" {
-		return compare(doc, *refPath, *threshold, out)
+		return compare(doc, *refPath, *threshold, *allocThreshold, out)
 	}
 	w := out
 	if *outPath != "" {
@@ -85,12 +86,17 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	return enc.Encode(doc)
 }
 
+// memUnits are the deterministic allocation metrics gated by -alloc-threshold.
+var memUnits = [...]string{"B/op", "allocs/op"}
+
 // compare diffs doc against the archived reference document, one line per
 // benchmark, and fails when any matched benchmark's ns/op exceeds its
-// reference by more than threshold percent. Benchmarks present on only one
-// side are reported but never fail the comparison — the archive may predate
-// newly added benchmarks. Getting faster is never a failure.
-func compare(doc *Document, refPath string, threshold float64, w io.Writer) error {
+// reference by more than threshold percent, or its B/op or allocs/op exceeds
+// the reference by more than allocThreshold percent. Memory metrics are only
+// gated when both sides report them — the archive may predate -benchmem
+// capture. Benchmarks present on only one side are reported but never fail
+// the comparison. Getting faster (or leaner) is never a failure.
+func compare(doc *Document, refPath string, threshold, allocThreshold float64, w io.Writer) error {
 	data, err := os.ReadFile(refPath)
 	if err != nil {
 		return err
@@ -116,19 +122,33 @@ func compare(doc *Document, refPath string, threshold float64, w io.Writer) erro
 		mark := ""
 		if delta > threshold {
 			mark = "   REGRESSION"
-			regressed = append(regressed, fmt.Sprintf("%s (%+.1f%%)", b.Name, delta))
+			regressed = append(regressed, fmt.Sprintf("%s (%+.1f%% ns/op)", b.Name, delta))
 		}
-		fmt.Fprintf(w, "%-40s %14.0f ns/op   ref %14.0f   %+6.1f%%%s\n",
-			b.Name, b.NsPerOp, r.NsPerOp, delta, mark)
+		var mem strings.Builder
+		for _, unit := range memUnits {
+			bv, bok := b.Metrics[unit]
+			rv, rok := r.Metrics[unit]
+			if !bok || !rok || rv <= 0 {
+				continue
+			}
+			md := 100 * (bv - rv) / rv
+			fmt.Fprintf(&mem, "   %s %+.1f%%", unit, md)
+			if md > allocThreshold {
+				mark = "   REGRESSION"
+				regressed = append(regressed, fmt.Sprintf("%s (%+.1f%% %s)", b.Name, md, unit))
+			}
+		}
+		fmt.Fprintf(w, "%-40s %14.0f ns/op   ref %14.0f   %+6.1f%%%s%s\n",
+			b.Name, b.NsPerOp, r.NsPerOp, delta, mem.String(), mark)
 	}
 	if matched == 0 {
 		return fmt.Errorf("no benchmark on input matches the reference %s", refPath)
 	}
 	if len(regressed) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed more than %g%% vs %s: %s",
-			len(regressed), threshold, refPath, strings.Join(regressed, ", "))
+		return fmt.Errorf("%d regression(s) past %g%% ns/op / %g%% mem vs %s: %s",
+			len(regressed), threshold, allocThreshold, refPath, strings.Join(regressed, ", "))
 	}
-	fmt.Fprintf(w, "ok: %d benchmark(s) within %g%% of %s\n", matched, threshold, refPath)
+	fmt.Fprintf(w, "ok: %d benchmark(s) within %g%% ns/op and %g%% mem of %s\n", matched, threshold, allocThreshold, refPath)
 	return nil
 }
 

@@ -104,6 +104,55 @@ func TestCompareFailsOnRegression(t *testing.T) {
 	}
 }
 
+const refWithMemJSON = `{
+  "benchmarks": [
+    {"name": "ReferenceSolveDefault", "iterations": 10, "ns_per_op": 111222333,
+     "metrics": {"B/op": 1234, "allocs/op": 40}},
+    {"name": "ReferenceMGRefined2", "iterations": 5, "ns_per_op": 222333444,
+     "metrics": {"B/op": 99, "allocs/op": 7}}
+  ]
+}`
+
+func TestCompareFailsOnAllocRegression(t *testing.T) {
+	// Sample's ReferenceSolveDefault allocates 56/op vs a reference of 40:
+	// +40%, past the 10% default alloc threshold even though ns/op matches.
+	ref := writeRef(t, refWithMemJSON)
+	var buf bytes.Buffer
+	err := run([]string{"-compare", ref}, strings.NewReader(sample), &buf)
+	if err == nil {
+		t.Fatalf("40%% alloc regression passed the 10%% default threshold:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "allocs/op") || !strings.Contains(err.Error(), "ReferenceSolveDefault") {
+		t.Errorf("error does not name the regressed metric: %v", err)
+	}
+	if !strings.Contains(buf.String(), "allocs/op +40.0%") {
+		t.Errorf("alloc delta not reported in the table:\n%s", buf.String())
+	}
+}
+
+func TestCompareAllocThresholdFlag(t *testing.T) {
+	// The same +40% alloc delta passes when -alloc-threshold is raised.
+	ref := writeRef(t, refWithMemJSON)
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", ref, "-alloc-threshold", "50"}, strings.NewReader(sample), &buf); err != nil {
+		t.Fatalf("alloc delta within the raised threshold failed: %v\n%s", err, buf.String())
+	}
+}
+
+func TestCompareSkipsMemWithoutReferenceMetrics(t *testing.T) {
+	// refJSON predates memory capture: B/op and allocs/op must not be gated
+	// (TestCompareWithinThresholdPasses covers the passing path; this one
+	// pins the table output).
+	ref := writeRef(t, refJSON)
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", ref, "-alloc-threshold", "0"}, strings.NewReader(sample), &buf); err != nil {
+		t.Fatalf("metric-free reference gated memory anyway: %v\n%s", err, buf.String())
+	}
+	if strings.Contains(buf.String(), "B/op") {
+		t.Errorf("memory delta reported without reference metrics:\n%s", buf.String())
+	}
+}
+
 func TestCompareIgnoresUnmatchedBenchmarks(t *testing.T) {
 	// Only one of the two input benchmarks has a reference; the other is
 	// reported but cannot fail the run.

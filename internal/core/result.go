@@ -55,3 +55,31 @@ type ContextSolver interface {
 	// ctx.Err() when interrupted.
 	SolveCtx(ctx context.Context, s *stack.Stack) (*Result, error)
 }
+
+// ReusableSolver is implemented by models that can amortize per-solve setup
+// (matrix sparsity patterns, preconditioner hierarchies, solver scratch)
+// across the many solves of a batch. Batch runners that hold an instance per
+// worker get the cross-solve reuse; callers that ignore the interface get
+// the plain Solve path — the results are identical either way, because
+// reusable state must never change what a solve computes, only what it
+// allocates. Warm starting (seeding an iterative solve from the previous
+// solution of the same system shape) is the one exception: it perturbs the
+// iterate sequence, so it is a separate opt-in at instance creation.
+type ReusableSolver interface {
+	Model
+	// NewReusable returns a fresh instance owning the reusable state.
+	// Instances are not safe for concurrent use: create one per worker.
+	NewReusable(warmStart bool) ReusableInstance
+}
+
+// ReusableInstance is one worker's stateful handle on a ReusableSolver.
+type ReusableInstance interface {
+	// SolveCtx is ContextSolver.SolveCtx drawing on the instance's cache.
+	SolveCtx(ctx context.Context, s *stack.Stack) (*Result, error)
+	// ResetWarm forgets warm-start state, so the next solve of every system
+	// shape begins cold. A no-op for instances created without warm start.
+	ResetWarm()
+	// Close releases held resources (e.g. worker pools). The instance must
+	// not be used afterwards.
+	Close()
+}

@@ -68,131 +68,36 @@ type axiSystem struct {
 	rhs     []float64
 	volumes []float64 // cell volumes, row-major like the unknowns
 	grid    solverGrid
+	key     asmKey
 }
 
-// assembleAxi discretizes the problem; shared by the steady and transient
-// solvers.
+// assembleAxi discretizes the problem without a reuse context; shared by the
+// transient solver and tests. The discretization itself lives in assembly.go
+// (axiEmit), shared with the pattern-cached path.
 func assembleAxi(p *AxiProblem) (*axiSystem, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	nr := len(p.REdges) - 1
-	nz := len(p.ZEdges) - 1
-	rc := mesh.Centers(p.REdges)
-	zc := mesh.Centers(p.ZEdges)
-
-	// Cache cell conductivities and geometry.
-	k := make([][]float64, nz)
-	for j := 0; j < nz; j++ {
-		k[j] = make([]float64, nr)
-		for i := 0; i < nr; i++ {
-			v := p.K(rc[i], zc[j])
-			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("fem: conductivity %g at (r=%g, z=%g) must be positive and finite", v, rc[i], zc[j])
-			}
-			k[j][i] = v
-		}
-	}
-
-	idx := func(i, j int) int { return j*nr + i }
-	n := nr * nz
-	coo := sparse.NewCOO(n, n)
-	rhs := make([]float64, n)
-	volumes := make([]float64, n)
-
-	// faceG computes the conductance between two cell centers through a
-	// shared face of area a, with center-to-face distances d1, d2 and
-	// conductivities k1, k2 (series/harmonic combination).
-	faceG := func(a, d1, k1, d2, k2 float64) float64 {
-		return a / (d1/k1 + d2/k2)
-	}
-
-	for j := 0; j < nz; j++ {
-		zs, zn := p.ZEdges[j], p.ZEdges[j+1]
-		dz := zn - zs
-		for i := 0; i < nr; i++ {
-			rw, re := p.REdges[i], p.REdges[i+1]
-			ring := math.Pi * (re*re - rw*rw) // axial face area
-			row := idx(i, j)
-			kc := k[j][i]
-			volumes[row] = ring * dz
-
-			// Volumetric source. Negative densities (cooling) are legal;
-			// non-finite values mean the problem definition is broken (e.g.
-			// a source closure evaluated outside its layer table).
-			if p.Q != nil {
-				qv := p.Q(rc[i], zc[j])
-				if math.IsNaN(qv) || math.IsInf(qv, 0) {
-					return nil, fmt.Errorf("fem: source density %g at (r=%g, z=%g) must be finite", qv, rc[i], zc[j])
-				}
-				rhs[row] += qv * volumes[row]
-			}
-
-			// East neighbor (radial outward).
-			if i+1 < nr {
-				a := 2 * math.Pi * re * dz
-				g := faceG(a, re-rc[i], kc, rc[i+1]-re, k[j][i+1])
-				coo.Add(row, row, g)
-				coo.Add(row, idx(i+1, j), -g)
-				coo.Add(idx(i+1, j), idx(i+1, j), g)
-				coo.Add(idx(i+1, j), row, -g)
-			} else if p.Outer.Kind == Dirichlet {
-				a := 2 * math.Pi * re * dz
-				g := a * kc / (re - rc[i])
-				coo.Add(row, row, g)
-				rhs[row] += g * p.Outer.Temp
-			}
-			// West face: interior handled by the east sweep of cell i-1; the
-			// axis (i == 0) is a natural symmetry boundary with zero area
-			// contribution beyond r = 0, i.e. adiabatic.
-
-			// North neighbor (axial upward).
-			if j+1 < nz {
-				g := faceG(ring, zn-zc[j], kc, zc[j+1]-zn, k[j+1][i])
-				coo.Add(row, row, g)
-				coo.Add(row, idx(i, j+1), -g)
-				coo.Add(idx(i, j+1), idx(i, j+1), g)
-				coo.Add(idx(i, j+1), row, -g)
-			} else if p.Top.Kind == Dirichlet {
-				g := ring * kc / (zn - zc[j])
-				coo.Add(row, row, g)
-				rhs[row] += g * p.Top.Temp
-			}
-
-			// South boundary.
-			if j == 0 && p.Bottom.Kind == Dirichlet {
-				g := ring * kc / (zc[j] - zs)
-				coo.Add(row, row, g)
-				rhs[row] += g * p.Bottom.Temp
-			}
-		}
-	}
-
-	return &axiSystem{
-		nr: nr, nz: nz, rc: rc, zc: zc, matrix: coo.ToCSR(), rhs: rhs, volumes: volumes,
-		// Unknown index = iz·nr + ir: the radial axis varies fastest.
-		grid: solverGrid{dims: []int{nr, nz}},
-	}, nil
+	return assembleAxiWith(context.Background(), nil, p)
 }
 
 // solveDefaults fills in the solver settings this package uses: tight
 // tolerance, preconditioner auto-selection (multigrid above the size
-// threshold), and a MaxIter budget scaled to the preconditioner class.
-func solveDefaults(opt sparse.Options, sys *axiSystem) sparse.Options {
+// threshold, served from sc's hierarchy cache when possible), and a MaxIter
+// budget scaled to the preconditioner class.
+func solveDefaults(sc *SolveContext, opt sparse.Options, sys *axiSystem) sparse.Options {
 	if opt.Tol == 0 {
 		opt.Tol = 1e-10
 	}
-	return resolveSolver(opt, sys.matrix, sys.grid)
+	return resolveSolverWith(sc, sys.key, opt, sys.matrix, sys.grid)
 }
 
-// fieldFrom reshapes a flat unknown vector into the [iz][ir] grid.
+// fieldFrom reshapes a flat unknown vector into the [iz][ir] grid. All rows
+// share one backing array, so the reshape costs two allocations instead of
+// one per z-plane.
 func (sys *axiSystem) fieldFrom(x []float64) [][]float64 {
 	t := make([][]float64, sys.nz)
+	backing := make([]float64, sys.nz*sys.nr)
+	copy(backing, x)
 	for j := 0; j < sys.nz; j++ {
-		t[j] = make([]float64, sys.nr)
-		for i := 0; i < sys.nr; i++ {
-			t[j][i] = x[j*sys.nr+i]
-		}
+		t[j] = backing[j*sys.nr : (j+1)*sys.nr : (j+1)*sys.nr]
 	}
 	return t
 }
@@ -212,10 +117,19 @@ func SolveAxi(p *AxiProblem, opt sparse.Options) (*AxiSolution, error) {
 // span nests under "fem.solve", giving the assembly → preconditioner → CG
 // chain in the trace.
 func SolveAxiCtx(ctx context.Context, p *AxiProblem, opt sparse.Options) (*AxiSolution, error) {
+	return SolveAxiWith(ctx, nil, p, opt)
+}
+
+// SolveAxiWith is SolveAxiCtx solving through a reuse context: assembly
+// patterns, multigrid hierarchies and kernel pools cached in sc are
+// recycled, and with sc.WarmStart the CG iteration starts from the previous
+// solution of the same system shape. A nil sc (or sc.NoReuse) makes every
+// solve fresh; the results are bit-identical either way (warm starts aside).
+func SolveAxiWith(ctx context.Context, sc *SolveContext, p *AxiProblem, opt sparse.Options) (*AxiSolution, error) {
 	ctx, root := obs.StartSpan(ctx, "fem.solve")
 	defer root.End()
-	_, asp := obs.StartSpan(ctx, "fem.assemble")
-	sys, err := assembleAxi(p)
+	asmCtx, asp := obs.StartSpan(ctx, "fem.assemble")
+	sys, err := assembleAxiWith(asmCtx, sc, p)
 	asp.End()
 	if err != nil {
 		root.Set("error", err.Error())
@@ -223,16 +137,23 @@ func SolveAxiCtx(ctx context.Context, p *AxiProblem, opt sparse.Options) (*AxiSo
 	}
 	root.Set("unknowns", len(sys.rhs))
 	_, psp := obs.StartSpan(ctx, "fem.precond")
-	o := solveDefaults(opt, sys)
+	o := solveDefaults(sc, opt, sys)
 	if psp != nil {
 		psp.Set("precond", o.Precond.String())
 		psp.End()
+	}
+	if o.Pool == nil {
+		o.Pool = sc.poolFor(o.Workers)
+	}
+	if o.X0 == nil {
+		o.X0 = sc.warmX0(sys.key, len(sys.rhs))
 	}
 	x, st, err := sparse.SolveCGCtx(ctx, sys.matrix, sys.rhs, o)
 	if err != nil {
 		root.Set("error", err.Error())
 		return nil, solveErr("axisymmetric solve", len(sys.rhs), st, err)
 	}
+	sc.storeWarm(sys.key, x)
 	return &AxiSolution{p: p, RCenters: sys.rc, ZCenters: sys.zc, Stats: st, T: sys.fieldFrom(x)}, nil
 }
 

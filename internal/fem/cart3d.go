@@ -69,112 +69,14 @@ type cartSystem struct {
 	matrix     *sparse.CSR
 	rhs        []float64
 	grid       solverGrid
+	key        asmKey
 }
 
-// assembleCart discretizes the problem.
+// assembleCart discretizes the problem without a reuse context. The
+// discretization itself lives in assembly.go (cartEmit), shared with the
+// pattern-cached path.
 func assembleCart(p *CartProblem) (*cartSystem, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	nx := len(p.XEdges) - 1
-	ny := len(p.YEdges) - 1
-	nz := len(p.ZEdges) - 1
-	xc := mesh.Centers(p.XEdges)
-	yc := mesh.Centers(p.YEdges)
-	zc := mesh.Centers(p.ZEdges)
-
-	k := make([]float64, nx*ny*nz)
-	kz := k
-	if p.KZ != nil {
-		kz = make([]float64, nx*ny*nz)
-	}
-	idx := func(i, j, l int) int { return (l*ny+j)*nx + i }
-	for l := 0; l < nz; l++ {
-		for j := 0; j < ny; j++ {
-			for i := 0; i < nx; i++ {
-				v := p.K(xc[i], yc[j], zc[l])
-				if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-					return nil, fmt.Errorf("fem: conductivity %g at (%g, %g, %g)", v, xc[i], yc[j], zc[l])
-				}
-				k[idx(i, j, l)] = v
-				if p.KZ != nil {
-					vz := p.KZ(xc[i], yc[j], zc[l])
-					if vz <= 0 || math.IsNaN(vz) || math.IsInf(vz, 0) {
-						return nil, fmt.Errorf("fem: vertical conductivity %g at (%g, %g, %g)", vz, xc[i], yc[j], zc[l])
-					}
-					kz[idx(i, j, l)] = vz
-				}
-			}
-		}
-	}
-
-	n := nx * ny * nz
-	coo := sparse.NewCOO(n, n)
-	rhs := make([]float64, n)
-	for l := 0; l < nz; l++ {
-		dz := p.ZEdges[l+1] - p.ZEdges[l]
-		for j := 0; j < ny; j++ {
-			dy := p.YEdges[j+1] - p.YEdges[j]
-			for i := 0; i < nx; i++ {
-				dx := p.XEdges[i+1] - p.XEdges[i]
-				row := idx(i, j, l)
-				kc := k[row]
-				if p.Q != nil {
-					qv := p.Q(xc[i], yc[j], zc[l])
-					if math.IsNaN(qv) || math.IsInf(qv, 0) {
-						return nil, fmt.Errorf("fem: source density %g at (%g, %g, %g) must be finite", qv, xc[i], yc[j], zc[l])
-					}
-					rhs[row] += qv * dx * dy * dz
-				}
-				// +x neighbor.
-				if i+1 < nx {
-					a := dy * dz
-					g := a / ((p.XEdges[i+1]-xc[i])/kc + (xc[i+1]-p.XEdges[i+1])/k[idx(i+1, j, l)])
-					nb := idx(i+1, j, l)
-					coo.Add(row, row, g)
-					coo.Add(row, nb, -g)
-					coo.Add(nb, nb, g)
-					coo.Add(nb, row, -g)
-				}
-				// +y neighbor.
-				if j+1 < ny {
-					a := dx * dz
-					g := a / ((p.YEdges[j+1]-yc[j])/kc + (yc[j+1]-p.YEdges[j+1])/k[idx(i, j+1, l)])
-					nb := idx(i, j+1, l)
-					coo.Add(row, row, g)
-					coo.Add(row, nb, -g)
-					coo.Add(nb, nb, g)
-					coo.Add(nb, row, -g)
-				}
-				// +z neighbor (vertical conductivity).
-				kcz := kz[row]
-				if l+1 < nz {
-					a := dx * dy
-					g := a / ((p.ZEdges[l+1]-zc[l])/kcz + (zc[l+1]-p.ZEdges[l+1])/kz[idx(i, j, l+1)])
-					nb := idx(i, j, l+1)
-					coo.Add(row, row, g)
-					coo.Add(row, nb, -g)
-					coo.Add(nb, nb, g)
-					coo.Add(nb, row, -g)
-				} else if p.Top.Kind == Dirichlet {
-					g := dx * dy * kcz / (p.ZEdges[nz] - zc[l])
-					coo.Add(row, row, g)
-					rhs[row] += g * p.Top.Temp
-				}
-				if l == 0 && p.Bottom.Kind == Dirichlet {
-					g := dx * dy * kcz / (zc[0] - p.ZEdges[0])
-					coo.Add(row, row, g)
-					rhs[row] += g * p.Bottom.Temp
-				}
-			}
-		}
-	}
-
-	return &cartSystem{
-		nx: nx, ny: ny, nz: nz, xc: xc, yc: yc, zc: zc, matrix: coo.ToCSR(), rhs: rhs,
-		// Unknown index = (iz·ny + iy)·nx + ix: x varies fastest, then y, z.
-		grid: solverGrid{dims: []int{nx, ny, nz}},
-	}, nil
+	return assembleCartWith(context.Background(), nil, p)
 }
 
 // SolveCart assembles and solves the finite-volume system.
@@ -186,10 +88,16 @@ func SolveCart(p *CartProblem, opt sparse.Options) (*CartSolution, error) {
 // iterations. Like SolveAxiCtx it emits fem.solve/fem.assemble/fem.precond
 // spans when ctx carries an obs.Tracer.
 func SolveCartCtx(ctx context.Context, p *CartProblem, opt sparse.Options) (*CartSolution, error) {
+	return SolveCartWith(ctx, nil, p, opt)
+}
+
+// SolveCartWith is SolveCartCtx solving through a reuse context; see
+// SolveAxiWith for the contract.
+func SolveCartWith(ctx context.Context, sc *SolveContext, p *CartProblem, opt sparse.Options) (*CartSolution, error) {
 	ctx, root := obs.StartSpan(ctx, "fem.solve")
 	defer root.End()
-	_, asp := obs.StartSpan(ctx, "fem.assemble")
-	sys, err := assembleCart(p)
+	asmCtx, asp := obs.StartSpan(ctx, "fem.assemble")
+	sys, err := assembleCartWith(asmCtx, sc, p)
 	asp.End()
 	if err != nil {
 		root.Set("error", err.Error())
@@ -200,29 +108,38 @@ func SolveCartCtx(ctx context.Context, p *CartProblem, opt sparse.Options) (*Car
 		o.Tol = 1e-9
 	}
 	_, psp := obs.StartSpan(ctx, "fem.precond")
-	o = resolveSolver(o, sys.matrix, sys.grid)
+	o = resolveSolverWith(sc, sys.key, o, sys.matrix, sys.grid)
 	if psp != nil {
 		psp.Set("precond", o.Precond.String())
 		psp.End()
 	}
+	if o.Pool == nil {
+		o.Pool = sc.poolFor(o.Workers)
+	}
 	n := sys.nx * sys.ny * sys.nz
 	root.Set("unknowns", n)
+	if o.X0 == nil {
+		o.X0 = sc.warmX0(sys.key, n)
+	}
 	x, st, err := sparse.SolveCGCtx(ctx, sys.matrix, sys.rhs, o)
 	if err != nil {
 		root.Set("error", err.Error())
 		return nil, solveErr("3-D solve", n, st, err)
 	}
+	sc.storeWarm(sys.key, x)
 	nx, ny, nz := sys.nx, sys.ny, sys.nz
-	idx := func(i, j, l int) int { return (l*ny+j)*nx + i }
 	sol := &CartSolution{p: p, XCenters: sys.xc, YCenters: sys.yc, ZCenters: sys.zc, Stats: st}
+	// x is laid out (l*ny+j)*nx + i, so the field rows can share one backing
+	// array instead of allocating nz*ny separate slices.
+	backing := make([]float64, nz*ny*nx)
+	copy(backing, x)
 	sol.T = make([][][]float64, nz)
+	rows := make([][]float64, nz*ny)
 	for l := 0; l < nz; l++ {
-		sol.T[l] = make([][]float64, ny)
+		sol.T[l] = rows[l*ny : (l+1)*ny : (l+1)*ny]
 		for j := 0; j < ny; j++ {
-			sol.T[l][j] = make([]float64, nx)
-			for i := 0; i < nx; i++ {
-				sol.T[l][j][i] = x[idx(i, j, l)]
-			}
+			at := (l*ny + j) * nx
+			sol.T[l][j] = backing[at : at+nx : at+nx]
 		}
 	}
 	return sol, nil

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/mg"
 	"repro/internal/obs"
 	"repro/internal/sparse"
 )
@@ -72,9 +71,16 @@ type solverGrid struct {
 // system size. A pre-built Options.MG (e.g. the transient integrator's
 // shared hierarchy) is reused as-is.
 func resolveSolver(opt sparse.Options, a *sparse.CSR, g solverGrid) sparse.Options {
+	return resolveSolverWith(nil, asmKey{}, opt, a, g)
+}
+
+// resolveSolverWith is resolveSolver drawing the multigrid hierarchy from
+// sc's cache (reused when the operator values are unchanged, rebuilt through
+// the predecessor's recycled arena otherwise). A nil sc builds fresh.
+func resolveSolverWith(sc *SolveContext, key asmKey, opt sparse.Options, a *sparse.CSR, g solverGrid) sparse.Options {
 	if opt.MG == nil && (opt.Precond == sparse.PrecondMG ||
 		(opt.Precond == sparse.PrecondDefault && a.Rows() >= mgAutoThreshold)) {
-		if h, err := mg.Build(a, g.dims, mg.Options{}); err == nil {
+		if h, err := sc.hierarchyFor(key, a, g); err == nil {
 			if opt.Precond == sparse.PrecondDefault {
 				obs.Default().Counter("fem.mg.auto").Inc()
 			}

@@ -49,7 +49,11 @@ func (m ReferenceModel) Solve(s *stack.Stack) (*core.Result, error) {
 // iteration checks ctx between iterations, so cancelling a sweep also stops
 // its in-flight finite-volume solves.
 func (m ReferenceModel) SolveCtx(ctx context.Context, s *stack.Stack) (*core.Result, error) {
-	sol, err := SolveStackCtx(ctx, s, m.resolution())
+	return m.solveWith(ctx, nil, s)
+}
+
+func (m ReferenceModel) solveWith(ctx context.Context, sc *SolveContext, s *stack.Stack) (*core.Result, error) {
+	sol, err := SolveStackWith(ctx, sc, s, m.resolution())
 	if err != nil {
 		return nil, err
 	}
@@ -62,3 +66,25 @@ func (m ReferenceModel) SolveCtx(ctx context.Context, s *stack.Stack) (*core.Res
 		Solver:   sol.Stats,
 	}, nil
 }
+
+// NewReusable implements core.ReusableSolver: the returned instance owns a
+// SolveContext, so consecutive solves share the assembled sparsity pattern,
+// the multigrid hierarchy (reused outright when the operator is unchanged,
+// rebuilt through recycled memory when it is not) and the CG scratch pool.
+func (m ReferenceModel) NewReusable(warmStart bool) core.ReusableInstance {
+	sc := NewSolveContext()
+	sc.WarmStart = warmStart
+	return &reusableRef{m: m, sc: sc}
+}
+
+type reusableRef struct {
+	m  ReferenceModel
+	sc *SolveContext
+}
+
+func (r *reusableRef) SolveCtx(ctx context.Context, s *stack.Stack) (*core.Result, error) {
+	return r.m.solveWith(ctx, r.sc, s)
+}
+
+func (r *reusableRef) ResetWarm() { r.sc.ResetWarm() }
+func (r *reusableRef) Close()     { r.sc.Close() }

@@ -285,6 +285,14 @@ func SolveStack(s *stack.Stack, res Resolution) (*AxiSolution, error) {
 // SolveStackCtx is SolveStack honoring cancellation and the resolution's
 // solver worker count.
 func SolveStackCtx(ctx context.Context, s *stack.Stack, res Resolution) (*AxiSolution, error) {
+	return SolveStackWith(ctx, nil, s, res)
+}
+
+// SolveStackWith is SolveStackCtx solving through a reuse context (see
+// SolveAxiWith): across the stacks of a parameter sweep the mesh topology is
+// usually identical, so assembly patterns, multigrid hierarchies and solver
+// scratch carry over from one stack to the next.
+func SolveStackWith(ctx context.Context, sc *SolveContext, s *stack.Stack, res Resolution) (*AxiSolution, error) {
 	ctx, sp := obs.StartSpan(ctx, "fem.stack")
 	defer sp.End()
 	p, err := BuildAxiProblem(s, res)
@@ -296,5 +304,5 @@ func SolveStackCtx(ctx context.Context, s *stack.Stack, res Resolution) (*AxiSol
 	o := sparseDefaults()
 	o.Workers = res.Workers
 	o.Precond = res.Precond
-	return SolveAxiCtx(ctx, p, o)
+	return SolveAxiWith(ctx, sc, p, o)
 }

@@ -24,24 +24,44 @@ func FactorizeCholesky(a *Matrix) (*Cholesky, error) {
 	if a.Cols() != n {
 		return nil, fmt.Errorf("linalg: cannot Cholesky-factorize non-square %dx%d matrix", n, a.Cols())
 	}
-	l := NewMatrix(n, n)
+	return FactorizeCholeskyInto(a, NewMatrix(n, n))
+}
+
+// FactorizeCholeskyInto is FactorizeCholesky writing the factor into l, an
+// n×n matrix whose contents are fully overwritten (callers may recycle the
+// backing storage of a previous factorization, e.g. via NewMatrixWithData).
+// The inner loops run on raw row slices: the dense coarse solve sits on the
+// multigrid build path, where accessor bounds checks cost real time. The
+// summation order is exactly that of the accessor-based formulation, so the
+// factor bits do not depend on which entry point produced it.
+func FactorizeCholeskyInto(a, l *Matrix) (*Cholesky, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("linalg: cannot Cholesky-factorize non-square %dx%d matrix", n, a.Cols())
+	}
+	if l.rows != n || l.cols != n {
+		return nil, fmt.Errorf("linalg: Cholesky factor buffer is %dx%d, want %dx%d", l.rows, l.cols, n, n)
+	}
+	ad, ld := a.data, l.data
+	clear(ld)
 	for j := 0; j < n; j++ {
-		d := a.At(j, j)
-		for k := 0; k < j; k++ {
-			v := l.At(j, k)
+		rowj := ld[j*n : j*n+j+1 : j*n+j+1]
+		d := ad[j*n+j]
+		for _, v := range rowj[:j] {
 			d -= v * v
 		}
 		if d <= 0 || math.IsNaN(d) {
 			return nil, fmt.Errorf("%w: pivot %d is %g", ErrNotSPD, j, d)
 		}
 		d = math.Sqrt(d)
-		l.Set(j, j, d)
+		rowj[j] = d
 		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
+			rowi := ld[i*n : i*n+j+1 : i*n+j+1]
+			s := ad[i*n+j]
 			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
+				s -= rowi[k] * rowj[k]
 			}
-			l.Set(i, j, s/d)
+			rowi[j] = s / d
 		}
 	}
 	return &Cholesky{l: l}, nil
@@ -49,29 +69,44 @@ func FactorizeCholesky(a *Matrix) (*Cholesky, error) {
 
 // Solve solves A·x = b using the factorization.
 func (c *Cholesky) Solve(b []float64) ([]float64, error) {
-	n := c.l.Rows()
-	if len(b) != n {
-		return nil, fmt.Errorf("linalg: Cholesky solve dimension mismatch: matrix %d, rhs %d", n, len(b))
+	x := make([]float64, c.l.rows)
+	if err := c.SolveInto(x, b); err != nil {
+		return nil, err
 	}
+	return x, nil
+}
+
+// SolveInto solves A·x = b into dst, which must not alias b. It performs no
+// allocation, so per-V-cycle coarse solves can run on recycled scratch.
+func (c *Cholesky) SolveInto(dst, b []float64) error {
+	n := c.l.rows
+	if len(b) != n {
+		return fmt.Errorf("linalg: Cholesky solve dimension mismatch: matrix %d, rhs %d", n, len(b))
+	}
+	if len(dst) != n {
+		return fmt.Errorf("linalg: Cholesky solve destination length %d, want %d", len(dst), n)
+	}
+	ld := c.l.data
 	// Forward solve L·y = b.
-	y := make([]float64, n)
+	y := dst
 	for i := 0; i < n; i++ {
+		rowi := ld[i*n : i*n+i+1 : i*n+i+1]
 		s := b[i]
 		for k := 0; k < i; k++ {
-			s -= c.l.At(i, k) * y[k]
+			s -= rowi[k] * y[k]
 		}
-		y[i] = s / c.l.At(i, i)
+		y[i] = s / rowi[i]
 	}
 	// Back solve Lᵀ·x = y.
 	x := y
 	for i := n - 1; i >= 0; i-- {
 		s := x[i]
 		for k := i + 1; k < n; k++ {
-			s -= c.l.At(k, i) * x[k]
+			s -= ld[k*n+i] * x[k]
 		}
-		x[i] = s / c.l.At(i, i)
+		x[i] = s / ld[i*n+i]
 	}
-	return x, nil
+	return nil
 }
 
 // Det returns the determinant of the factorized matrix (the squared product

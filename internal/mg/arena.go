@@ -1,0 +1,224 @@
+package mg
+
+// arena recycles the allocation graph of a hierarchy build. Profiling the
+// refined reference solve puts ~70% of its wall time and nearly all of its
+// 57 MB/op inside Build — dominated by the append-grown Galerkin and
+// prolongation arrays — yet every sweep point rebuilds from nothing. A
+// hierarchy built with Options.Prev set steals the previous build's backing
+// arrays through this arena instead: reset moves everything to a free list,
+// and the build's allocation sites grab from it.
+//
+// Two grab flavors with different contracts:
+//
+//   - f64/i32/ints/bools return a zeroed length-n slice (best fit from the
+//     free list, fresh allocation otherwise) and record it as used
+//     immediately. Counting arrays and scatter targets use these.
+//   - f64cap/i32cap return an EMPTY slice with at least the hinted capacity
+//     for append-style assembly, and do NOT record it: the caller must hand
+//     the final (possibly regrown) slice to adoptF64/adoptI32 once assembly
+//     finishes, so the next generation reuses the grown array rather than
+//     the stale original.
+//
+// The arena only ever recycles memory; it never changes what values are
+// computed or in which order, so a rebuild through a recycled arena is
+// bit-identical to a fresh build.
+type arena struct {
+	freeF64, usedF64   [][]float64
+	freeI32, usedI32   [][]int32
+	freeInt, usedInt   [][]int
+	freeBool, usedBool [][]bool
+}
+
+// reset returns every used array to the free lists, starting a new
+// generation. The arrays of the hierarchy that owned them must no longer be
+// in use.
+func (ar *arena) reset() {
+	ar.freeF64 = append(ar.freeF64, ar.usedF64...)
+	ar.usedF64 = ar.usedF64[:0]
+	ar.freeI32 = append(ar.freeI32, ar.usedI32...)
+	ar.usedI32 = ar.usedI32[:0]
+	ar.freeInt = append(ar.freeInt, ar.usedInt...)
+	ar.usedInt = ar.usedInt[:0]
+	ar.freeBool = append(ar.freeBool, ar.usedBool...)
+	ar.usedBool = ar.usedBool[:0]
+}
+
+// bestFit removes and returns the index of the smallest free entry with
+// capacity ≥ n, or -1. Generic over the four slice kinds via the caps
+// closure-free pattern below (hand-rolled: this package predates generics
+// use elsewhere in the repo and the four copies stay trivially readable).
+func bestFitF64(free [][]float64, n int) int {
+	best := -1
+	for i, s := range free {
+		if cap(s) >= n && (best < 0 || cap(s) < cap(free[best])) {
+			best = i
+		}
+	}
+	return best
+}
+
+func bestFitI32(free [][]int32, n int) int {
+	best := -1
+	for i, s := range free {
+		if cap(s) >= n && (best < 0 || cap(s) < cap(free[best])) {
+			best = i
+		}
+	}
+	return best
+}
+
+func bestFitInt(free [][]int, n int) int {
+	best := -1
+	for i, s := range free {
+		if cap(s) >= n && (best < 0 || cap(s) < cap(free[best])) {
+			best = i
+		}
+	}
+	return best
+}
+
+func bestFitBool(free [][]bool, n int) int {
+	best := -1
+	for i, s := range free {
+		if cap(s) >= n && (best < 0 || cap(s) < cap(free[best])) {
+			best = i
+		}
+	}
+	return best
+}
+
+// largest returns the index of the largest free entry, or -1. Append-style
+// grabs fall back to it when nothing meets the hint: growing the biggest
+// recycled array wastes the least.
+func largestF64(free [][]float64) int {
+	best := -1
+	for i, s := range free {
+		if best < 0 || cap(s) > cap(free[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func largestI32(free [][]int32) int {
+	best := -1
+	for i, s := range free {
+		if best < 0 || cap(s) > cap(free[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func (ar *arena) f64(n int) []float64 {
+	if i := bestFitF64(ar.freeF64, n); i >= 0 {
+		s := ar.takeF64(i)[:n]
+		clear(s)
+		ar.usedF64 = append(ar.usedF64, s)
+		return s
+	}
+	s := make([]float64, n)
+	ar.usedF64 = append(ar.usedF64, s)
+	return s
+}
+
+func (ar *arena) i32(n int) []int32 {
+	if i := bestFitI32(ar.freeI32, n); i >= 0 {
+		s := ar.takeI32(i)[:n]
+		clear(s)
+		ar.usedI32 = append(ar.usedI32, s)
+		return s
+	}
+	s := make([]int32, n)
+	ar.usedI32 = append(ar.usedI32, s)
+	return s
+}
+
+func (ar *arena) ints(n int) []int {
+	if i := bestFitInt(ar.freeInt, n); i >= 0 {
+		s := ar.freeInt[i][:n]
+		ar.dropInt(i)
+		clear(s)
+		ar.usedInt = append(ar.usedInt, s)
+		return s
+	}
+	s := make([]int, n)
+	ar.usedInt = append(ar.usedInt, s)
+	return s
+}
+
+func (ar *arena) bools(n int) []bool {
+	if i := bestFitBool(ar.freeBool, n); i >= 0 {
+		s := ar.freeBool[i][:n]
+		ar.dropBool(i)
+		clear(s)
+		ar.usedBool = append(ar.usedBool, s)
+		return s
+	}
+	s := make([]bool, n)
+	ar.usedBool = append(ar.usedBool, s)
+	return s
+}
+
+// f64cap returns an empty slice with capacity ≥ hint when the free list can
+// supply one (falling back to the largest available), for append-style
+// assembly. The final slice must be passed to adoptF64.
+func (ar *arena) f64cap(hint int) []float64 {
+	i := bestFitF64(ar.freeF64, hint)
+	if i < 0 {
+		i = largestF64(ar.freeF64)
+	}
+	if i >= 0 {
+		return ar.takeF64(i)[:0]
+	}
+	return make([]float64, 0, hint)
+}
+
+func (ar *arena) i32cap(hint int) []int32 {
+	i := bestFitI32(ar.freeI32, hint)
+	if i < 0 {
+		i = largestI32(ar.freeI32)
+	}
+	if i >= 0 {
+		return ar.takeI32(i)[:0]
+	}
+	return make([]int32, 0, hint)
+}
+
+// adoptF64 records the final state of an append-assembled slice so the next
+// generation reuses its (possibly regrown) backing array.
+func (ar *arena) adoptF64(s []float64) { ar.usedF64 = append(ar.usedF64, s) }
+func (ar *arena) adoptI32(s []int32)   { ar.usedI32 = append(ar.usedI32, s) }
+func (ar *arena) adoptInt(s []int)     { ar.usedInt = append(ar.usedInt, s) }
+
+func (ar *arena) takeF64(i int) []float64 {
+	s := ar.freeF64[i]
+	last := len(ar.freeF64) - 1
+	ar.freeF64[i] = ar.freeF64[last]
+	ar.freeF64[last] = nil
+	ar.freeF64 = ar.freeF64[:last]
+	return s[:cap(s)]
+}
+
+func (ar *arena) takeI32(i int) []int32 {
+	s := ar.freeI32[i]
+	last := len(ar.freeI32) - 1
+	ar.freeI32[i] = ar.freeI32[last]
+	ar.freeI32[last] = nil
+	ar.freeI32 = ar.freeI32[:last]
+	return s[:cap(s)]
+}
+
+func (ar *arena) dropInt(i int) {
+	last := len(ar.freeInt) - 1
+	ar.freeInt[i] = ar.freeInt[last]
+	ar.freeInt[last] = nil
+	ar.freeInt = ar.freeInt[:last]
+}
+
+func (ar *arena) dropBool(i int) {
+	last := len(ar.freeBool) - 1
+	ar.freeBool[i] = ar.freeBool[last]
+	ar.freeBool[last] = nil
+	ar.freeBool = ar.freeBool[:last]
+}

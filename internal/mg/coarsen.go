@@ -16,11 +16,11 @@ type csrArrays struct {
 	val []float64
 }
 
-func extractCSR(a *sparse.CSR) csrArrays {
+func extractCSR(a *sparse.CSR, mem *arena) csrArrays {
 	ar := csrArrays{
-		ptr: make([]int32, a.Rows()+1),
-		col: make([]int32, 0, a.NNZ()),
-		val: make([]float64, 0, a.NNZ()),
+		ptr: mem.i32(a.Rows() + 1),
+		col: mem.i32cap(a.NNZ()),
+		val: mem.f64cap(a.NNZ()),
 	}
 	a.Each(func(i, j int, v float64) {
 		ar.ptr[i+1]++
@@ -30,13 +30,15 @@ func extractCSR(a *sparse.CSR) csrArrays {
 	for i := 0; i < a.Rows(); i++ {
 		ar.ptr[i+1] += ar.ptr[i]
 	}
+	mem.adoptI32(ar.col)
+	mem.adoptF64(ar.val)
 	return ar
 }
 
 func (a csrArrays) rows() int { return len(a.ptr) - 1 }
 
-func (a csrArrays) diagonal() []float64 {
-	d := make([]float64, a.rows())
+func (a csrArrays) diagonal(mem *arena) []float64 {
+	d := mem.f64(a.rows())
 	for i := range d {
 		for k := a.ptr[i]; k < a.ptr[i+1]; k++ {
 			if int(a.col[k]) == i {
@@ -64,11 +66,11 @@ func (a csrArrays) diagonal() []float64 {
 // global axis choice could do both. Walk order and tie-breaks (first
 // strongest neighbor in CSR column order) are fixed, so the aggregation is
 // a pure function of the matrix.
-func aggregateStrength(a csrArrays, passes int) ([]int32, int) {
-	agg, nc := matchPairs(a)
+func aggregateStrength(a csrArrays, passes int, mem *arena) ([]int32, int) {
+	agg, nc := matchPairs(a, mem)
 	for p := 1; p < passes; p++ {
-		coarse := galerkinAggregated(a, agg, nc)
-		agg2, nc2 := matchPairs(coarse)
+		coarse := galerkinAggregated(a, agg, nc, mem)
+		agg2, nc2 := matchPairs(coarse, mem)
 		if nc2 == nc {
 			break
 		}
@@ -81,10 +83,10 @@ func aggregateStrength(a csrArrays, passes int) ([]int32, int) {
 }
 
 // matchPairs is one greedy matching pass (see aggregateStrength).
-func matchPairs(a csrArrays) ([]int32, int) {
+func matchPairs(a csrArrays, mem *arena) ([]int32, int) {
 	n := a.rows()
-	diag := a.diagonal()
-	agg := make([]int32, n)
+	diag := a.diagonal(mem)
+	agg := mem.i32(n)
 	for i := range agg {
 		agg[i] = -1
 	}
@@ -144,8 +146,11 @@ type rowAccumulator struct {
 	touched []int32
 }
 
-func newRowAccumulator(n int) *rowAccumulator {
-	return &rowAccumulator{acc: make([]float64, n), seen: make([]bool, n)}
+// newRowAccumulator sizes the dense accumulator off the arena. The touched
+// list stays on the heap: it is tiny (one stencil's width) and append-managed
+// across thousands of flushes.
+func newRowAccumulator(n int, mem *arena) *rowAccumulator {
+	return &rowAccumulator{acc: mem.f64(n), seen: mem.bools(n)}
 }
 
 func (r *rowAccumulator) add(c int32, v float64) {
@@ -175,16 +180,16 @@ func (r *rowAccumulator) flush(col []int32, val []float64) ([]int32, []float64) 
 // groupByAggregate inverts the fine→coarse map: members lists fine cells
 // coarse row by coarse row (a counting sort, so member order is ascending
 // fine index).
-func groupByAggregate(agg []int32, nc int) (ptr []int32, members []int32) {
-	ptr = make([]int32, nc+1)
+func groupByAggregate(agg []int32, nc int, mem *arena) (ptr []int32, members []int32) {
+	ptr = mem.i32(nc + 1)
 	for _, c := range agg {
 		ptr[c+1]++
 	}
 	for c := 0; c < nc; c++ {
 		ptr[c+1] += ptr[c]
 	}
-	members = make([]int32, len(agg))
-	next := make([]int32, nc)
+	members = mem.i32(len(agg))
+	next := mem.i32(nc)
 	copy(next, ptr[:nc])
 	for i, c := range agg {
 		members[next[c]] = int32(i)
@@ -197,10 +202,10 @@ func groupByAggregate(agg []int32, nc int) (ptr []int32, members []int32) {
 // 0/1 aggregation: every fine entry accumulates into its aggregate pair.
 // Used between matching passes, where the pair-level coupling strengths —
 // not a solver-grade operator — are what the next pass needs.
-func galerkinAggregated(a csrArrays, agg []int32, nc int) csrArrays {
-	mPtr, members := groupByAggregate(agg, nc)
-	out := csrArrays{ptr: make([]int32, nc+1)}
-	acc := newRowAccumulator(nc)
+func galerkinAggregated(a csrArrays, agg []int32, nc int, mem *arena) csrArrays {
+	mPtr, members := groupByAggregate(agg, nc, mem)
+	out := csrArrays{ptr: mem.i32(nc + 1), col: mem.i32cap(len(a.col)), val: mem.f64cap(len(a.val))}
+	acc := newRowAccumulator(nc, mem)
 	for ic := 0; ic < nc; ic++ {
 		for m := mPtr[ic]; m < mPtr[ic+1]; m++ {
 			i := members[m]
@@ -211,6 +216,8 @@ func galerkinAggregated(a csrArrays, agg []int32, nc int) csrArrays {
 		out.col, out.val = acc.flush(out.col, out.val)
 		out.ptr[ic+1] = int32(len(out.col))
 	}
+	mem.adoptI32(out.col)
+	mem.adoptF64(out.val)
 	return out
 }
 
@@ -239,11 +246,11 @@ const saOmega = 4.0 / 3.0
 // approximation property and keeps the hierarchy's convergence rate
 // mesh-independent. The rows of P follow A's sparsity (plus the diagonal),
 // assembled deterministically through the sorted COO→CSR path.
-func smoothedProlongation(a csrArrays, invDiag []float64, lmax float64, agg []int32, nc int) *transfer {
+func smoothedProlongation(a csrArrays, invDiag []float64, lmax float64, agg []int32, nc int, mem *arena) *transfer {
 	n := len(invDiag)
 	omega := saOmega / lmax
-	p := csrArrays{ptr: make([]int32, n+1)}
-	acc := newRowAccumulator(nc)
+	p := csrArrays{ptr: mem.i32(n + 1), col: mem.i32cap(len(a.col) + n), val: mem.f64cap(len(a.val) + n)}
+	acc := newRowAccumulator(nc, mem)
 	for i := 0; i < n; i++ {
 		acc.add(agg[i], 1)
 		s := omega * invDiag[i]
@@ -253,8 +260,10 @@ func smoothedProlongation(a csrArrays, invDiag []float64, lmax float64, agg []in
 		p.col, p.val = acc.flush(p.col, p.val)
 		p.ptr[i+1] = int32(len(p.col))
 	}
-	p = filterRows(p)
-	pt := transpose(p, nc)
+	mem.adoptI32(p.col)
+	mem.adoptF64(p.val)
+	p = filterRows(p, mem)
+	pt := transpose(p, nc, mem)
 	return &transfer{
 		pPtr: p.ptr, pCol: p.col, pVal: p.val,
 		ptPtr: pt.ptr, ptCol: pt.col, ptVal: pt.val,
@@ -263,12 +272,12 @@ func smoothedProlongation(a csrArrays, invDiag []float64, lmax float64, agg []in
 
 // transpose flips an n×nc CSR to nc×n by counting sort: scatter in fine-row
 // order lands every transposed row with ascending columns, no sort needed.
-func transpose(p csrArrays, nc int) csrArrays {
+func transpose(p csrArrays, nc int, mem *arena) csrArrays {
 	nnz := len(p.col)
 	pt := csrArrays{
-		ptr: make([]int32, nc+1),
-		col: make([]int32, nnz),
-		val: make([]float64, nnz),
+		ptr: mem.i32(nc + 1),
+		col: mem.i32(nnz),
+		val: mem.f64(nnz),
 	}
 	for _, c := range p.col {
 		pt.ptr[c+1]++
@@ -276,7 +285,7 @@ func transpose(p csrArrays, nc int) csrArrays {
 	for c := 0; c < nc; c++ {
 		pt.ptr[c+1] += pt.ptr[c]
 	}
-	next := make([]int32, nc)
+	next := mem.i32(nc)
 	copy(next, pt.ptr[:nc])
 	for i := 0; i < p.rows(); i++ {
 		for k := p.ptr[i]; k < p.ptr[i+1]; k++ {
@@ -294,14 +303,14 @@ func transpose(p csrArrays, nc int) csrArrays {
 // once per hierarchy build) and every row is flushed in sorted column
 // order, so the coarse matrix is independent of everything but the fine
 // matrix and the aggregation.
-func galerkin(a csrArrays, t *transfer, nc int) (*sparse.CSR, error) {
+func galerkin(a csrArrays, t *transfer, nc int, mem *arena) (*sparse.CSR, error) {
 	// Phase 1: W = A·P, each fine row computed exactly once. Folding this
 	// into the coarse-row loop instead would recompute row i of A·P for
 	// every coarse row whose restriction touches i — roughly a |P row|-fold
 	// (~10×) blowup that dominated hierarchy construction.
 	n := a.rows()
-	acc := newRowAccumulator(nc)
-	w := csrArrays{ptr: make([]int32, n+1)}
+	acc := newRowAccumulator(nc, mem)
+	w := csrArrays{ptr: mem.i32(n + 1), col: mem.i32cap(3 * len(a.col)), val: mem.f64cap(3 * len(a.val))}
 	for i := 0; i < n; i++ {
 		for ka := a.ptr[i]; ka < a.ptr[i+1]; ka++ {
 			j := a.col[ka]
@@ -313,10 +322,15 @@ func galerkin(a csrArrays, t *transfer, nc int) (*sparse.CSR, error) {
 		w.col, w.val = acc.flush(w.col, w.val)
 		w.ptr[i+1] = int32(len(w.col))
 	}
-	// Phase 2: A_c = Pᵀ·W, one coarse row at a time.
-	rowPtr := make([]int, nc+1)
-	var col []int32
-	var val []float64
+	mem.adoptI32(w.col)
+	mem.adoptF64(w.val)
+	// Phase 2: A_c = Pᵀ·W, one coarse row at a time. The value and index
+	// arrays are adopted by the returned CSR, which the hierarchy retains —
+	// they recycle with the rest of the arena when the hierarchy is donated
+	// to a later Build.
+	rowPtr := mem.ints(nc + 1)
+	col := mem.i32cap(len(a.col))
+	val := mem.f64cap(len(a.val))
 	for ic := 0; ic < nc; ic++ {
 		for kf := t.ptPtr[ic]; kf < t.ptPtr[ic+1]; kf++ {
 			i := t.ptCol[kf]
@@ -328,7 +342,9 @@ func galerkin(a csrArrays, t *transfer, nc int) (*sparse.CSR, error) {
 		col, val = acc.flush(col, val)
 		rowPtr[ic+1] = len(col)
 	}
-	colIdx := make([]int, len(col))
+	mem.adoptI32(col)
+	mem.adoptF64(val)
+	colIdx := mem.ints(len(col))
 	for k, c := range col {
 		colIdx[k] = int(c)
 	}
@@ -352,8 +368,8 @@ const pDropTol = 0.02
 
 // filterRows applies pDropTol row filtering (see above) in place on
 // freshly extracted prolongation arrays.
-func filterRows(p csrArrays) csrArrays {
-	out := csrArrays{ptr: make([]int32, len(p.ptr))}
+func filterRows(p csrArrays, mem *arena) csrArrays {
+	out := csrArrays{ptr: mem.i32(len(p.ptr)), col: mem.i32cap(len(p.col)), val: mem.f64cap(len(p.val))}
 	for i := 0; i < p.rows(); i++ {
 		lo, hi := p.ptr[i], p.ptr[i+1]
 		var wmax, sum float64
@@ -382,12 +398,14 @@ func filterRows(p csrArrays) csrArrays {
 		}
 		out.ptr[i+1] = int32(len(out.col))
 	}
+	mem.adoptI32(out.col)
+	mem.adoptF64(out.val)
 	return out
 }
 
 // denseFrom expands the (small) coarsest matrix for direct factorization.
-func denseFrom(a *sparse.CSR) *linalg.Matrix {
-	m := linalg.NewMatrix(a.Rows(), a.Cols())
+func denseFrom(a *sparse.CSR, mem *arena) *linalg.Matrix {
+	m := linalg.NewMatrixWithData(a.Rows(), a.Cols(), mem.f64(a.Rows()*a.Cols()))
 	a.Each(func(i, j int, v float64) {
 		m.Set(i, j, v)
 	})

@@ -58,6 +58,15 @@ type Options struct {
 	PairPasses int
 	// MaxLevels caps the hierarchy depth. Zero means 24.
 	MaxLevels int
+	// Prev optionally donates a previous hierarchy whose backing arrays are
+	// recycled through the build's internal arena — the re-Galerkin path for
+	// parameter sweeps, where each point's operator shares the sparsity
+	// pattern of the last. The rebuild recomputes aggregation, transfers and
+	// coarse operators from the new matrix (falling back to nothing: a
+	// recycled build IS a full build, just without the allocations), so the
+	// result is bit-identical to a fresh Build. Prev is consumed: it must not
+	// be cycled again afterwards, even when Build fails.
+	Prev *Hierarchy
 }
 
 func (o Options) coarsestSize() int { return intDefault(o.CoarsestSize, 400) }
@@ -113,6 +122,11 @@ type Hierarchy struct {
 	levels []*level
 	coarse *linalg.Cholesky
 
+	// ar owns every array behind the hierarchy; Build(Options{Prev: h})
+	// resets and reuses it, which is why a donated hierarchy must never be
+	// cycled again.
+	ar *arena
+
 	// Metric handles bound at Build time so cycling never takes the
 	// registry lock. Both are nil when the obs default registry is disabled,
 	// which reduces the per-cycle instrumentation to one nil check.
@@ -148,9 +162,22 @@ func Build(a *sparse.CSR, dims []int, opt Options) (*Hierarchy, error) {
 		return nil, fmt.Errorf("mg: grid %v has %d cells, matrix has %d rows", dims, cells, n)
 	}
 
-	h := &Hierarchy{}
+	// Recycle the donated hierarchy's arena when there is one; every
+	// allocation below comes out of it, so a steady-state sweep rebuild
+	// allocates (almost) nothing. A fresh build seeds an arena of its own,
+	// making any hierarchy a valid donor later.
+	mem := &arena{}
+	reused := false
+	if opt.Prev != nil && opt.Prev.ar != nil {
+		mem = opt.Prev.ar
+		mem.reset()
+		opt.Prev.ar = nil // the donor must never be cycled again
+		opt.Prev.levels = nil
+		reused = true
+	}
+	h := &Hierarchy{ar: mem}
 	for {
-		lv, err := newLevel(a, opt)
+		lv, err := newLevel(a, opt, mem)
 		if err != nil {
 			return nil, err
 		}
@@ -158,13 +185,13 @@ func Build(a *sparse.CSR, dims []int, opt Options) (*Hierarchy, error) {
 		if a.Rows() <= opt.coarsestSize() || len(h.levels) >= opt.maxLevels() {
 			break
 		}
-		ar := extractCSR(a)
-		agg, nc := aggregateStrength(ar, opt.pairPasses())
+		ar := extractCSR(a, mem)
+		agg, nc := aggregateStrength(ar, opt.pairPasses(), mem)
 		if nc >= a.Rows() {
 			break
 		}
-		lv.tr = smoothedProlongation(ar, lv.invDiag, lv.lmax, agg, nc)
-		if a, err = galerkin(ar, lv.tr, nc); err != nil {
+		lv.tr = smoothedProlongation(ar, lv.invDiag, lv.lmax, agg, nc, mem)
+		if a, err = galerkin(ar, lv.tr, nc, mem); err != nil {
 			return nil, fmt.Errorf("mg: level %d coarse operator: %w", len(h.levels), err)
 		}
 	}
@@ -175,23 +202,28 @@ func Build(a *sparse.CSR, dims []int, opt Options) (*Hierarchy, error) {
 	// failure means the Galerkin operator lost positive definiteness, i.e.
 	// the input matrix was not SPD — report it instead of cycling divergently.
 	bottom := h.levels[len(h.levels)-1].a
-	chol, err := linalg.FactorizeCholesky(denseFrom(bottom))
+	nb := bottom.Rows()
+	chol, err := linalg.FactorizeCholeskyInto(denseFrom(bottom, mem),
+		linalg.NewMatrixWithData(nb, nb, mem.f64(nb*nb)))
 	if err != nil {
 		return nil, fmt.Errorf("mg: coarse-grid factorization: %w", err)
 	}
 	h.coarse = chol
-	h.bindMetrics(time.Since(buildStart))
+	h.bindMetrics(time.Since(buildStart), reused)
 	return h, nil
 }
 
 // bindMetrics records the finished build and caches per-level handles so
 // Cycle records without touching the registry's lock.
-func (h *Hierarchy) bindMetrics(buildWall time.Duration) {
+func (h *Hierarchy) bindMetrics(buildWall time.Duration, reused bool) {
 	r := obs.Default()
 	if r == nil {
 		return
 	}
 	r.Counter("mg.builds").Inc()
+	if reused {
+		r.Counter("mg.rebuilds.recycled").Inc()
+	}
 	r.Histogram("mg.build.seconds", obs.ExpBuckets(1e-4, 4, 10)).Observe(buildWall.Seconds())
 	r.Gauge("mg.levels").Set(float64(len(h.levels)))
 	h.cycles = r.Counter("mg.cycles")
@@ -202,20 +234,20 @@ func (h *Hierarchy) bindMetrics(buildWall time.Duration) {
 }
 
 // newLevel wraps a matrix with its smoother and scratch space.
-func newLevel(a *sparse.CSR, opt Options) (*level, error) {
+func newLevel(a *sparse.CSR, opt Options, mem *arena) (*level, error) {
 	n := a.Rows()
 	lv := &level{
 		a:      a,
 		degree: opt.degree(),
-		b:      make([]float64, n),
-		x:      make([]float64, n),
-		res:    make([]float64, n),
-		e:      make([]float64, n),
-		cd:     make([]float64, n),
-		cres:   make([]float64, n),
-		ct:     make([]float64, n),
+		b:      mem.f64(n),
+		x:      mem.f64(n),
+		res:    mem.f64(n),
+		e:      mem.f64(n),
+		cd:     mem.f64(n),
+		cres:   mem.f64(n),
+		ct:     mem.f64(n),
 	}
-	if err := lv.newSmoother(opt.smootherRange()); err != nil {
+	if err := lv.newSmoother(opt.smootherRange(), mem); err != nil {
 		return nil, err
 	}
 	return lv, nil
@@ -255,69 +287,35 @@ func (h *Hierarchy) vcycle(k int, x, b []float64, p *sparse.Pool) {
 	}
 	lv := h.levels[k]
 	if k == len(h.levels)-1 {
-		// Dense Cholesky backsolve; sequential (the coarsest grid is a few
-		// hundred unknowns) and therefore trivially worker-count independent.
-		sol, err := h.coarse.Solve(b)
-		if err != nil {
+		// Dense Cholesky backsolve into the level's solution vector;
+		// sequential (the coarsest grid is a few hundred unknowns) and
+		// therefore trivially worker-count independent.
+		if err := h.coarse.SolveInto(x, b); err != nil {
 			// Unreachable: the factor and b have matching sizes by
 			// construction. Fall back to a Jacobi sweep rather than panic.
 			for i := range x {
 				x[i] = b[i] * lv.invDiag[i]
 			}
-			return
 		}
-		copy(x, sol)
 		return
 	}
 	next := h.levels[k+1]
 	// Pre-smooth from the zero initial guess: x = q(B)·D⁻¹·b.
 	lv.smooth(x, b, p)
-	// res = b - A·x.
-	lv.a.MulVecParallel(p, x, lv.ct)
-	res, ct := lv.res, lv.ct
-	p.Range(len(b), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			res[i] = b[i] - ct[i]
-		}
-	})
+	// res = b - A·x, fused per row (same accumulation order as the
+	// unfused matvec-then-subtract).
+	res := lv.res
+	lv.a.ResidualParallel(p, x, b, res)
 	// Restrict: b_c = Pᵀ·res, parallel over coarse rows with the summation
-	// order fixed by the transposed CSR layout — deterministic under Range's
-	// chunk grid.
-	tr, cb := lv.tr, next.b
-	p.Range(len(cb), func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			var s float64
-			for k := tr.ptPtr[c]; k < tr.ptPtr[c+1]; k++ {
-				s += tr.ptVal[k] * res[tr.ptCol[k]]
-			}
-			cb[c] = s
-		}
-	})
+	// order fixed by the transposed CSR layout.
+	tr := lv.tr
+	p.MulVecRaw(tr.ptPtr, tr.ptCol, tr.ptVal, res, next.b)
 	h.vcycle(k+1, next.x, next.b, p)
 	// Prolong and correct: x += P·e, parallel over fine rows.
-	cx := next.x
-	p.Range(len(x), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			var s float64
-			for k := tr.pPtr[i]; k < tr.pPtr[i+1]; k++ {
-				s += tr.pVal[k] * cx[tr.pCol[k]]
-			}
-			x[i] += s
-		}
-	})
+	p.MulVecAddRaw(tr.pPtr, tr.pCol, tr.pVal, next.x, x)
 	// Post-smooth the correction: x += q(B)·D⁻¹·(b - A·x). Same polynomial
 	// as the pre-smoother, keeping the cycle symmetric.
-	lv.a.MulVecParallel(p, x, lv.ct)
-	p.Range(len(b), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			res[i] = b[i] - ct[i]
-		}
-	})
+	lv.a.ResidualParallel(p, x, b, res)
 	lv.smooth(lv.e, res, p)
-	e := lv.e
-	p.Range(len(x), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			x[i] += e[i]
-		}
-	})
+	p.VecAdd(x, lv.e)
 }

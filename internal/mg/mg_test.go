@@ -152,8 +152,8 @@ func TestHierarchyShape(t *testing.T) {
 func TestAggregationCoversAndIsDeterministic(t *testing.T) {
 	for _, mk := range []func(int, int) (*sparse.CSR, []int){poisson2D, layered2D} {
 		a, _ := mk(48, 48)
-		ar := extractCSR(a)
-		agg, nc := aggregateStrength(ar, 1)
+		ar := extractCSR(a, &arena{})
+		agg, nc := aggregateStrength(ar, 1, &arena{})
 		if nc <= 0 || nc >= a.Rows() {
 			t.Fatalf("nc = %d of %d rows", nc, a.Rows())
 		}
@@ -169,7 +169,7 @@ func TestAggregationCoversAndIsDeterministic(t *testing.T) {
 				t.Fatalf("aggregate %d has %d cells, want 1 or 2 (pairwise matching)", c, cnt)
 			}
 		}
-		agg2, nc2 := aggregateStrength(extractCSR(a), 1)
+		agg2, nc2 := aggregateStrength(extractCSR(a, &arena{}), 1, &arena{})
 		if nc2 != nc {
 			t.Fatalf("second run: nc = %d, want %d", nc2, nc)
 		}
@@ -188,7 +188,7 @@ func TestAggregationFollowsStrongCoupling(t *testing.T) {
 	// a strong-direction neighbor.
 	nx, ny := 32, 32
 	a, _ := layered2D(nx, ny)
-	agg, nc := aggregateStrength(extractCSR(a), 1)
+	agg, nc := aggregateStrength(extractCSR(a, &arena{}), 1, &arena{})
 	partner := make([]int, nc)
 	for i := range partner {
 		partner[i] = -1

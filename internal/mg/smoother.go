@@ -14,18 +14,18 @@ import (
 // to damp the upper part; the coarse-grid correction handles the rest. A
 // narrower interval makes the low-degree polynomial far more effective on
 // the modes it owns.
-func (lv *level) newSmoother(rng float64) error {
+func (lv *level) newSmoother(rng float64, mem *arena) error {
 	a := lv.a
 	n := a.Rows()
-	inv := make([]float64, n)
-	d := a.Diagonal()
+	inv := mem.f64(n)
+	d := a.DiagonalInto(mem.f64(n))
 	for i, v := range d {
 		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("mg: diagonal %g at row %d of a %d-cell level (matrix not SPD?)", v, i, n)
 		}
 		inv[i] = 1 / v
 	}
-	rowAbs := make([]float64, n)
+	rowAbs := mem.f64(n)
 	a.Each(func(i, _ int, v float64) { rowAbs[i] += math.Abs(v) })
 	var lmax float64
 	for i := 0; i < n; i++ {
@@ -53,32 +53,16 @@ func (lv *level) newSmoother(rng float64) error {
 func (lv *level) smooth(z, r []float64, p *sparse.Pool) {
 	a, invD := lv.a, lv.invDiag
 	d, res, t := lv.cd, lv.cres, lv.ct
-	invTheta := 1 / lv.theta
-	p.Range(len(r), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			rh := invD[i] * r[i]
-			res[i] = rh
-			di := rh * invTheta
-			d[i] = di
-			z[i] = di
-		}
-	})
+	// The element-wise recurrence steps run through sparse's fused Cheby
+	// kernels: a smoother application sits inside every vcycle of every CG
+	// iteration, and closure-based Range calls here allocated on each one.
+	p.ChebyBegin(z, d, res, invD, r, 1/lv.theta)
 	sigma := lv.theta / lv.delta
 	rhoOld := 1 / sigma
 	for k := 2; k <= lv.degree; k++ {
 		a.MulVecParallel(p, d, t)
 		rho := 1 / (2*sigma - rhoOld)
-		c1 := rho * rhoOld
-		c2 := 2 * rho / lv.delta
-		p.Range(len(r), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				ri := res[i] - invD[i]*t[i]
-				res[i] = ri
-				di := c1*d[i] + c2*ri
-				d[i] = di
-				z[i] += di
-			}
-		})
+		p.ChebyStep(z, d, res, invD, t, rho*rhoOld, 2*rho/lv.delta)
 		rhoOld = rho
 	}
 }

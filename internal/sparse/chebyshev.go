@@ -35,7 +35,9 @@ type chebyshevPrecond struct {
 
 func newChebyshev(a *CSR, pool *Pool) (*chebyshevPrecond, error) {
 	n := a.rows
-	inv := make([]float64, n)
+	// All four workspaces come from the pool free-list: inv is fully written
+	// here, and apply overwrites d, res and t before their first read.
+	inv := pool.Grab(n)
 	for i := 0; i < n; i++ {
 		var diag float64
 		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
@@ -45,6 +47,7 @@ func newChebyshev(a *CSR, pool *Pool) (*chebyshevPrecond, error) {
 			}
 		}
 		if diag == 0 {
+			pool.Release(inv)
 			return nil, fmt.Errorf("sparse: chebyshev preconditioner: zero diagonal at row %d", i)
 		}
 		inv[i] = 1 / diag
@@ -61,6 +64,7 @@ func newChebyshev(a *CSR, pool *Pool) (*chebyshevPrecond, error) {
 		}
 	}
 	if lmax <= 0 || math.IsNaN(lmax) || math.IsInf(lmax, 0) {
+		pool.Release(inv)
 		return nil, fmt.Errorf("sparse: chebyshev preconditioner: eigenvalue bound %g", lmax)
 	}
 	lmin := lmax / chebyshevCondTarget
@@ -70,11 +74,13 @@ func newChebyshev(a *CSR, pool *Pool) (*chebyshevPrecond, error) {
 		theta:   (lmax + lmin) / 2,
 		delta:   (lmax - lmin) / 2,
 		pool:    pool,
-		d:       make([]float64, n),
-		res:     make([]float64, n),
-		t:       make([]float64, n),
+		d:       pool.Grab(n),
+		res:     pool.Grab(n),
+		t:       pool.Grab(n),
 	}, nil
 }
+
+func (c *chebyshevPrecond) release() { c.pool.Release(c.invDiag, c.d, c.res, c.t) }
 
 // apply runs the Chebyshev semi-iteration for a fixed number of steps on
 // B·z = D⁻¹r starting from z = 0 (Saad, Iterative Methods, alg. 12.1). The
@@ -83,33 +89,15 @@ func newChebyshev(a *CSR, pool *Pool) (*chebyshevPrecond, error) {
 func (c *chebyshevPrecond) apply(z, r []float64) {
 	p, a := c.pool, c.a
 	invD, d, res, t := c.invDiag, c.d, c.res, c.t
-	invTheta := 1 / c.theta
-	// First correction: res = D⁻¹r, d = res/θ, z = d.
-	p.parRange(len(r), func(lo, hi, _ int) {
-		for i := lo; i < hi; i++ {
-			rh := invD[i] * r[i]
-			res[i] = rh
-			di := rh * invTheta
-			d[i] = di
-			z[i] = di
-		}
-	})
+	// First correction: res = D⁻¹r, d = res/θ, z = d. The recurrence runs
+	// through the fused Cheby kernels shared with the multigrid smoother.
+	p.ChebyBegin(z, d, res, invD, r, 1/c.theta)
 	sigma := c.theta / c.delta
 	rhoOld := 1 / sigma
 	for k := 2; k <= chebyshevDegree; k++ {
 		p.mulVec(a, d, t)
 		rho := 1 / (2*sigma - rhoOld)
-		c1 := rho * rhoOld
-		c2 := 2 * rho / c.delta
-		p.parRange(len(r), func(lo, hi, _ int) {
-			for i := lo; i < hi; i++ {
-				ri := res[i] - invD[i]*t[i] // res -= B·d (previous correction)
-				res[i] = ri
-				di := c1*d[i] + c2*ri
-				d[i] = di
-				z[i] += di
-			}
-		})
+		p.ChebyStep(z, d, res, invD, t, rho*rhoOld, 2*rho/c.delta)
 		rhoOld = rho
 	}
 }

@@ -187,7 +187,20 @@ func (m *CSR) Diagonal() []float64 {
 	if m.cols < n {
 		n = m.cols
 	}
-	d := make([]float64, n)
+	return m.DiagonalInto(make([]float64, n))
+}
+
+// DiagonalInto writes the main diagonal into d and returns it. d must have
+// min(rows, cols) elements; it lets repeated-build callers (the multigrid
+// hierarchy) extract diagonals without allocating.
+func (m *CSR) DiagonalInto(d []float64) []float64 {
+	n := m.rows
+	if m.cols < n {
+		n = m.cols
+	}
+	if len(d) != n {
+		panic("sparse: DiagonalInto length mismatch")
+	}
 	for i := 0; i < n; i++ {
 		d[i] = m.At(i, i)
 	}

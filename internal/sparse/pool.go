@@ -9,6 +9,15 @@ package sparse
 // with a plain sequential loop, so each kernel has a single well-defined
 // floating-point evaluation order: results are bit-identical for any worker
 // count, including the sequential path, which walks the same chunk grid.
+//
+// Each kernel is written twice: a span function with the actual loop, and a
+// dispatching method that either calls the span directly (sequential pools)
+// or wraps it in a closure for parRange. The split is deliberate: a function
+// literal handed to parRange escapes to the heap on every call — the
+// parallel path ships it to worker goroutines, so escape analysis pins it
+// even when the sequential branch runs — and with hundreds of kernel calls
+// per solve those closures dominated the steady-state allocation profile.
+// The sequential fast paths never build a closure.
 
 import (
 	"math"
@@ -23,6 +32,16 @@ const chunkLen = 256
 // numChunks returns the size of the fixed chunk grid for length n.
 func numChunks(n int) int { return (n + chunkLen - 1) / chunkLen }
 
+// chunkSpan returns the half-open bounds of chunk c of the grid for length n.
+func chunkSpan(c, n int) (lo, hi int) {
+	lo = c * chunkLen
+	hi = lo + chunkLen
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
 // Pool is a reusable set of kernel workers for the iterative solvers. A nil
 // Pool and a one-worker Pool both run every kernel inline on the calling
 // goroutine. Pools may be reused across solves (e.g. the many steps of a
@@ -32,6 +51,7 @@ type Pool struct {
 	workers  int
 	tasks    chan func()
 	partials []float64 // per-chunk reduction scratch, grown on demand
+	scratch  [][]float64
 	closed   bool
 }
 
@@ -64,6 +84,10 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// seq reports whether every kernel runs inline on the calling goroutine,
+// selecting the closure-free sequential fast paths.
+func (p *Pool) seq() bool { return p == nil || p.workers <= 1 }
+
 // Close releases the pool's workers. It is safe to call on a nil or
 // sequential pool, and more than once.
 func (p *Pool) Close() {
@@ -74,6 +98,39 @@ func (p *Pool) Close() {
 	close(p.tasks)
 }
 
+// Grab returns a length-n float64 slice from the pool's scratch free-list,
+// allocating when nothing fits. The contents are UNDEFINED: callers must
+// fully overwrite the slice before reading it (the CG scratch vectors all
+// qualify — each is written before its first read). A nil pool allocates.
+// Like every Pool method, Grab/Release serve one solve at a time.
+func (p *Pool) Grab(n int) []float64 {
+	if p != nil {
+		for i, s := range p.scratch {
+			if cap(s) >= n {
+				last := len(p.scratch) - 1
+				p.scratch[i] = p.scratch[last]
+				p.scratch[last] = nil
+				p.scratch = p.scratch[:last]
+				return s[:n]
+			}
+		}
+	}
+	return make([]float64, n)
+}
+
+// Release returns slices obtained from Grab to the free-list for reuse by a
+// later solve on the same pool. A nil pool drops them for the GC.
+func (p *Pool) Release(vs ...[]float64) {
+	if p == nil {
+		return
+	}
+	for _, v := range vs {
+		if cap(v) > 0 {
+			p.scratch = append(p.scratch, v[:cap(v)])
+		}
+	}
+}
+
 // parRange runs body(lo, hi, chunk) over every chunk of the fixed grid for
 // length n, spreading contiguous chunk spans across the workers. The chunk
 // grid — and therefore the work each chunk performs — is identical for any
@@ -82,11 +139,7 @@ func (p *Pool) parRange(n int, body func(lo, hi, chunk int)) {
 	nc := numChunks(n)
 	runSpan := func(c0, c1 int) {
 		for c := c0; c < c1; c++ {
-			lo := c * chunkLen
-			hi := lo + chunkLen
-			if hi > n {
-				hi = n
-			}
+			lo, hi := chunkSpan(c, n)
 			body(lo, hi, c)
 		}
 	}
@@ -135,94 +188,185 @@ func (p *Pool) reduce(n int, partial func(lo, hi int) float64) float64 {
 	return s
 }
 
-// dot computes a·b with chunked ordered reduction.
-func (p *Pool) dot(a, b []float64) float64 {
-	return p.reduce(len(a), func(lo, hi int) float64 {
-		var s float64
-		for i := lo; i < hi; i++ {
-			s += a[i] * b[i]
-		}
-		return s
-	})
+// Span loops. Each holds the single floating-point evaluation order of its
+// kernel; both the sequential and the parallel dispatch run these exact
+// loops over the same chunk grid.
+
+func dotSpan(a, b []float64, lo, hi int) float64 {
+	var s float64
+	for i := lo; i < hi; i++ {
+		s += a[i] * b[i]
+	}
+	return s
 }
 
-// norm2 computes ||v||₂ with chunked ordered reduction.
-func (p *Pool) norm2(v []float64) float64 {
-	return math.Sqrt(p.reduce(len(v), func(lo, hi int) float64 {
+func mulVecSpan(m *CSR, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		var s float64
-		for i := lo; i < hi; i++ {
-			s += v[i] * v[i]
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.val[k] * x[m.colIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+func mulVecDotSpan(m *CSR, x, y, w []float64, lo, hi int) float64 {
+	var s float64
+	for i := lo; i < hi; i++ {
+		var yi float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			yi += m.val[k] * x[m.colIdx[k]]
+		}
+		y[i] = yi
+		s += w[i] * yi
+	}
+	return s
+}
+
+func residualSpan(m *CSR, x, b, r []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.val[k] * x[m.colIdx[k]]
+		}
+		r[i] = b[i] - s
+	}
+}
+
+func cgUpdateSpan(x, r, d, ad []float64, alpha float64, lo, hi int) float64 {
+	var s float64
+	for i := lo; i < hi; i++ {
+		x[i] += alpha * d[i]
+		ri := r[i] - alpha*ad[i]
+		r[i] = ri
+		s += ri * ri
+	}
+	return s
+}
+
+func xpbySpan(d, z []float64, beta float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		d[i] = z[i] + beta*d[i]
+	}
+}
+
+func rawMulVecSpan(ptr, col []int32, val, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s float64
+		for k := ptr[i]; k < ptr[i+1]; k++ {
+			s += val[k] * x[col[k]]
+		}
+		y[i] = s
+	}
+}
+
+func rawMulVecAddSpan(ptr, col []int32, val, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s float64
+		for k := ptr[i]; k < ptr[i+1]; k++ {
+			s += val[k] * x[col[k]]
+		}
+		y[i] += s
+	}
+}
+
+func vecAddSpan(dst, src []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] += src[i]
+	}
+}
+
+func chebyBeginSpan(z, d, res, invD, r []float64, invTheta float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		rh := invD[i] * r[i]
+		res[i] = rh
+		di := rh * invTheta
+		d[i] = di
+		z[i] = di
+	}
+}
+
+func chebyStepSpan(z, d, res, invD, t []float64, c1, c2 float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ri := res[i] - invD[i]*t[i] // res -= B·d (previous correction)
+		res[i] = ri
+		di := c1*d[i] + c2*ri
+		d[i] = di
+		z[i] += di
+	}
+}
+
+// dot computes a·b with chunked ordered reduction.
+func (p *Pool) dot(a, b []float64) float64 {
+	if p.seq() {
+		var s float64
+		for c, nc := 0, numChunks(len(a)); c < nc; c++ {
+			lo, hi := chunkSpan(c, len(a))
+			s += dotSpan(a, b, lo, hi)
 		}
 		return s
-	}))
+	}
+	return p.reduce(len(a), func(lo, hi int) float64 { return dotSpan(a, b, lo, hi) })
 }
+
+// norm2 computes ||v||₂ with chunked ordered reduction. dot(v, v) performs
+// the exact per-chunk summation the dedicated closure used to.
+func (p *Pool) norm2(v []float64) float64 { return math.Sqrt(p.dot(v, v)) }
 
 // mulVec computes y = A·x across the pool. Rows are independent, so the
 // result is exact regardless of chunking.
 func (p *Pool) mulVec(m *CSR, x, y []float64) {
-	p.parRange(m.rows, func(lo, hi, _ int) {
-		for i := lo; i < hi; i++ {
-			var s float64
-			for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
-				s += m.val[k] * x[m.colIdx[k]]
-			}
-			y[i] = s
-		}
-	})
+	if p.seq() {
+		mulVecSpan(m, x, y, 0, m.rows)
+		return
+	}
+	p.parRange(m.rows, func(lo, hi, _ int) { mulVecSpan(m, x, y, lo, hi) })
 }
 
 // mulVecDot fuses y = A·x with the reduction dot(w, y), saving one pass over
 // the vectors per CG iteration.
 func (p *Pool) mulVecDot(m *CSR, x, y, w []float64) float64 {
-	return p.reduce(m.rows, func(lo, hi int) float64 {
+	if p.seq() {
 		var s float64
-		for i := lo; i < hi; i++ {
-			var yi float64
-			for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
-				yi += m.val[k] * x[m.colIdx[k]]
-			}
-			y[i] = yi
-			s += w[i] * yi
+		for c, nc := 0, numChunks(m.rows); c < nc; c++ {
+			lo, hi := chunkSpan(c, m.rows)
+			s += mulVecDotSpan(m, x, y, w, lo, hi)
 		}
 		return s
-	})
+	}
+	return p.reduce(m.rows, func(lo, hi int) float64 { return mulVecDotSpan(m, x, y, w, lo, hi) })
 }
 
 // residualFrom computes r = b - A·x across the pool.
 func (p *Pool) residualFrom(m *CSR, x, b, r []float64) {
-	p.parRange(m.rows, func(lo, hi, _ int) {
-		for i := lo; i < hi; i++ {
-			var s float64
-			for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
-				s += m.val[k] * x[m.colIdx[k]]
-			}
-			r[i] = b[i] - s
-		}
-	})
+	if p.seq() {
+		residualSpan(m, x, b, r, 0, m.rows)
+		return
+	}
+	p.parRange(m.rows, func(lo, hi, _ int) { residualSpan(m, x, b, r, lo, hi) })
 }
 
 // cgUpdate fuses the CG solution/residual updates x += α·d, r -= α·ad with
 // the reduction dot(r, r) over the updated residual.
 func (p *Pool) cgUpdate(x, r, d, ad []float64, alpha float64) float64 {
-	return p.reduce(len(x), func(lo, hi int) float64 {
+	if p.seq() {
 		var s float64
-		for i := lo; i < hi; i++ {
-			x[i] += alpha * d[i]
-			ri := r[i] - alpha*ad[i]
-			r[i] = ri
-			s += ri * ri
+		for c, nc := 0, numChunks(len(x)); c < nc; c++ {
+			lo, hi := chunkSpan(c, len(x))
+			s += cgUpdateSpan(x, r, d, ad, alpha, lo, hi)
 		}
 		return s
-	})
+	}
+	return p.reduce(len(x), func(lo, hi int) float64 { return cgUpdateSpan(x, r, d, ad, alpha, lo, hi) })
 }
 
 // xpby computes d = z + β·d (the CG direction update).
 func (p *Pool) xpby(d, z []float64, beta float64) {
-	p.parRange(len(d), func(lo, hi, _ int) {
-		for i := lo; i < hi; i++ {
-			d[i] = z[i] + beta*d[i]
-		}
-	})
+	if p.seq() {
+		xpbySpan(d, z, beta, 0, len(d))
+		return
+	}
+	p.parRange(len(d), func(lo, hi, _ int) { xpbySpan(d, z, beta, lo, hi) })
 }
 
 // Range runs body(lo, hi) over the fixed deterministic chunk grid for
@@ -231,11 +375,75 @@ func (p *Pool) xpby(d, z []float64, beta float64) {
 // by exactly one worker with a plain sequential loop, so any computation
 // whose chunks are independent (element-wise updates, per-row sums) is
 // bit-identical for any worker count. A nil pool runs sequentially over the
-// same grid. It exists for external deterministic kernels (e.g. the
-// multigrid transfer operators in internal/mg); reductions that must combine
-// partials stay inside this package.
+// same grid. It exists for external deterministic kernels; note that the
+// body closure escapes to the heap on every call, so hot per-iteration loops
+// should use a dedicated kernel method (VecAdd, MulVecRaw, ChebyStep, ...)
+// instead. Reductions that must combine partials stay inside this package.
 func (p *Pool) Range(n int, body func(lo, hi int)) {
+	if p.seq() {
+		for c, nc := 0, numChunks(n); c < nc; c++ {
+			lo, hi := chunkSpan(c, n)
+			body(lo, hi)
+		}
+		return
+	}
 	p.parRange(n, func(lo, hi, _ int) { body(lo, hi) })
+}
+
+// VecAdd computes dst[i] += src[i] across the pool — element-wise, so
+// bit-identical for any worker count. A nil pool runs sequentially.
+func (p *Pool) VecAdd(dst, src []float64) {
+	if p.seq() {
+		vecAddSpan(dst, src, 0, len(dst))
+		return
+	}
+	p.parRange(len(dst), func(lo, hi, _ int) { vecAddSpan(dst, src, lo, hi) })
+}
+
+// MulVecRaw computes y = M·x for a raw CSR triple (row pointers, column
+// indices, values) that is not wrapped in a *CSR — the multigrid transfer
+// operators store their prolongator and its transpose this way. Per-row sums
+// accumulate in index order within one worker, so the result is bit-identical
+// for any worker count. A nil pool runs sequentially.
+func (p *Pool) MulVecRaw(ptr, col []int32, val, x, y []float64) {
+	n := len(ptr) - 1
+	if p.seq() {
+		rawMulVecSpan(ptr, col, val, x, y, 0, n)
+		return
+	}
+	p.parRange(n, func(lo, hi, _ int) { rawMulVecSpan(ptr, col, val, x, y, lo, hi) })
+}
+
+// MulVecAddRaw computes y += M·x for a raw CSR triple; see MulVecRaw.
+func (p *Pool) MulVecAddRaw(ptr, col []int32, val, x, y []float64) {
+	n := len(ptr) - 1
+	if p.seq() {
+		rawMulVecAddSpan(ptr, col, val, x, y, 0, n)
+		return
+	}
+	p.parRange(n, func(lo, hi, _ int) { rawMulVecAddSpan(ptr, col, val, x, y, lo, hi) })
+}
+
+// ChebyBegin runs the first step of the Chebyshev semi-iteration on
+// B·z = D⁻¹r from z = 0: res = D⁻¹r, d = res/θ, z = d. Fused and
+// element-wise, so bit-identical for any worker count. Shared by the
+// standalone Chebyshev preconditioner and the multigrid smoother.
+func (p *Pool) ChebyBegin(z, d, res, invD, r []float64, invTheta float64) {
+	if p.seq() {
+		chebyBeginSpan(z, d, res, invD, r, invTheta, 0, len(r))
+		return
+	}
+	p.parRange(len(r), func(lo, hi, _ int) { chebyBeginSpan(z, d, res, invD, r, invTheta, lo, hi) })
+}
+
+// ChebyStep runs one subsequent step of the Chebyshev semi-iteration given
+// t = A·d: res -= D⁻¹t, d = c1·d + c2·res, z += d. See ChebyBegin.
+func (p *Pool) ChebyStep(z, d, res, invD, t []float64, c1, c2 float64) {
+	if p.seq() {
+		chebyStepSpan(z, d, res, invD, t, c1, c2, 0, len(res))
+		return
+	}
+	p.parRange(len(res), func(lo, hi, _ int) { chebyStepSpan(z, d, res, invD, t, c1, c2, lo, hi) })
 }
 
 // MulVecParallel computes y = A·x across the pool's workers, reusing y when
@@ -251,4 +459,16 @@ func (m *CSR) MulVecParallel(p *Pool, x, y []float64) []float64 {
 	}
 	p.mulVec(m, x, y)
 	return y
+}
+
+// ResidualParallel computes r = b - A·x across the pool's workers. The
+// matvec and subtraction are fused per row; each row's sum accumulates in
+// index order, so the result is bit-identical to MulVecParallel followed by
+// an element-wise subtraction, for any worker count. A nil pool runs
+// sequentially.
+func (m *CSR) ResidualParallel(p *Pool, x, b, r []float64) {
+	if len(x) != m.cols || len(b) != m.rows || len(r) != m.rows {
+		panic("sparse: ResidualParallel dimension mismatch")
+	}
+	p.residualFrom(m, x, b, r)
 }

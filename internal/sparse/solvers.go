@@ -184,23 +184,35 @@ type preconditioner interface {
 	apply(z, r []float64)
 }
 
+// releaser is implemented by preconditioners whose workspace came from a
+// pool's scratch free-list; the solver releases them when the solve ends.
+type releaser interface {
+	release()
+}
+
 type identityPrecond struct{}
 
 func (identityPrecond) apply(z, r []float64) { copy(z, r) }
 
-type jacobiPrecond struct{ invDiag []float64 }
+type jacobiPrecond struct {
+	invDiag []float64
+	pool    *Pool
+}
 
-func newJacobi(a *CSR) (*jacobiPrecond, error) {
-	d := a.Diagonal()
-	inv := make([]float64, len(d))
-	for i, v := range d {
+func newJacobi(a *CSR, pl *Pool) (*jacobiPrecond, error) {
+	inv := pl.Grab(a.rows)
+	for i := 0; i < a.rows; i++ {
+		v := a.At(i, i)
 		if v == 0 {
+			pl.Release(inv)
 			return nil, fmt.Errorf("sparse: jacobi preconditioner: zero diagonal at row %d", i)
 		}
 		inv[i] = 1 / v
 	}
-	return &jacobiPrecond{invDiag: inv}, nil
+	return &jacobiPrecond{invDiag: inv, pool: pl}, nil
 }
+
+func (p *jacobiPrecond) release() { p.pool.Release(p.invDiag) }
 
 func (p *jacobiPrecond) apply(z, r []float64) {
 	for i := range r {
@@ -212,17 +224,21 @@ func (p *jacobiPrecond) apply(z, r []float64) {
 type ssorPrecond struct {
 	a    *CSR
 	diag []float64
+	pool *Pool
 }
 
-func newSSOR(a *CSR) (*ssorPrecond, error) {
-	d := a.Diagonal()
+func newSSOR(a *CSR, pl *Pool) (*ssorPrecond, error) {
+	d := a.DiagonalInto(pl.Grab(a.rows))
 	for i, v := range d {
 		if v == 0 {
+			pl.Release(d)
 			return nil, fmt.Errorf("sparse: ssor preconditioner: zero diagonal at row %d", i)
 		}
 	}
-	return &ssorPrecond{a: a, diag: d}, nil
+	return &ssorPrecond{a: a, diag: d, pool: pl}, nil
 }
+
+func (p *ssorPrecond) release() { p.pool.Release(p.diag) }
 
 func (p *ssorPrecond) apply(z, r []float64) {
 	a, d := p.a, p.diag
@@ -272,12 +288,12 @@ func makePrecond(a *CSR, kind PrecondKind, mg MGSolver, pl *Pool) (preconditione
 	}
 	switch kind {
 	case PrecondJacobi:
-		p, err := newJacobi(a)
+		p, err := newJacobi(a, pl)
 		return p, PrecondJacobi, err
 	case PrecondNone:
 		return identityPrecond{}, PrecondNone, nil
 	case PrecondSSOR:
-		p, err := newSSOR(a)
+		p, err := newSSOR(a, pl)
 		return p, PrecondSSOR, err
 	case PrecondChebyshev:
 		p, err := newChebyshev(a, pl)
@@ -368,8 +384,16 @@ func solveCG(ctx context.Context, a *CSR, b []float64, opt Options) ([]float64, 
 	if err != nil {
 		return nil, stats(0, 0, kind), err
 	}
+	if rel, ok := pre.(releaser); ok {
+		defer rel.release()
+	}
+	// x escapes (it is the returned solution); the other four vectors are
+	// pure scratch, fully overwritten before first read, so they come from
+	// the pool's free-list — repeated solves on a shared pool (sweeps,
+	// transient steps) then allocate no CG workspace at all.
 	x := make([]float64, n)
-	r := make([]float64, n)
+	r, z, p, ap := pl.Grab(n), pl.Grab(n), pl.Grab(n), pl.Grab(n)
+	defer pl.Release(r, z, p, ap)
 	if opt.X0 != nil {
 		if len(opt.X0) != n {
 			return nil, stats(0, 0, kind), fmt.Errorf("sparse: CG initial guess length %d, want %d", len(opt.X0), n)
@@ -382,14 +406,13 @@ func solveCG(ctx context.Context, a *CSR, b []float64, opt Options) ([]float64, 
 	bnorm := pl.norm2(b)
 	if bnorm == 0 {
 		// The unique SPD solution for b = 0 is x = 0.
+		for i := range x {
+			x[i] = 0
+		}
 		return x, stats(0, 0, kind), nil
 	}
 	tol := opt.tol()
 	maxIter := opt.maxIter(n)
-
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
 	pre.apply(z, r)
 	copy(p, z)
 	rz := pl.dot(r, z)

@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/fem"
+	"repro/internal/stack"
+	"repro/internal/units"
+)
+
+// reuseJobs builds a radius sweep of reference-solver jobs: one model value
+// shared by all jobs, so sweep workers cache its patterns and hierarchies.
+func reuseJobs(t *testing.T, n int) []Job {
+	t.Helper()
+	res := fem.Resolution{RadialVia: 4, RadialLiner: 2, RadialOuter: 8, AxialPerLayer: 3, AxialMin: 2, Bulk: 6}
+	m := fem.ReferenceModel{Res: res}
+	jobs := make([]Job, n)
+	for i := range jobs {
+		s, err := stack.Fig4Block(units.UM(4 + 2*float64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = Job{Stack: s, Model: m}
+	}
+	return jobs
+}
+
+func maxDTs(t *testing.T, out []Outcome) []float64 {
+	t.Helper()
+	dts := make([]float64, len(out))
+	for i, oc := range out {
+		if oc.Err != nil {
+			t.Fatalf("job %d failed: %v", i, oc.Err)
+		}
+		dts[i] = oc.Result.MaxDT
+	}
+	return dts
+}
+
+// TestSweepReuseWorkerInvariance is the sweep-level reuse property: with
+// per-worker solver-state reuse (the default), results must be bit-identical
+// for any worker count and to a reuse-disabled run — reuse recycles memory,
+// never numbers.
+func TestSweepReuseWorkerInvariance(t *testing.T) {
+	jobs := reuseJobs(t, 12)
+	base, err := Run(context.Background(), jobs, Options{Workers: 1, NoReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := maxDTs(t, base)
+	for _, workers := range []int{1, 2, 4, 8} {
+		out, err := Run(context.Background(), jobs, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := maxDTs(t, out)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d job %d: reuse %v vs fresh %v (must be bit-identical)", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSweepWarmStartWorkerInvariance: warm-started sweeps run jobs in fixed
+// chains, so their (iterate-sequence-dependent) results must also be
+// bit-identical for any worker count — and stay within solver tolerance of
+// the cold results.
+func TestSweepWarmStartWorkerInvariance(t *testing.T) {
+	jobs := reuseJobs(t, 20) // several warm chains
+	cold, err := Run(context.Background(), jobs, Options{Workers: 1, NoReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldDT := maxDTs(t, cold)
+	var want []float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		out, err := Run(context.Background(), jobs, Options{Workers: workers, WarmStart: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := maxDTs(t, out)
+		if want == nil {
+			want = got
+			for i := range got {
+				denom := math.Max(math.Abs(coldDT[i]), 1)
+				if math.Abs(got[i]-coldDT[i])/denom > 1e-6 {
+					t.Fatalf("warm job %d diverged from cold: %v vs %v", i, got[i], coldDT[i])
+				}
+			}
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("warm start workers=%d job %d: %v vs %v (chains must make this worker-invariant)", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

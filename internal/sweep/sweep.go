@@ -17,6 +17,7 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 	"time"
@@ -84,7 +85,28 @@ type Options struct {
 	// root span with a "sweep.job" child per job, under which the solver
 	// spans (fem.solve, sparse.cg) of context-aware models nest.
 	Trace *obs.Tracer
+	// NoReuse disables per-worker solver-state reuse for models implementing
+	// core.ReusableSolver; every job then solves from scratch. Reuse never
+	// changes results — a reusable instance is contractually bit-identical
+	// to the fresh path — so this switch exists for A/B comparison and as an
+	// escape hatch, not for correctness.
+	NoReuse bool
+	// WarmStart additionally seeds each reusable solve from the previous
+	// solution of the same system shape. Jobs are dispatched to workers as
+	// contiguous chains of warmChainLen batch indices — the caller's job
+	// order, which sweeps lay out along the swept axis, is the warm-start
+	// order — and warm state resets at every chain boundary, so results do
+	// not depend on the worker count. Warm-started solves converge to the
+	// same tolerance as cold ones but through a different iterate sequence;
+	// see EXPERIMENTS.md for when that matters.
+	WarmStart bool
 }
+
+// warmChainLen is the fixed length of a warm-start job chain. Like
+// sparse's kernel chunk size it must not depend on the worker count: chain
+// boundaries decide which solves seed which, making them part of the
+// numerical contract of a warm-started sweep.
+const warmChainLen = 8
 
 // Batch is an ordered set of evaluation jobs.
 type Batch []Job
@@ -128,22 +150,34 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 	}
 	busy := obs.Default().Gauge("sweep.workers.busy")
 
+	// Jobs are dispatched as contiguous chains of batch indices: length 1
+	// normally (identical to per-job dispatch), warmChainLen when warm
+	// starting, where the chain is the unit of warm-start seeding.
+	chain := 1
+	if opt.WarmStart && !opt.NoReuse {
+		chain = warmChainLen
+	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			inst := &instances{warmStart: opt.WarmStart, disabled: opt.NoReuse}
+			defer inst.close()
 			for i := range idx {
-				busy.Add(1)
-				out[i] = evaluate(ctx, jobs[i], opt.Cache)
-				busy.Add(-1)
+				inst.resetWarm()
+				for k := i; k < min(i+chain, len(jobs)); k++ {
+					busy.Add(1)
+					out[k] = evaluate(ctx, jobs[k], opt.Cache, inst)
+					busy.Add(-1)
+				}
 			}
 		}()
 	}
 
 feed:
-	for i := range jobs {
+	for i := 0; i < len(jobs); i += chain {
 		select {
 		case idx <- i:
 		case <-ctx.Done():
@@ -166,10 +200,56 @@ feed:
 	return out, nil
 }
 
+// instances is one worker's set of reusable solver instances, keyed by
+// model value. Worker-local by design: instances are not safe for
+// concurrent use, and reuse must not introduce cross-worker coupling.
+type instances struct {
+	warmStart bool
+	disabled  bool
+	m         map[core.Model]core.ReusableInstance
+}
+
+// instanceFor returns the worker's instance for the model, creating one on
+// first sight. Models that do not implement core.ReusableSolver — or whose
+// dynamic type is not comparable and so cannot key the map — get nil, which
+// routes the job down the stateless path.
+func (s *instances) instanceFor(mdl core.Model) core.ReusableInstance {
+	if s == nil || s.disabled {
+		return nil
+	}
+	rs, ok := mdl.(core.ReusableSolver)
+	if !ok || !reflect.TypeOf(mdl).Comparable() {
+		return nil
+	}
+	inst, ok := s.m[mdl]
+	if !ok {
+		inst = rs.NewReusable(s.warmStart)
+		if s.m == nil {
+			s.m = make(map[core.Model]core.ReusableInstance)
+		}
+		s.m[mdl] = inst
+	}
+	return inst
+}
+
+// resetWarm starts a fresh warm-start chain on every held instance.
+func (s *instances) resetWarm() {
+	for _, inst := range s.m {
+		inst.ResetWarm()
+	}
+}
+
+// close releases every held instance.
+func (s *instances) close() {
+	for _, inst := range s.m {
+		inst.Close()
+	}
+}
+
 // evaluate runs one job, consulting the cache and converting panics of
 // misbehaving models into errors so a single bad geometry cannot kill the
 // whole sweep.
-func evaluate(ctx context.Context, j Job, c *Cache) Outcome {
+func evaluate(ctx context.Context, j Job, c *Cache, inst *instances) Outcome {
 	oc := Outcome{Job: j}
 	if err := ctx.Err(); err != nil {
 		oc.Err = err
@@ -203,7 +283,7 @@ func evaluate(ctx context.Context, j Job, c *Cache) Outcome {
 		}
 	}
 	t0 := time.Now()
-	res, err := solve(ctx, j)
+	res, err := solve(ctx, j, inst)
 	oc.Runtime = time.Since(t0)
 	recordJob(oc.Runtime, err)
 	if c != nil {
@@ -235,17 +315,19 @@ func wrapErr(j Job, err error) error {
 	return fmt.Errorf("sweep: job %q: %w", j.Name(), err)
 }
 
-// solve invokes the model with panic capture, preferring the cancellable
-// entry point when the model offers one: a cancelled batch then stops its
-// in-flight solves between solver iterations instead of running them to
-// completion.
-func solve(ctx context.Context, j Job) (res *core.Result, err error) {
+// solve invokes the model with panic capture, preferring the worker's
+// reusable instance when the model offers one (cross-solve reuse), then the
+// cancellable entry point: a cancelled batch stops its in-flight solves
+// between solver iterations instead of running them to completion.
+func solve(ctx context.Context, j Job, inst *instances) (res *core.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("model panicked: %v", r)
 		}
 	}()
-	if cs, ok := j.Model.(core.ContextSolver); ok {
+	if ri := inst.instanceFor(j.Model); ri != nil {
+		res, err = ri.SolveCtx(ctx, j.Stack)
+	} else if cs, ok := j.Model.(core.ContextSolver); ok {
 		res, err = cs.SolveCtx(ctx, j.Stack)
 	} else {
 		res, err = j.Model.Solve(j.Stack)

@@ -81,6 +81,10 @@ type (
 	System = chip.System
 	// Resolution controls the reference solver's mesh density.
 	Resolution = fem.Resolution
+	// SolveContext carries reusable solver state (assembly patterns,
+	// multigrid hierarchies, scratch pools) across repeated reference
+	// solves; see NewSolveContext.
+	SolveContext = fem.SolveContext
 	// CalibrationPoint pairs a geometry with a reference temperature.
 	CalibrationPoint = fit.CalibrationPoint
 
@@ -228,8 +232,33 @@ func SolveReferenceStatsCtx(ctx context.Context, s *Stack, res Resolution) (floa
 // Resolution selects DefaultResolution; Resolution.Workers sets the solver's
 // kernel worker count. The returned model supports sweep cancellation
 // (core.ContextSolver), so cancelling a Sweep stops its in-flight reference
-// solves between solver iterations.
+// solves between solver iterations, and cross-solve reuse
+// (core.ReusableSolver): Sweep workers automatically cache its assembly
+// patterns, multigrid hierarchies and solver scratch across jobs.
 func ReferenceModel(res Resolution) Model { return fem.ReferenceModel{Res: res} }
+
+// NewSolveContext returns a reuse context for repeated reference solves
+// outside of Sweep (which manages contexts itself): assembly patterns,
+// multigrid hierarchies and solver scratch carry over between solves through
+// it. Reuse never changes results — a solve through a context is
+// bit-identical to one without — and Close releases the held worker pool.
+// A context serves one solve at a time (use one per goroutine). Setting
+// WarmStart additionally seeds each solve from the previous solution of the
+// same system shape, which changes the CG iterate sequence but not the
+// converged tolerance.
+func NewSolveContext() *SolveContext { return fem.NewSolveContext() }
+
+// SolveReferenceStatsWith is SolveReferenceStatsCtx solving through a reuse
+// context; pass the same non-nil sc across a parameter sweep's solves to
+// skip re-deriving the sparsity pattern and multigrid hierarchy each time.
+func SolveReferenceStatsWith(ctx context.Context, sc *SolveContext, s *Stack, res Resolution) (float64, SolverStats, error) {
+	sol, err := fem.SolveStackWith(ctx, sc, s, res)
+	if err != nil {
+		return 0, SolverStats{}, err
+	}
+	max, _, _ := sol.MaxT()
+	return max, sol.Stats, nil
+}
 
 // Sweep evaluates all jobs across opt.Workers workers and returns one
 // outcome per job in job order, regardless of worker scheduling. Per-job
