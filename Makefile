@@ -16,12 +16,18 @@ test:
 # verify is the pre-merge gate: static analysis, the cross-solve reuse
 # determinism properties under the race detector (run first and by name —
 # they are the contract that assembly/hierarchy reuse and warm-started
-# sweeps never change results), then the whole suite under the race
-# detector, one pass over every benchmark so the harness itself cannot rot,
-# and a single-iteration smoke run of the bench-json pipeline.
+# sweeps never change results), the deck golden/property tests by name
+# under the race detector (the contract that .ttsv decks stay bit-identical
+# to struct-built runs through both the library and the CLIs), a short
+# FuzzParseDeck exploration on top of the checked-in seeds, then the whole
+# suite under the race detector, one pass over every benchmark so the
+# harness itself cannot rot, and a single-iteration smoke run of the
+# bench-json pipeline.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race -run 'SolveContext|WarmStart|SweepReuse|RebuildMatches|RebuildAcross' ./internal/fem ./internal/sweep ./internal/mg
+	$(GO) test -race -run 'Deck|CorpusGoldens' ./internal/deck ./cmd/ttsvsolve ./cmd/ttsvplan .
+	$(GO) test -fuzz '^FuzzParseDeck$$' -fuzztime 10s -run '^FuzzParseDeck$$' ./internal/deck
 	$(GO) test -race ./...
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(MAKE) bench-json BENCHTIME=1x BENCH_OUT=/dev/null
@@ -74,12 +80,27 @@ profile:
 	@echo "profiles written to $(PROFILE_DIR)/"
 
 # Seed corpora run on every plain `go test`; this target explores further.
-# Usage: make fuzz FUZZ=FuzzLoadBlockConfig PKG=./internal/stack FUZZTIME=30s
+# By default it gives every fuzz target in the repo a bounded FUZZTIME run
+# (go test -fuzz accepts only one target per package, hence the loop).
+# Narrow to one target with
+#   make fuzz FUZZ=FuzzParseDeck PKG=./internal/deck FUZZTIME=30s
 FUZZTIME ?= 10s
-FUZZ ?= FuzzLoadBlockConfig
-PKG ?= ./internal/stack
+FUZZ ?=
+PKG ?=
+FUZZ_TARGETS = \
+	FuzzParseDeck:./internal/deck \
+	FuzzLoadBlockConfig:./internal/stack \
+	FuzzMaterialUnmarshalJSON:./internal/materials
 fuzz:
-	$(GO) test -fuzz $(FUZZ) -fuzztime $(FUZZTIME) $(PKG)
+ifneq ($(FUZZ),)
+	$(GO) test -fuzz '^$(FUZZ)$$' -fuzztime $(FUZZTIME) -run '^$(FUZZ)$$' $(PKG)
+else
+	@for t in $(FUZZ_TARGETS); do \
+		f=$${t%%:*}; p=$${t##*:}; \
+		echo "== fuzz $$f ($$p, $(FUZZTIME)) =="; \
+		$(GO) test -fuzz "^$$f$$" -fuzztime $(FUZZTIME) -run "^$$f$$" $$p || exit 1; \
+	done
+endif
 
 clean:
 	$(GO) clean ./...

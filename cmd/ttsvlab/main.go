@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +28,7 @@ import (
 	"path/filepath"
 	"time"
 
+	ttsv "repro"
 	"repro/internal/cliobs"
 	"repro/internal/experiments"
 	"repro/internal/report"
@@ -48,15 +50,16 @@ func run(args []string, out io.Writer) (err error) {
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all CPUs); tables are identical for any count")
 	solverWorkers := fs.Int("solver-workers", 0, "parallel linear-solver kernel workers per reference solve (<= 1 = sequential)")
 	precond := fs.String("precond", "auto", "reference-solver preconditioner: auto, jacobi, ssor, chebyshev, mg or none")
+	deckPath := fs.String("deck", "", ".ttsv scenario deck file; runs its analysis cards instead of a named experiment")
 	obsf := cliobs.Register(fs)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: ttsvlab [-quick] [-plot] [-csv DIR] [-workers N] [-solver-workers N] [-precond KIND] [-trace FILE] [-metrics] [-pprof ADDR] {fig4|fig5|fig6|fig7|table1|casestudy|calibrate|planes|transient|all}")
+		fmt.Fprintln(fs.Output(), "usage: ttsvlab [-quick] [-plot] [-csv DIR] [-workers N] [-solver-workers N] [-precond KIND] [-trace FILE] [-metrics] [-pprof ADDR] [-deck FILE] {fig4|fig5|fig6|fig7|table1|casestudy|calibrate|planes|transient|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
+	if *deckPath == "" && fs.NArg() != 1 {
 		fs.Usage()
 		return fmt.Errorf("exactly one experiment required")
 	}
@@ -69,6 +72,18 @@ func run(args []string, out io.Writer) (err error) {
 			err = ferr
 		}
 	}()
+	if *deckPath != "" {
+		d, err := ttsv.ParseDeckFile(*deckPath)
+		if err != nil {
+			return err
+		}
+		ctx := ttsv.TraceContext(context.Background(), tracer)
+		res, err := ttsv.RunDeck(ctx, d, ttsv.DeckOptions{Workers: *workers, Trace: tracer})
+		if err != nil {
+			return err
+		}
+		return res.WriteText(out)
+	}
 	cfg := experiments.Default()
 	if *quick {
 		cfg = experiments.Quick()

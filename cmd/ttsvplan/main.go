@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -41,7 +42,8 @@ func main() {
 
 func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("ttsvplan", flag.ContinueOnError)
-	fpPath := fs.String("floorplan", "", "JSON floorplan file (required)")
+	fpPath := fs.String("floorplan", "", "JSON floorplan file (required unless -deck is given)")
+	deckPath := fs.String("deck", "", ".ttsv scenario deck file; runs its analysis cards instead of -floorplan")
 	budget := fs.Float64("budget", 15, "maximum allowed temperature rise [K]")
 	model := fs.String("model", "A", "thermal model: A, B or 1D")
 	segments := fs.Int("segments", 100, "Model B segments per plane")
@@ -54,9 +56,9 @@ func run(args []string, out io.Writer) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *fpPath == "" {
+	if *fpPath == "" && *deckPath == "" {
 		fs.Usage()
-		return fmt.Errorf("-floorplan is required")
+		return fmt.Errorf("-floorplan or -deck is required")
 	}
 	tracer, err := obsf.Start(out)
 	if err != nil {
@@ -67,6 +69,18 @@ func run(args []string, out io.Writer) (err error) {
 			err = ferr
 		}
 	}()
+	if *deckPath != "" {
+		d, err := ttsv.ParseDeckFile(*deckPath)
+		if err != nil {
+			return err
+		}
+		ctx := ttsv.TraceContext(context.Background(), tracer)
+		res, err := ttsv.RunDeck(ctx, d, ttsv.DeckOptions{Workers: *workers, Trace: tracer})
+		if err != nil {
+			return err
+		}
+		return res.WriteText(out)
+	}
 	f, err := loadFloorplan(*fpPath)
 	if err != nil {
 		return err

@@ -50,6 +50,7 @@ func run(args []string, out io.Writer) (err error) {
 	precond := fs.String("precond", "auto", "reference-solver preconditioner: auto, jacobi, ssor, chebyshev, mg or none (only -model ref)")
 	verbose := fs.Bool("v", false, "print per-solve linear-solver statistics (iterations, residual, preconditioner)")
 	config := fs.String("config", "", "JSON block config file (SI units); explicit flags override its fields")
+	deckPath := fs.String("deck", "", ".ttsv scenario deck file; runs its analysis cards and ignores the geometry flags")
 	obsf := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +64,19 @@ func run(args []string, out io.Writer) (err error) {
 			err = ferr
 		}
 	}()
+
+	if *deckPath != "" {
+		d, err := ttsv.ParseDeckFile(*deckPath)
+		if err != nil {
+			return err
+		}
+		ctx := ttsv.TraceContext(context.Background(), tracer)
+		res, err := ttsv.RunDeck(ctx, d, ttsv.DeckOptions{Workers: *workers, Trace: tracer})
+		if err != nil {
+			return err
+		}
+		return res.WriteText(out)
+	}
 
 	cfg := ttsv.DefaultBlock()
 	if *config != "" {

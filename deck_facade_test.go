@@ -1,0 +1,75 @@
+package ttsv_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	ttsv "repro"
+)
+
+// TestDeckFacade exercises the public deck surface end to end: parse a deck
+// from text, run it, and compare against the equivalent struct-built solve.
+func TestDeckFacade(t *testing.T) {
+	src := `facade smoke deck
+b1 side=100um sink=27
+p1 tsi=500um td=4um
+p2 tsi=45um td=4um tb=1um repeat=2
+v1 r=10um tl=0.5um lext=1um
+iall plane=all devd=700w/mm3 ildd=70w/mm3
+.op model=a
+.end
+`
+	d, err := ttsv.ParseDeck("facade.ttsv", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ttsv.RunDeck(context.Background(), d, ttsv.DeckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Analyses) != 1 || len(res.Analyses[0].Op) != 1 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+
+	// 10um parses as 10·10⁻⁶ computed at runtime, which is one ulp away
+	// from the literal 10e-6 — the deck promises bit-identity with the
+	// equivalent units.UM call, so the comparison must use the same form.
+	um := 1e-6
+	s, err := ttsv.Fig4Block(10 * um)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ttsv.ModelA{Coeffs: ttsv.PaperBlockCoeffs()}.Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Analyses[0].Op[0].MaxDT; got != want.MaxDT {
+		t.Errorf("deck MaxDT %v != struct-built %v (bitwise)", got, want.MaxDT)
+	}
+
+	var buf strings.Builder
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "title: facade smoke deck") {
+		t.Errorf("report missing title:\n%s", buf.String())
+	}
+}
+
+// TestDeckFacadeError checks positioned errors cross the facade as
+// *ttsv.DeckError.
+func TestDeckFacadeError(t *testing.T) {
+	_, err := ttsv.ParseDeck("bad.ttsv", strings.NewReader("t\n+ dangling\n"))
+	if err == nil {
+		t.Fatal("dangling continuation accepted")
+	}
+	var de *ttsv.DeckError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %T is not a *ttsv.DeckError", err)
+	}
+	if de.Pos.Line != 2 || !strings.HasPrefix(err.Error(), "bad.ttsv:2:") {
+		t.Errorf("unexpected position: %v", err)
+	}
+}

@@ -1,0 +1,227 @@
+package deck
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/materials"
+	"repro/internal/units"
+)
+
+// cardReader is the typed accessor for a card's fields. Getters record the
+// first error and return zero values afterwards, so lowering code reads a
+// whole card linearly and checks once; finish reports the first error or any
+// unconsumed field (unknown parameter names never default silently).
+type cardReader struct {
+	file string
+	card *Card
+	// keyed maps lowercased key -> field index; positional holds the indices
+	// of unnamed fields in order.
+	keyed  map[string]int
+	posIdx []int
+	used   map[int]bool
+	err    error
+}
+
+func newReader(file string, c *Card) *cardReader {
+	r := &cardReader{
+		file:  file,
+		card:  c,
+		keyed: make(map[string]int),
+		used:  make(map[int]bool),
+	}
+	for i := range c.Fields {
+		f := &c.Fields[i]
+		if f.Key == "" {
+			r.posIdx = append(r.posIdx, i)
+			continue
+		}
+		if prev, dup := r.keyed[f.Key]; dup {
+			r.fail(errAt(file, f.Pos, "duplicate parameter %q (first at column %d)", f.Key, c.Fields[prev].Pos.Col))
+			continue
+		}
+		r.keyed[f.Key] = i
+	}
+	return r
+}
+
+// fail records the first error.
+func (r *cardReader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// lookup fetches a keyed field and marks it consumed.
+func (r *cardReader) lookup(key string) (*Field, bool) {
+	i, ok := r.keyed[key]
+	if !ok {
+		return nil, false
+	}
+	r.used[i] = true
+	return &r.card.Fields[i], true
+}
+
+// fieldErr builds an error positioned at the named field (or the card when
+// the field is absent) and records it.
+func (r *cardReader) fieldErr(key string, format string, args ...any) error {
+	pos := r.card.Pos
+	if i, ok := r.keyed[key]; ok {
+		pos = r.card.Fields[i].Pos
+	}
+	err := errAt(r.file, pos, "%s %s: %s", r.card.Name, key, fmt.Sprintf(format, args...))
+	r.fail(err)
+	return err
+}
+
+// float reads a keyed value with the given dimension, or def when absent.
+func (r *cardReader) float(key string, d units.Dim, def float64) float64 {
+	f, ok := r.lookup(key)
+	if !ok {
+		return def
+	}
+	v, err := units.ParseValue(f.Value, d)
+	if err != nil {
+		r.fail(errAt(r.file, f.Pos, "%s %s: %v", r.card.Name, key, err))
+		return def
+	}
+	return v
+}
+
+// require reads a keyed value that must be present.
+func (r *cardReader) require(key string, d units.Dim) float64 {
+	if _, ok := r.keyed[key]; !ok {
+		r.fail(errAt(r.file, r.card.Pos, "%s card: missing required parameter %s=", r.card.Name, key))
+		return 0
+	}
+	return r.float(key, d, 0)
+}
+
+// int reads a keyed integer, or def when absent.
+func (r *cardReader) int(key string, def int) int {
+	f, ok := r.lookup(key)
+	if !ok {
+		return def
+	}
+	n, err := parseInt(f.Value)
+	if err != nil {
+		r.fail(errAt(r.file, f.Pos, "%s %s: %v", r.card.Name, key, err))
+		return def
+	}
+	return n
+}
+
+// str reads a keyed string, or def when absent.
+func (r *cardReader) str(key, def string) string {
+	f, ok := r.lookup(key)
+	if !ok {
+		return def
+	}
+	return f.Value
+}
+
+// material reads a keyed material name, or def when absent. Lookup is exact
+// first, then case-insensitive against the stock table.
+func (r *cardReader) material(key string, def materials.Material) materials.Material {
+	f, ok := r.lookup(key)
+	if !ok {
+		return def
+	}
+	if m, err := materials.Lookup(f.Value); err == nil {
+		return m
+	}
+	for _, name := range materials.Names() {
+		if strings.EqualFold(name, f.Value) {
+			m, _ := materials.Lookup(name)
+			return m
+		}
+	}
+	r.fail(errAt(r.file, f.Pos, "%s %s: unknown material %q (known: %s)",
+		r.card.Name, key, f.Value, strings.Join(materials.Names(), ", ")))
+	return def
+}
+
+// positional returns the i-th positional field without consuming it.
+func (r *cardReader) positional(i int) (*Field, bool) {
+	if i >= len(r.posIdx) {
+		return nil, false
+	}
+	return &r.card.Fields[r.posIdx[i]], true
+}
+
+// take marks the i-th positional field consumed.
+func (r *cardReader) take(i int) {
+	if i < len(r.posIdx) {
+		r.used[r.posIdx[i]] = true
+	}
+}
+
+// posInt reads the i-th positional field as an integer.
+func (r *cardReader) posInt(i int, what string) int {
+	f, ok := r.positional(i)
+	if !ok {
+		r.fail(errAt(r.file, r.card.Pos, "%s card: missing %s (positional field %d)", r.card.Name, what, i+1))
+		return 0
+	}
+	r.take(i)
+	n, err := parseInt(f.Value)
+	if err != nil {
+		r.fail(errAt(r.file, f.Pos, "%s %s: %v", r.card.Name, what, err))
+		return 0
+	}
+	return n
+}
+
+// posFloat reads the i-th positional field with the given dimension.
+func (r *cardReader) posFloat(i int, what string, d units.Dim) float64 {
+	f, ok := r.positional(i)
+	if !ok {
+		r.fail(errAt(r.file, r.card.Pos, "%s card: missing %s (positional field %d)", r.card.Name, what, i+1))
+		return 0
+	}
+	r.take(i)
+	v, err := units.ParseValue(f.Value, d)
+	if err != nil {
+		r.fail(errAt(r.file, f.Pos, "%s %s: %v", r.card.Name, what, err))
+		return 0
+	}
+	return v
+}
+
+// posFloats reads every positional field from index from onward.
+func (r *cardReader) posFloats(from int, d units.Dim) []float64 {
+	var out []float64
+	for i := from; ; i++ {
+		f, ok := r.positional(i)
+		if !ok {
+			break
+		}
+		r.take(i)
+		v, err := units.ParseValue(f.Value, d)
+		if err != nil {
+			r.fail(errAt(r.file, f.Pos, "%s value %d: %v", r.card.Name, i+1, err))
+			return nil
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// finish returns the first recorded error, or an error for any field the
+// card never consumed — unknown parameters are rejected, not ignored.
+func (r *cardReader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	for i := range r.card.Fields {
+		if r.used[i] {
+			continue
+		}
+		f := &r.card.Fields[i]
+		if f.Key != "" {
+			return errAt(r.file, f.Pos, "%s card: unknown parameter %q", r.card.Name, f.Key)
+		}
+		return errAt(r.file, f.Pos, "%s card: unexpected positional value %q", r.card.Name, f.Value)
+	}
+	return nil
+}

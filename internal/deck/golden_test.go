@@ -1,0 +1,104 @@
+package deck
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/deck -run TestCorpusGoldens -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// corpusDir holds the .ttsv corpus shared by the deck package, the CLI
+// golden tests and the fuzz seeds.
+const corpusDir = "../../testdata/decks"
+
+// goldenDir holds one .golden text report per corpus deck.
+const goldenDir = "../../testdata/decks/golden"
+
+// corpusDecks lists the corpus deck paths in sorted order.
+func corpusDecks(t testing.TB) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(corpusDir, "*.ttsv"))
+	if err != nil {
+		t.Fatalf("globbing corpus: %v", err)
+	}
+	if len(paths) < 6 {
+		t.Fatalf("corpus has %d decks, want >= 6", len(paths))
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// runDeckFile parses and runs one corpus deck and renders its text report.
+func runDeckFile(t testing.TB, path string, opt Options) []byte {
+	t.Helper()
+	d, err := ParseFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	res, err := Run(context.Background(), d, opt)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatalf("%s: rendering: %v", path, err)
+	}
+	return buf.Bytes()
+}
+
+// TestCorpusGoldens runs every corpus deck and compares the text report
+// against its golden file byte for byte.
+func TestCorpusGoldens(t *testing.T) {
+	kinds := map[string]bool{}
+	for _, path := range corpusDecks(t) {
+		path := path
+		base := strings.TrimSuffix(filepath.Base(path), ".ttsv")
+		t.Run(base, func(t *testing.T) {
+			t.Parallel()
+			got := runDeckFile(t, path, Options{Workers: 1})
+			golden := filepath.Join(goldenDir, base+".golden")
+			if *update {
+				if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("report differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+	// The corpus must cover every analysis card kind.
+	for _, path := range corpusDecks(t) {
+		d, err := ParseFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range d.Cards {
+			if c.Dot() {
+				kinds[c.Name] = true
+			}
+		}
+	}
+	for _, want := range []string{".op", ".tran", ".sweep", ".plan"} {
+		if !kinds[want] {
+			t.Errorf("corpus covers no %s card", want)
+		}
+	}
+}

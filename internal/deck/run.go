@@ -1,0 +1,273 @@
+package deck
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/sweep"
+)
+
+// Options configures a deck run. Workers feeds the sweep and plan engine
+// pools only — never the reference solver's internal parallelism — so
+// results are bit-identical for any worker count.
+type Options struct {
+	// Workers is the engine pool size for .sweep and .plan analyses;
+	// values < 1 select GOMAXPROCS. A workers= parameter on the analysis
+	// card overrides it.
+	Workers int
+	// Trace optionally records engine spans as NDJSON.
+	Trace *obs.Tracer
+}
+
+// Result collects the outputs of every analysis card of a deck, in deck
+// order.
+type Result struct {
+	// Title echoes the deck title.
+	Title string
+	// Analyses holds one entry per analysis card.
+	Analyses []AnalysisResult
+}
+
+// AnalysisResult is one analysis card's output; the fields matching Kind are
+// set.
+type AnalysisResult struct {
+	// Kind is "op", "tran", "sweep" or "plan".
+	Kind string
+	// Op holds steady-state results, one per model (Kind "op").
+	Op []*core.Result
+	// Tran holds the transient trace (Kind "tran").
+	Tran *core.TransientResult
+	// Sweep fields (Kind "sweep"): DT[i][j] is the max rise at Values[i]
+	// under Models[j].
+	SweepParam  string
+	SweepValues []float64
+	SweepModels []string
+	SweepDT     [][]float64
+	// Plan fields (Kind "plan").
+	Plan       *plan.Result
+	PlanModel  string
+	PlanBudget float64
+}
+
+// Run lowers the deck and executes every analysis in order.
+func Run(ctx context.Context, d *Deck, opt Options) (*Result, error) {
+	sc, err := d.Lower()
+	if err != nil {
+		return nil, err
+	}
+	return RunScenario(ctx, sc, opt)
+}
+
+// RunScenario executes an already-lowered scenario.
+func RunScenario(ctx context.Context, sc *Scenario, opt Options) (*Result, error) {
+	res := &Result{Title: sc.Title}
+	for i := range sc.Analyses {
+		a := &sc.Analyses[i]
+		ar, err := runAnalysis(ctx, sc, a, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Analyses = append(res.Analyses, *ar)
+	}
+	return res, nil
+}
+
+func runAnalysis(ctx context.Context, sc *Scenario, a *Analysis, opt Options) (*AnalysisResult, error) {
+	switch a.Kind {
+	case "op":
+		return runOp(ctx, sc, a.Op)
+	case "tran":
+		return runTran(sc, a.Tran)
+	case "sweep":
+		return runSweep(ctx, a.Sweep, opt)
+	case "plan":
+		return runPlan(a.Plan, opt)
+	default:
+		return nil, fmt.Errorf("deck: unknown analysis kind %q", a.Kind)
+	}
+}
+
+// runOp solves the stack with each model sequentially. Solves route through
+// SolveCtx when the model supports cancellation (the FVM reference); the
+// numerical path is identical either way.
+func runOp(ctx context.Context, sc *Scenario, op *OpAnalysis) (*AnalysisResult, error) {
+	ar := &AnalysisResult{Kind: "op"}
+	for _, m := range op.Models {
+		var (
+			r   *core.Result
+			err error
+		)
+		if cs, ok := m.(core.ContextSolver); ok {
+			r, err = cs.SolveCtx(ctx, sc.Stack)
+		} else {
+			r, err = m.Solve(sc.Stack)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("deck: .op model %s: %w", m.Name(), err)
+		}
+		ar.Op = append(ar.Op, r)
+	}
+	return ar, nil
+}
+
+func runTran(sc *Scenario, tr *TranAnalysis) (*AnalysisResult, error) {
+	tm := tr.Model.(transientModel)
+	r, err := tm.SolveTransient(sc.Stack, tr.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("deck: .tran model %s: %w", tr.Model.Name(), err)
+	}
+	return &AnalysisResult{Kind: "tran", Tran: r}, nil
+}
+
+// runSweep fans the value×model grid through the batch engine. The engine
+// guarantees bit-identical results for any worker count, so the deck layer
+// inherits worker invariance for free.
+func runSweep(ctx context.Context, sw *SweepAnalysis, opt Options) (*AnalysisResult, error) {
+	workers := opt.Workers
+	if sw.Workers > 0 {
+		workers = sw.Workers
+	}
+	var jobs sweep.Batch
+	for i := range sw.Values {
+		for _, m := range sw.Models {
+			jobs = jobs.Add(fmt.Sprintf("%s=%s/%s", sw.Param, g(sw.Values[i]), m.Name()), sw.Stacks[i], m)
+		}
+	}
+	outcomes, err := sweep.Run(ctx, jobs, sweep.Options{Workers: workers, Trace: opt.Trace})
+	if err != nil {
+		return nil, err
+	}
+	ar := &AnalysisResult{Kind: "sweep", SweepParam: sw.Param, SweepValues: sw.Values}
+	for _, m := range sw.Models {
+		ar.SweepModels = append(ar.SweepModels, m.Name())
+	}
+	nm := len(sw.Models)
+	ar.SweepDT = make([][]float64, len(sw.Values))
+	for i := range sw.Values {
+		row := make([]float64, nm)
+		for j := 0; j < nm; j++ {
+			o := &outcomes[i*nm+j]
+			if o.Err != nil {
+				return nil, fmt.Errorf("deck: .sweep job %s: %w", o.Job.Name(), o.Err)
+			}
+			row[j] = o.Result.MaxDT
+		}
+		ar.SweepDT[i] = row
+	}
+	return ar, nil
+}
+
+func runPlan(pa *PlanAnalysis, opt Options) (*AnalysisResult, error) {
+	workers := opt.Workers
+	if pa.Workers > 0 {
+		workers = pa.Workers
+	}
+	r, err := plan.PlanWith(pa.Floor, pa.Tech, pa.Budget, pa.Model, plan.Options{Workers: workers, Trace: opt.Trace})
+	if err != nil {
+		return nil, fmt.Errorf("deck: .plan: %w", err)
+	}
+	return &AnalysisResult{Kind: "plan", Plan: r, PlanModel: pa.Model.Name(), PlanBudget: pa.Budget}, nil
+}
+
+// g renders a float64 with full round-trip precision; every number in the
+// text report goes through it so goldens are bitwise-stable.
+func g(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// maxTranRows bounds the transient trace in the text report; long traces are
+// decimated deterministically, keeping first and last samples.
+const maxTranRows = 25
+
+// WriteText renders the result as a deterministic text report: no wall
+// times, no solver statistics that vary run to run, every float at full
+// precision. The same report is produced for any worker count, which is what
+// the golden corpus and the CLI -deck paths compare against.
+func (r *Result) WriteText(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.printf("title: %s\n", r.Title)
+	for i := range r.Analyses {
+		a := &r.Analyses[i]
+		bw.printf("\n")
+		switch a.Kind {
+		case "op":
+			bw.printf(".op\n")
+			for _, res := range a.Op {
+				bw.printf("  model %s: maxDT=%s K baseDT=%s K unknowns=%d\n",
+					res.Model, g(res.MaxDT), g(res.BaseDT), res.Unknowns)
+				if len(res.PlaneDT) > 0 {
+					parts := make([]string, len(res.PlaneDT))
+					for j, dt := range res.PlaneDT {
+						parts[j] = g(dt)
+					}
+					bw.printf("    planeDT: %s\n", strings.Join(parts, " "))
+				}
+			}
+		case "tran":
+			t := a.Tran
+			bw.printf(".tran model=%s steps=%d\n", t.Model, len(t.Times))
+			step := 1
+			if len(t.Times) > maxTranRows {
+				step = (len(t.Times) + maxTranRows - 1) / maxTranRows
+			}
+			for j := 0; j < len(t.Times); j += step {
+				bw.printf("  t=%s dT=%s\n", g(t.Times[j]), g(t.TopDT[j]))
+			}
+			if len(t.Times) > 0 && (len(t.Times)-1)%step != 0 {
+				last := len(t.Times) - 1
+				bw.printf("  t=%s dT=%s\n", g(t.Times[last]), g(t.TopDT[last]))
+			}
+			bw.printf("  final dT=%s K settled=%v settlingTime=%s s\n", g(t.FinalDT), t.Settled, g(t.SettlingTime))
+		case "sweep":
+			bw.printf(".sweep %s (%d points)\n", a.SweepParam, len(a.SweepValues))
+			bw.printf("  models: %s\n", strings.Join(a.SweepModels, " "))
+			for j, v := range a.SweepValues {
+				parts := make([]string, len(a.SweepDT[j]))
+				for k, dt := range a.SweepDT[j] {
+					parts[k] = g(dt)
+				}
+				bw.printf("  %s=%s dT: %s\n", a.SweepParam, g(v), strings.Join(parts, " "))
+			}
+		case "plan":
+			p := a.Plan
+			bw.printf(".plan model=%s budget=%s K\n", a.PlanModel, g(a.PlanBudget))
+			bw.printf("  vias=%d maxDT=%s K viaArea=%s m2\n", p.TotalVias, g(p.MaxDT), g(p.ViaArea))
+			bw.printf("  counts:\n")
+			for _, row := range p.Counts {
+				parts := make([]string, len(row))
+				for k, n := range row {
+					parts[k] = strconv.Itoa(n)
+				}
+				bw.printf("    %s\n", strings.Join(parts, " "))
+			}
+			bw.printf("  tileDT:\n")
+			for _, row := range p.TileDT {
+				parts := make([]string, len(row))
+				for k, dt := range row {
+					parts[k] = g(dt)
+				}
+				bw.printf("    %s\n", strings.Join(parts, " "))
+			}
+		}
+	}
+	return bw.err
+}
+
+// errWriter folds write errors so report code stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

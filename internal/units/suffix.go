@@ -1,0 +1,207 @@
+package units
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Dim is the physical dimension a suffixed value is parsed against. The
+// dimension resolves the classic SPICE suffix ambiguities: on a length the
+// trailing "m" means meters (not milli), on a temperature "k" means kelvin
+// (not kilo), on a power "w" means watts. Suffixes not claimed by the
+// dimension's unit table fall back to the plain SPICE scale factors
+// (t, g, meg, k, m, u, n, p, f).
+type Dim int
+
+const (
+	// DimNone is a dimensionless value; only scale suffixes apply.
+	DimNone Dim = iota
+	// DimLength values resolve to meters.
+	DimLength
+	// DimArea values resolve to square meters.
+	DimArea
+	// DimPower values resolve to watts.
+	DimPower
+	// DimPowerDensity values resolve to W/m³.
+	DimPowerDensity
+	// DimTemperature values resolve to kelvin (or °C for absolute
+	// temperatures; the two share a scale).
+	DimTemperature
+	// DimTime values resolve to seconds.
+	DimTime
+)
+
+// String names the dimension for error messages.
+func (d Dim) String() string {
+	switch d {
+	case DimLength:
+		return "length"
+	case DimArea:
+		return "area"
+	case DimPower:
+		return "power"
+	case DimPowerDensity:
+		return "power density"
+	case DimTemperature:
+		return "temperature"
+	case DimTime:
+		return "time"
+	default:
+		return "dimensionless"
+	}
+}
+
+// scaleSuffix holds the SPICE scale factors, applied by multiplication.
+var scaleSuffix = map[string]float64{
+	"t":   1e12,
+	"g":   1e9,
+	"meg": 1e6,
+	"k":   1e3,
+	"m":   1e-3,
+	"u":   1e-6,
+	"µ":   1e-6,
+	"n":   1e-9,
+	"p":   1e-12,
+	"f":   1e-15,
+}
+
+// unitSuffix maps each dimension's unit words to conversion functions. The
+// conversions reuse this package's constructors (UM, MM, WPerMM3, …) so a
+// deck value like "700w/mm3" lands on exactly the same float64 as a Go call
+// site writing units.WPerMM3(700) — bit-identical, not merely close.
+var unitSuffix = map[Dim]map[string]func(float64) float64{
+	DimLength: {
+		"m":  ident,
+		"cm": func(v float64) float64 { return v * Centimeter },
+		"mm": MM,
+		"um": UM,
+		"µm": UM,
+		"nm": func(v float64) float64 { return v * 1e-9 },
+	},
+	DimArea: {
+		"m2":  ident,
+		"cm2": func(v float64) float64 { return v * Centimeter * Centimeter },
+		"mm2": MM2,
+		"um2": UM2,
+		"µm2": UM2,
+	},
+	DimPower: {
+		"w":  ident,
+		"kw": func(v float64) float64 { return v * 1e3 },
+		"mw": func(v float64) float64 { return v * 1e-3 },
+		"uw": func(v float64) float64 { return v * 1e-6 },
+		"µw": func(v float64) float64 { return v * 1e-6 },
+		"nw": func(v float64) float64 { return v * 1e-9 },
+	},
+	DimPowerDensity: {
+		"w/m3":  ident,
+		"w/cm3": func(v float64) float64 { return v / (Centimeter * Centimeter * Centimeter) },
+		"w/mm3": WPerMM3,
+		"w/um3": func(v float64) float64 { return v / (Micrometer * Micrometer * Micrometer) },
+		"w/µm3": func(v float64) float64 { return v / (Micrometer * Micrometer * Micrometer) },
+	},
+	DimTemperature: {
+		"k":  ident,
+		"c":  ident, // temperature rises share the kelvin scale
+		"mk": func(v float64) float64 { return v * 1e-3 },
+	},
+	DimTime: {
+		"s":  ident,
+		"ms": func(v float64) float64 { return v * 1e-3 },
+		"us": func(v float64) float64 { return v * 1e-6 },
+		"µs": func(v float64) float64 { return v * 1e-6 },
+		"ns": func(v float64) float64 { return v * 1e-9 },
+		"ps": func(v float64) float64 { return v * 1e-12 },
+	},
+}
+
+func ident(v float64) float64 { return v }
+
+// maxValueLen bounds the accepted token length; the longest-numeric-prefix
+// scan below is quadratic in the token, so unbounded hostile input (fuzzing,
+// network decks) must be cut off before it can burn CPU.
+const maxValueLen = 64
+
+// ParseValue parses a SPICE-style suffixed number against a dimension:
+// "45u" and "45um" are 45·10⁻⁶ m as a length, "1meg" is 10⁶, "700w/mm3" is
+// a power density in W/m³, "100us" is 10⁻⁴ s, and a temperature "25k" is
+// 25 kelvin rather than 25000. Suffixes are case-insensitive. The result
+// must be finite; anything else — unknown suffix, malformed number,
+// overflow — is an error.
+func ParseValue(s string, d Dim) (float64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	if len(s) > maxValueLen {
+		return 0, fmt.Errorf("value %q longer than %d bytes", s[:16]+"…", maxValueLen)
+	}
+	// Longest numeric prefix wins, so "1e-6k" parses as 1e-6 with suffix
+	// "k" and "1meg" as 1 with suffix "meg".
+	num, suffix := splitNumber(s)
+	if num == "" {
+		return 0, fmt.Errorf("value %q does not start with a number", s)
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("value %q: %v", s, err)
+	}
+	out, err := applySuffix(v, strings.ToLower(suffix), d)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(out) || math.IsInf(out, 0) {
+		return 0, fmt.Errorf("value %q is not finite", s)
+	}
+	return out, nil
+}
+
+// splitNumber splits s into its longest strconv-parseable numeric prefix and
+// the remaining suffix. Only plain decimal literals count as numeric —
+// textual floats ("inf", "nan") and hex floats are suffix material, never
+// numbers. An overflowing decimal prefix ("1e400") is returned as the number
+// so the caller surfaces the range error instead of mis-splitting.
+func splitNumber(s string) (num, suffix string) {
+	for i := len(s); i > 0; i-- {
+		if !isDecimal(s[:i]) {
+			continue
+		}
+		if _, err := strconv.ParseFloat(s[:i], 64); err == nil || errors.Is(err, strconv.ErrRange) {
+			return s[:i], s[i:]
+		}
+	}
+	return "", s
+}
+
+// isDecimal reports whether the numeric literal uses only plain decimal
+// syntax (digits, sign, point, decimal exponent).
+func isDecimal(s string) bool {
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+		case r == '+' || r == '-' || r == '.' || r == 'e' || r == 'E':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// applySuffix resolves the suffix: the dimension's unit table first, then
+// the generic SPICE scale factors.
+func applySuffix(v float64, suffix string, d Dim) (float64, error) {
+	if suffix == "" {
+		return v, nil
+	}
+	if tbl, ok := unitSuffix[d]; ok {
+		if conv, ok := tbl[suffix]; ok {
+			return conv(v), nil
+		}
+	}
+	if mult, ok := scaleSuffix[suffix]; ok {
+		return v * mult, nil
+	}
+	return 0, fmt.Errorf("unknown unit suffix %q for %s value", suffix, d)
+}

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/chip"
 	"repro/internal/core"
+	"repro/internal/deck"
 	"repro/internal/fem"
 	"repro/internal/fit"
 	"repro/internal/materials"
@@ -124,6 +125,19 @@ type (
 	// PlanOptions controls worker count and memoization of insertion
 	// planning.
 	PlanOptions = plan.Options
+
+	// Deck is a parsed .ttsv scenario deck; see ParseDeck.
+	Deck = deck.Deck
+	// DeckScenario is a deck lowered onto the engines (stack + analyses).
+	DeckScenario = deck.Scenario
+	// DeckResult collects the outputs of a deck's analysis cards; its
+	// WriteText renders the deterministic text report the CLIs print.
+	DeckResult = deck.Result
+	// DeckOptions controls a deck run's engine worker pools and tracing.
+	DeckOptions = deck.Options
+	// DeckError is a positioned deck parse/lowering error
+	// ("file:line:col: message").
+	DeckError = deck.Error
 
 	// Tracer records solver/sweep/plan spans as NDJSON; see NewTracer.
 	Tracer = obs.Tracer
@@ -340,6 +354,23 @@ func PlanInsertion(f *Floorplan, tech Technology, budget float64, m Model) (*Pla
 // memoization control; the plan is identical for any worker count.
 func PlanInsertionWith(f *Floorplan, tech Technology, budget float64, m Model, opt PlanOptions) (*PlanResult, error) {
 	return plan.PlanWith(f, tech, budget, m, opt)
+}
+
+// ParseDeck parses a .ttsv scenario deck from r; name labels error
+// positions (typically the file path). See package repro/internal/deck for
+// the grammar: title line, '*' comments, '+' continuations, unit-suffixed
+// values, element cards (block, plane, via, source, tile) and analysis
+// cards (.op, .tran, .sweep, .plan).
+func ParseDeck(name string, r io.Reader) (*Deck, error) { return deck.Parse(name, r) }
+
+// ParseDeckFile parses the deck at path.
+func ParseDeckFile(path string) (*Deck, error) { return deck.ParseFile(path) }
+
+// RunDeck lowers the deck onto the engines and executes every analysis card
+// in order. Results are bit-identical to the equivalent struct-built calls
+// and to any DeckOptions.Workers setting.
+func RunDeck(ctx context.Context, d *Deck, opt DeckOptions) (*DeckResult, error) {
+	return deck.Run(ctx, d, opt)
 }
 
 // DefaultPowerMapResolution returns the full-chip verification mesh density.
