@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify race bench bench-json bench-compare profile fuzz clean
+.PHONY: all build test verify race bench bench-json bench-compare profile fuzz loadsmoke clean
 
 all: build test
 
@@ -19,14 +19,17 @@ test:
 # sweeps never change results), the deck golden/property tests by name
 # under the race detector (the contract that .ttsv decks stay bit-identical
 # to struct-built runs through both the library and the CLIs), a short
-# FuzzParseDeck exploration on top of the checked-in seeds, then the whole
-# suite under the race detector, one pass over every benchmark so the
-# harness itself cannot rot, and a single-iteration smoke run of the
-# bench-json pipeline.
+# FuzzParseDeck exploration on top of the checked-in seeds, the solve-service
+# suite by name under the race detector (the contract that every ttsvd
+# endpoint is byte-identical to the CLI/deck path and that coalescing,
+# admission and drain are race-free), then the whole suite under the race
+# detector, one pass over every benchmark so the harness itself cannot rot,
+# and a single-iteration smoke run of the bench-json pipeline.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race -run 'SolveContext|WarmStart|SweepReuse|RebuildMatches|RebuildAcross' ./internal/fem ./internal/sweep ./internal/mg
 	$(GO) test -race -run 'Deck|CorpusGoldens' ./internal/deck ./cmd/ttsvsolve ./cmd/ttsvplan .
+	$(GO) test -race -run 'MatchesGoldens|MatchesDeck|Coalescing|WarmPool|Admission|Timeout|BadRequests|HealthMetrics|Flight|TokenBucket|ListenAndServeDrains|CancelledRun' ./internal/serve ./cmd/ttsvsolve
 	$(GO) test -fuzz '^FuzzParseDeck$$' -fuzztime 10s -run '^FuzzParseDeck$$' ./internal/deck
 	$(GO) test -race ./...
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -34,6 +37,12 @@ verify:
 
 race:
 	$(GO) test -race ./...
+
+# loadsmoke drives an in-process ttsvd with the hotspot key mix — a quick
+# end-to-end check that serving, coalescing and the warm pool hold up under
+# concurrent load — and reports req/s with p50/p99 latency.
+loadsmoke:
+	$(GO) run ./cmd/ttsvload -inproc -n 400 -c 8 -mix hotspot
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -20,7 +21,7 @@ func TestWorkersFlagGolden(t *testing.T) {
 		t.Helper()
 		dir := t.TempDir()
 		var buf bytes.Buffer
-		if err := run([]string{"-quick", "-csv", dir, "-workers", n, "fig7"}, &buf); err != nil {
+		if err := run(context.Background(), []string{"-quick", "-csv", dir, "-workers", n, "fig7"}, &buf); err != nil {
 			t.Fatalf("-workers %s: %v", n, err)
 		}
 		csv, err := os.ReadFile(filepath.Join(dir, "fig7.csv"))

@@ -25,7 +25,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	ttsv "repro"
@@ -36,13 +38,19 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C / SIGTERM cancel the run's context instead of killing the
+	// process outright, so deferred cleanup (notably the -trace NDJSON
+	// flush in cliobs.Finish) still runs and partial output stays
+	// well-formed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "ttsvlab: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) (err error) {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("ttsvlab", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "thin sweeps and a coarser reference mesh")
 	plot := fs.Bool("plot", false, "draw ASCII figures for the sweeps")
@@ -77,7 +85,7 @@ func run(args []string, out io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-		ctx := ttsv.TraceContext(context.Background(), tracer)
+		ctx := ttsv.TraceContext(ctx, tracer)
 		res, err := ttsv.RunDeck(ctx, d, ttsv.DeckOptions{Workers: *workers, Trace: tracer})
 		if err != nil {
 			return err
@@ -88,6 +96,7 @@ func run(args []string, out io.Writer) (err error) {
 	if *quick {
 		cfg = experiments.Quick()
 	}
+	cfg.Ctx = ctx
 	cfg.Trace = tracer
 	cfg.Workers = *workers
 	cfg.Resolution.Workers = *solverWorkers

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"os"
@@ -11,46 +12,46 @@ import (
 )
 
 func TestRunRejectsBadInvocations(t *testing.T) {
-	if err := run(nil, io.Discard); err == nil {
+	if err := run(context.Background(), nil, io.Discard); err == nil {
 		t.Error("missing experiment accepted")
 	}
-	if err := run([]string{"fig4", "fig5"}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"fig4", "fig5"}, io.Discard); err == nil {
 		t.Error("two experiments accepted")
 	}
-	if err := run([]string{"nonsense"}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"nonsense"}, io.Discard); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run([]string{"-bogus", "fig4"}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-bogus", "fig4"}, io.Discard); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }
 
 func TestRunQuickSweeps(t *testing.T) {
 	for _, exp := range []string{"fig4", "fig6", "fig7"} {
-		if err := run([]string{"-quick", exp}, io.Discard); err != nil {
+		if err := run(context.Background(), []string{"-quick", exp}, io.Discard); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
 }
 
 func TestRunQuickTable1AndCaseStudy(t *testing.T) {
-	if err := run([]string{"-quick", "table1"}, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-quick", "table1"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-quick", "casestudy"}, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-quick", "casestudy"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunQuickCalibrate(t *testing.T) {
-	if err := run([]string{"-quick", "calibrate"}, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-quick", "calibrate"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCSVExport(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-quick", "-csv", dir, "fig7"}, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-csv", dir, "fig7"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig7.csv"))
@@ -69,7 +70,7 @@ func TestRunCSVExport(t *testing.T) {
 }
 
 func TestRunPlotFlag(t *testing.T) {
-	if err := run([]string{"-quick", "-plot", "fig7"}, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-plot", "fig7"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -77,7 +78,7 @@ func TestRunPlotFlag(t *testing.T) {
 func TestRunTraceAndMetrics(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "fig7.ndjson")
 	var buf bytes.Buffer
-	if err := run([]string{"-quick", "-trace", trace, "-metrics", "fig7"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-trace", trace, "-metrics", "fig7"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(trace)
@@ -107,10 +108,10 @@ func TestRunTraceAndMetrics(t *testing.T) {
 }
 
 func TestRunExtensionExperiments(t *testing.T) {
-	if err := run([]string{"-quick", "planes"}, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-quick", "planes"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-quick", "transient"}, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-quick", "transient"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }

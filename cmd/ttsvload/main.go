@@ -1,0 +1,199 @@
+// Command ttsvload is a load generator for the ttsvd solve service: it fires
+// steady-state /solve requests drawn from a fixed set of distinct geometries
+// ("keys") at a configurable concurrency and reports throughput and latency
+// quantiles. The key mix exercises the service's caching machinery: "uniform"
+// spreads requests evenly (worst case for coalescing), "hotspot" sends 80% of
+// them to one key (best case — concurrent duplicates collapse into one
+// solve).
+//
+//	ttsvload -inproc -n 500 -c 16 -mix hotspot
+//	ttsvload -addr 127.0.0.1:7437 -duration 10s
+//
+// The request schedule is a deterministic function of the request index, so
+// two runs against the same server are comparable.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/deck"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/stack"
+	"repro/internal/units"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "ttsvload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ttsvload", flag.ContinueOnError)
+	addr := fs.String("addr", "", "target ttsvd address (host:port)")
+	inproc := fs.Bool("inproc", false, "start an in-process server on a free port and load that")
+	n := fs.Int("n", 200, "total number of requests (ignored when -duration is set)")
+	duration := fs.Duration("duration", 0, "run for this long instead of a fixed request count")
+	conc := fs.Int("c", 4, "concurrent client workers")
+	mix := fs.String("mix", "uniform", "key mix: uniform or hotspot (80% of requests hit key 0)")
+	keys := fs.Int("keys", 8, "number of distinct request geometries")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *keys < 1 || *conc < 1 {
+		return fmt.Errorf("-keys and -c must be >= 1")
+	}
+	if *mix != "uniform" && *mix != "hotspot" {
+		return fmt.Errorf("unknown -mix %q (want uniform or hotspot)", *mix)
+	}
+	if (*addr == "") == !*inproc {
+		return fmt.Errorf("give exactly one of -addr or -inproc")
+	}
+
+	target := *addr
+	if *inproc {
+		sctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		ready := make(chan string, 1)
+		errc := make(chan error, 1)
+		go func() {
+			errc <- serve.ListenAndServe(sctx, "127.0.0.1:0", serve.Config{Registry: obs.NewRegistry()}, time.Second, func(bound string) {
+				ready <- bound
+			})
+		}()
+		select {
+		case target = <-ready:
+			defer func() {
+				cancel()
+				<-errc // drain shutdown before reporting
+			}()
+		case err := <-errc:
+			return fmt.Errorf("in-process server: %w", err)
+		}
+	}
+
+	bodies, err := makeBodies(*keys)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ttsvload: %s mix over %d keys, %d workers -> http://%s/solve\n", *mix, *keys, *conc, target)
+
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("load.request.seconds", obs.ExpBuckets(1e-6, 2, 26))
+	var sent, failed atomic.Int64
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	url := "http://" + target + "/solve"
+
+	// next hands out global request indices; the index alone decides which
+	// key a request hits, so the schedule is deterministic for any -c.
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := next.Add(1) - 1
+				if deadline.IsZero() {
+					if i >= int64(*n) {
+						return
+					}
+				} else if time.Now().After(deadline) {
+					return
+				}
+				body := bodies[pickKey(*mix, i, *keys)]
+				t0 := time.Now()
+				ok := fire(ctx, client, url, body)
+				hist.Observe(time.Since(t0).Seconds())
+				sent.Add(1)
+				if !ok {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	hs := reg.Snapshot().Histograms["load.request.seconds"]
+	total := sent.Load()
+	fmt.Fprintf(out, "ttsvload: %d requests in %v (%.1f req/s), %d errors\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), failed.Load())
+	fmt.Fprintf(out, "ttsvload: latency p50=%s p99=%s mean=%s\n",
+		secs(hs.Quantile(0.5)), secs(hs.Quantile(0.99)), secs(hs.Mean()))
+	if failed.Load() > 0 {
+		return fmt.Errorf("%d of %d requests failed", failed.Load(), total)
+	}
+	return ctx.Err()
+}
+
+// pickKey maps a request index to a geometry key. Uniform round-robins;
+// hotspot sends 4 of every 5 requests to key 0 and spreads the rest.
+func pickKey(mix string, i int64, keys int) int {
+	if mix == "hotspot" && keys > 1 {
+		if i%5 != 4 {
+			return 0
+		}
+		return 1 + int((i/5)%int64(keys-1))
+	}
+	return int(i % int64(keys))
+}
+
+// makeBodies builds the distinct /solve request bodies: the paper's default
+// block with the via radius stepped per key, solved with Model A (cheap
+// enough that the measured latency is mostly the serving machinery).
+func makeBodies(keys int) ([][]byte, error) {
+	bodies := make([][]byte, keys)
+	for i := range bodies {
+		cfg := stack.DefaultBlock()
+		cfg.R = units.UM(8 + float64(i)/4)
+		b, err := json.Marshal(serve.SolveRequest{Block: cfg, Models: deck.ModelSpec{Model: "a"}})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
+}
+
+// fire sends one request and reports whether it got 200.
+func fire(ctx context.Context, client *http.Client, url string, body []byte) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// secs renders a latency in seconds as a duration string.
+func secs(v float64) string {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}

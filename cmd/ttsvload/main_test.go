@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunInProcess(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-inproc", "-n", "40", "-c", "4", "-mix", "hotspot", "-keys", "4"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"40 requests", "0 errors", "p50=", "p99="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output does not contain %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                    // neither -addr nor -inproc
+		{"-addr", "x", "-inproc"},             // both
+		{"-inproc", "-mix", "zipf"},           // unknown mix
+		{"-inproc", "-keys", "0"},             // degenerate keys
+	} {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) accepted invalid flags", args)
+		}
+	}
+}
+
+// TestPickKey pins the deterministic schedule: uniform round-robins, hotspot
+// sends 80% of requests to key 0 and never starves the others.
+func TestPickKey(t *testing.T) {
+	counts := make([]int, 5)
+	for i := int64(0); i < 1000; i++ {
+		counts[pickKey("hotspot", i, 5)]++
+	}
+	if counts[0] != 800 {
+		t.Errorf("hotspot key 0 got %d of 1000 requests, want 800", counts[0])
+	}
+	for k := 1; k < 5; k++ {
+		if counts[k] != 50 {
+			t.Errorf("hotspot key %d got %d of 1000 requests, want 50", k, counts[k])
+		}
+	}
+	for i := int64(0); i < 10; i++ {
+		if got := pickKey("uniform", i, 5); got != int(i%5) {
+			t.Errorf("uniform pickKey(%d) = %d, want %d", i, got, i%5)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// update rewrites the shared deck golden files instead of comparing:
+//
+//	go test ./cmd/ttsvplan -run TestDeckGolden -update
+var update = flag.Bool("update", false, "rewrite deck golden files")
+
+const (
+	deckCorpusDir = "../../testdata/decks"
+	deckGoldenDir = "../../testdata/decks/golden"
+)
+
+// TestDeckGolden runs ttsvplan -deck on the planning decks of the corpus
+// and compares byte for byte against the shared goldens.
+func TestDeckGolden(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(deckCorpusDir, "plan_*.ttsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("corpus has no plan decks")
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		path := path
+		base := strings.TrimSuffix(filepath.Base(path), ".ttsv")
+		t.Run(base, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(context.Background(), []string{"-deck", path}, &buf); err != nil {
+				t.Fatalf("ttsvplan -deck %s: %v", path, err)
+			}
+			golden := filepath.Join(deckGoldenDir, base+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestDeckWorkersInvariant checks that -workers never changes a planning
+// deck's output.
+func TestDeckWorkersInvariant(t *testing.T) {
+	path := filepath.Join(deckCorpusDir, "plan_hotspot.ttsv")
+	var ref bytes.Buffer
+	if err := run(context.Background(), []string{"-deck", path, "-workers", "1"}, &ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"2", "8"} {
+		var buf bytes.Buffer
+		if err := run(context.Background(), []string{"-deck", path, "-workers", w}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref.Bytes(), buf.Bytes()) {
+			t.Errorf("-workers %s output differs from -workers 1", w)
+		}
+	}
+}
+
+// TestDeckFlagRelaxesFloorplan checks -deck lifts the -floorplan
+// requirement, and that neither flag still errors.
+func TestDeckFlagRelaxesFloorplan(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "-floorplan or -deck") {
+		t.Errorf("missing-input error = %v", err)
+	}
+}

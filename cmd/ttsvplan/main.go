@@ -28,19 +28,27 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	ttsv "repro"
 	"repro/internal/cliobs"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C / SIGTERM cancel the run's context instead of killing the
+	// process outright, so deferred cleanup (notably the -trace NDJSON
+	// flush in cliobs.Finish) still runs and partial output stays
+	// well-formed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "ttsvplan: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) (err error) {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("ttsvplan", flag.ContinueOnError)
 	fpPath := fs.String("floorplan", "", "JSON floorplan file (required unless -deck is given)")
 	deckPath := fs.String("deck", "", ".ttsv scenario deck file; runs its analysis cards instead of -floorplan")
@@ -74,7 +82,7 @@ func run(args []string, out io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-		ctx := ttsv.TraceContext(context.Background(), tracer)
+		ctx := ttsv.TraceContext(ctx, tracer)
 		res, err := ttsv.RunDeck(ctx, d, ttsv.DeckOptions{Workers: *workers, Trace: tracer})
 		if err != nil {
 			return err
@@ -99,7 +107,7 @@ func run(args []string, out io.Writer) (err error) {
 	}
 
 	tech := ttsv.DefaultTechnology()
-	res, err := ttsv.PlanInsertionWith(f, tech, *budget, m, ttsv.PlanOptions{Workers: *workers, Trace: tracer})
+	res, err := ttsv.PlanInsertionWith(f, tech, *budget, m, ttsv.PlanOptions{Ctx: ctx, Workers: *workers, Trace: tracer})
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -29,7 +30,7 @@ const demoFP = `{
 func TestPlanCLI(t *testing.T) {
 	path := writeFloorplan(t, demoFP)
 	var buf bytes.Buffer
-	if err := run([]string{"-floorplan", path, "-budget", "12"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-floorplan", path, "-budget", "12"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -46,17 +47,17 @@ func TestPlanCLI(t *testing.T) {
 func TestPlanCLIModels(t *testing.T) {
 	path := writeFloorplan(t, demoFP)
 	var a, d bytes.Buffer
-	if err := run([]string{"-floorplan", path, "-budget", "12", "-model", "A"}, &a); err != nil {
+	if err := run(context.Background(), []string{"-floorplan", path, "-budget", "12", "-model", "A"}, &a); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-floorplan", path, "-budget", "12", "-model", "1D"}, &d); err != nil {
+	if err := run(context.Background(), []string{"-floorplan", path, "-budget", "12", "-model", "1D"}, &d); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() == d.String() {
 		t.Error("A and 1D plans identical")
 	}
 	var b bytes.Buffer
-	if err := run([]string{"-floorplan", path, "-budget", "12", "-model", "B", "-segments", "40"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-floorplan", path, "-budget", "12", "-model", "B", "-segments", "40"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "B(40)") {
@@ -70,7 +71,7 @@ func TestPlanCLIVerify(t *testing.T) {
 	// since the verifier is calibrated against Model B.
 	path := writeFloorplan(t, demoFP)
 	var buf bytes.Buffer
-	if err := run([]string{"-floorplan", path, "-budget", "13", "-model", "B", "-verify"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-floorplan", path, "-budget", "13", "-model", "B", "-verify"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "full-chip 3-D verification") {
@@ -85,7 +86,7 @@ func TestPlanCLITraceAndMetrics(t *testing.T) {
 	path := writeFloorplan(t, demoFP)
 	trace := filepath.Join(t.TempDir(), "plan.ndjson")
 	var buf bytes.Buffer
-	if err := run([]string{"-floorplan", path, "-budget", "12", "-trace", trace, "-metrics"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-floorplan", path, "-budget", "12", "-trace", trace, "-metrics"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(trace)
@@ -124,21 +125,21 @@ func TestPlanCLITraceAndMetrics(t *testing.T) {
 
 func TestPlanCLIErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{}, &buf); err == nil {
+	if err := run(context.Background(), []string{}, &buf); err == nil {
 		t.Error("missing floorplan accepted")
 	}
-	if err := run([]string{"-floorplan", "/does/not/exist.json"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-floorplan", "/does/not/exist.json"}, &buf); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeFloorplan(t, `{"TileSide": 0.00075, "Rows": 1}`)
-	if err := run([]string{"-floorplan", bad}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-floorplan", bad}, &buf); err == nil {
 		t.Error("unknown JSON field accepted")
 	}
 	path := writeFloorplan(t, demoFP)
-	if err := run([]string{"-floorplan", path, "-model", "zzz"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-floorplan", path, "-model", "zzz"}, &buf); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if err := run([]string{"-floorplan", path, "-budget", "0.01"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-floorplan", path, "-budget", "0.01"}, &buf); err == nil {
 		t.Error("impossible budget accepted")
 	}
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCancelledRunWritesWellFormedTrace: a cancelled run must still flush
+// its -trace file as complete NDJSON records. The regression this guards is
+// the CLIs running on context.Background() with no signal handling, where
+// Ctrl-C killed the process mid-write and truncated the trace.
+func TestCancelledRunWritesWellFormedTrace(t *testing.T) {
+	dir := t.TempDir()
+	deckPath := filepath.Join(dir, "sweep.ttsv")
+	deck := `* cancelled sweep
+b1 side=100um sink=27C
+p1 tsi=500um td=4um
+p2 tsi=45um td=4um tb=1um
+i1 dev=0.07W
+v1 r=10um tl=0.5um
+.sweep r 5um 10um 6 model=a
+`
+	if err := os.WriteFile(deckPath, []byte(deck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "trace.ndjson")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // simulate Ctrl-C before the run starts solving
+
+	var out bytes.Buffer
+	err := run(ctx, []string{"-deck", deckPath, "-trace", tracePath}, &out)
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("error %q does not reflect the cancellation", err)
+	}
+
+	raw, rerr := os.ReadFile(tracePath)
+	if rerr != nil {
+		t.Fatalf("trace file not written: %v", rerr)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if jerr := json.Unmarshal([]byte(line), &rec); jerr != nil {
+			t.Fatalf("trace line %d is not well-formed JSON: %v\n%s", i+1, jerr, line)
+		}
+	}
+	if !strings.Contains(out.String(), "trace: wrote") {
+		t.Fatalf("Finish did not report the trace file; output:\n%s", out.String())
+	}
+}

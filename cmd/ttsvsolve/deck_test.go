@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// update rewrites the shared deck golden files instead of comparing:
+//
+//	go test ./cmd/ttsvsolve -run TestDeckGolden -update
+var update = flag.Bool("update", false, "rewrite deck golden files")
+
+const (
+	deckCorpusDir = "../../testdata/decks"
+	deckGoldenDir = "../../testdata/decks/golden"
+)
+
+// TestDeckGolden runs ttsvsolve -deck over the whole corpus and compares
+// the report byte for byte against the shared goldens (the same files the
+// internal/deck golden tests check, so CLI plumbing cannot drift from the
+// library path).
+func TestDeckGolden(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(deckCorpusDir, "*.ttsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 6 {
+		t.Fatalf("corpus has %d decks, want >= 6", len(paths))
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		path := path
+		base := strings.TrimSuffix(filepath.Base(path), ".ttsv")
+		t.Run(base, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := run(context.Background(), []string{"-deck", path}, &buf); err != nil {
+				t.Fatalf("ttsvsolve -deck %s: %v", path, err)
+			}
+			golden := filepath.Join(deckGoldenDir, base+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestDeckWorkersInvariant checks the CLI contract that -workers never
+// changes deck output.
+func TestDeckWorkersInvariant(t *testing.T) {
+	path := filepath.Join(deckCorpusDir, "sweep_liner.ttsv")
+	var ref bytes.Buffer
+	if err := run(context.Background(), []string{"-deck", path, "-workers", "1"}, &ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"2", "8"} {
+		var buf bytes.Buffer
+		if err := run(context.Background(), []string{"-deck", path, "-workers", w}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref.Bytes(), buf.Bytes()) {
+			t.Errorf("-workers %s output differs from -workers 1", w)
+		}
+	}
+}
+
+// TestDeckErrorsPositioned checks that a malformed deck surfaces the
+// file:line:col position through the CLI.
+func TestDeckErrorsPositioned(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.ttsv")
+	if err := os.WriteFile(bad, []byte("t\nv1 r=-1um tl=1um\n.op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{"-deck", bad}, &buf)
+	if err == nil {
+		t.Fatal("malformed deck did not error")
+	}
+	if !strings.Contains(err.Error(), "bad.ttsv:2:") {
+		t.Errorf("error %q lacks the file:line position", err)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	ttsv "repro"
@@ -23,13 +25,19 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C / SIGTERM cancel the run's context instead of killing the
+	// process outright, so deferred cleanup (notably the -trace NDJSON
+	// flush in cliobs.Finish) still runs and partial output stays
+	// well-formed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "ttsvsolve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) (err error) {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("ttsvsolve", flag.ContinueOnError)
 	model := fs.String("model", "all", "model to run: A, B, 1D, ref or all")
 	segments := fs.Int("segments", 100, "Model B segments per plane")
@@ -70,7 +78,7 @@ func run(args []string, out io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-		ctx := ttsv.TraceContext(context.Background(), tracer)
+		ctx := ttsv.TraceContext(ctx, tracer)
 		res, err := ttsv.RunDeck(ctx, d, ttsv.DeckOptions{Workers: *workers, Trace: tracer})
 		if err != nil {
 			return err
@@ -137,7 +145,7 @@ func run(args []string, out io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-		ctx := ttsv.TraceContext(context.Background(), tracer)
+		ctx := ttsv.TraceContext(ctx, tracer)
 		dt, st, err := ttsv.SolveReferenceStatsCtx(ctx, s, res)
 		if err != nil {
 			return err

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -11,7 +12,7 @@ import (
 
 func TestRunAllModels(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-model", "all", "-r", "8", "-segments", "20"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-model", "all", "-r", "8", "-segments", "20"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -25,7 +26,7 @@ func TestRunAllModels(t *testing.T) {
 func TestRunSingleModels(t *testing.T) {
 	for _, m := range []string{"A", "B", "1D"} {
 		var buf bytes.Buffer
-		if err := run([]string{"-model", m, "-r", "6", "-segments", "10"}, &buf); err != nil {
+		if err := run(context.Background(), []string{"-model", m, "-r", "6", "-segments", "10"}, &buf); err != nil {
 			t.Fatalf("model %s: %v", m, err)
 		}
 		if !strings.Contains(buf.String(), "max ΔT") {
@@ -36,7 +37,7 @@ func TestRunSingleModels(t *testing.T) {
 
 func TestRunReference(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-model", "ref", "-r", "10"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-model", "ref", "-r", "10"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "FVM reference") {
@@ -46,10 +47,10 @@ func TestRunReference(t *testing.T) {
 
 func TestRunCluster(t *testing.T) {
 	var one, four bytes.Buffer
-	if err := run([]string{"-model", "A", "-r", "10", "-tsi", "20", "-td", "4", "-tl", "1"}, &one); err != nil {
+	if err := run(context.Background(), []string{"-model", "A", "-r", "10", "-tsi", "20", "-td", "4", "-tl", "1"}, &one); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-model", "A", "-r", "10", "-tsi", "20", "-td", "4", "-tl", "1", "-vias", "4"}, &four); err != nil {
+	if err := run(context.Background(), []string{"-model", "A", "-r", "10", "-tsi", "20", "-td", "4", "-tl", "1", "-vias", "4"}, &four); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(four.String(), "×4") {
@@ -63,7 +64,7 @@ func TestRunCluster(t *testing.T) {
 func TestRunAspectRatioWarning(t *testing.T) {
 	var buf bytes.Buffer
 	// r = 1 µm with thick planes: aspect ratio way past 10.
-	if err := run([]string{"-model", "1D", "-r", "1", "-tsi", "45"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-model", "1D", "-r", "1", "-tsi", "45"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "warning") {
@@ -73,16 +74,16 @@ func TestRunAspectRatioWarning(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-model", "bogus"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-model", "bogus"}, &buf); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if err := run([]string{"-r", "-5"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-r", "-5"}, &buf); err == nil {
 		t.Error("negative radius accepted")
 	}
-	if err := run([]string{"-planes", "1"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-planes", "1"}, &buf); err == nil {
 		t.Error("single plane accepted")
 	}
-	if err := run([]string{"-not-a-flag"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-not-a-flag"}, &buf); err == nil {
 		t.Error("bad flag accepted")
 	}
 }
@@ -93,7 +94,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunTraceAndMetrics(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.ndjson")
 	var buf bytes.Buffer
-	if err := run([]string{"-model", "ref", "-r", "10", "-trace", path, "-metrics"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-model", "ref", "-r", "10", "-trace", path, "-metrics"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -140,7 +141,7 @@ func TestRunTraceAndMetrics(t *testing.T) {
 
 func TestRunPprofFlag(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-model", "1D", "-pprof", "127.0.0.1:0"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-model", "1D", "-pprof", "127.0.0.1:0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "pprof: serving on http://127.0.0.1:") {
@@ -155,7 +156,7 @@ func TestRunConfigFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"-config", path, "-model", "1D"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-config", path, "-model", "1D"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -164,13 +165,13 @@ func TestRunConfigFile(t *testing.T) {
 	}
 	// An explicit flag overrides the config.
 	buf.Reset()
-	if err := run([]string{"-config", path, "-model", "1D", "-r", "12"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-config", path, "-model", "1D", "-r", "12"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "r = 12 µm") {
 		t.Errorf("flag did not override config:\n%s", buf.String())
 	}
-	if err := run([]string{"-config", filepath.Join(dir, "missing.json")}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-config", filepath.Join(dir, "missing.json")}, &buf); err == nil {
 		t.Error("missing config accepted")
 	}
 }

@@ -1,0 +1,167 @@
+// Package canon produces deterministic canonical encodings of Go values for
+// use as cache and coalescing keys. It exists because fmt's %#v is not a
+// serialization: it renders pointer fields as addresses (different on every
+// run and every process) and map fields in random order, so any key built
+// from it silently stops deduplicating the moment a keyed type grows a
+// pointer or map — and it can never coordinate work across processes.
+//
+// String walks a value by reflection and writes a complete, deterministic
+// rendering: concrete type names, struct fields in declaration order,
+// pointers dereferenced (never printed as addresses), map entries sorted by
+// their encoded key, floats in Go's shortest round-trip form, strings
+// quoted. Two values of the same printable shape encode equally if and only
+// if they are structurally equal, which makes the encoding usable as an
+// exact memoization key both within a process (internal/sweep's result
+// cache) and across processes (the solve daemon's request coalescing).
+//
+// Functions, channels and unsafe pointers have no meaningful value identity;
+// they encode as their type name only, so keys over values containing them
+// may collide. No keyed type in this repository contains any.
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// String returns the canonical encoding of vs, "|"-separated. It is
+// deterministic across runs and processes and injective for the plain value
+// types used as cache keys in this repository (structs of scalars, strings,
+// slices, maps and pointers thereto, without function or channel fields).
+func String(vs ...any) string {
+	var b strings.Builder
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		enc(&b, reflect.ValueOf(v), make(map[uintptr]bool))
+	}
+	return b.String()
+}
+
+// Hash returns a fixed-length hex digest of String(vs...), suitable as a
+// compact coalescing or sharding key.
+func Hash(vs ...any) string {
+	sum := sha256.Sum256([]byte(String(vs...)))
+	return hex.EncodeToString(sum[:])
+}
+
+// enc writes one value. active guards against pointer cycles: a pointer
+// already being encoded on this path writes a marker instead of recursing.
+func enc(b *strings.Builder, v reflect.Value, active map[uintptr]bool) {
+	if !v.IsValid() {
+		b.WriteString("nil")
+		return
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		b.WriteString(strconv.FormatBool(v.Bool()))
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		b.WriteString(strconv.FormatInt(v.Int(), 10))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		b.WriteString(strconv.FormatUint(v.Uint(), 10))
+	case reflect.Float32:
+		b.WriteString(strconv.FormatFloat(v.Float(), 'g', -1, 32))
+	case reflect.Float64:
+		b.WriteString(strconv.FormatFloat(v.Float(), 'g', -1, 64))
+	case reflect.Complex64, reflect.Complex128:
+		c := v.Complex()
+		b.WriteByte('(')
+		b.WriteString(strconv.FormatFloat(real(c), 'g', -1, 64))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatFloat(imag(c), 'g', -1, 64))
+		b.WriteByte(')')
+	case reflect.String:
+		b.WriteString(strconv.Quote(v.String()))
+	case reflect.Pointer:
+		if v.IsNil() {
+			b.WriteString("nil")
+			return
+		}
+		addr := v.Pointer()
+		if active[addr] {
+			b.WriteString("&cycle")
+			return
+		}
+		active[addr] = true
+		b.WriteByte('&')
+		enc(b, v.Elem(), active)
+		delete(active, addr)
+	case reflect.Interface:
+		if v.IsNil() {
+			b.WriteString("nil")
+			return
+		}
+		enc(b, v.Elem(), active)
+	case reflect.Struct:
+		t := v.Type()
+		b.WriteString(t.String())
+		b.WriteByte('{')
+		for i := 0; i < t.NumField(); i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(t.Field(i).Name)
+			b.WriteByte(':')
+			enc(b, v.Field(i), active)
+		}
+		b.WriteByte('}')
+	case reflect.Slice:
+		if v.IsNil() {
+			b.WriteString(v.Type().String())
+			b.WriteString("(nil)")
+			return
+		}
+		encSeq(b, v, active)
+	case reflect.Array:
+		encSeq(b, v, active)
+	case reflect.Map:
+		t := v.Type()
+		b.WriteString(t.String())
+		if v.IsNil() {
+			b.WriteString("(nil)")
+			return
+		}
+		// Entries sorted by their encoded key: map iteration order is
+		// random, the encoding must not be.
+		entries := make([]string, 0, v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			var e strings.Builder
+			enc(&e, iter.Key(), active)
+			e.WriteByte(':')
+			enc(&e, iter.Value(), active)
+			entries = append(entries, e.String())
+		}
+		sort.Strings(entries)
+		b.WriteByte('{')
+		for i, e := range entries {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(e)
+		}
+		b.WriteByte('}')
+	default:
+		// Func, Chan, UnsafePointer: no portable value identity. Encode the
+		// type alone; see the package comment for the collision caveat.
+		b.WriteString(v.Type().String())
+	}
+}
+
+// encSeq writes a slice or array body.
+func encSeq(b *strings.Builder, v reflect.Value, active map[uintptr]bool) {
+	b.WriteString(v.Type().String())
+	b.WriteByte('[')
+	for i := 0; i < v.Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		enc(b, v.Index(i), active)
+	}
+	b.WriteByte(']')
+}

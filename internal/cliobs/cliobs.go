@@ -37,7 +37,11 @@ func Register(fs *flag.FlagSet) *Flags {
 // unset, which disables span recording throughout the library).
 func (f *Flags) Start(out io.Writer) (*obs.Tracer, error) {
 	if f.pprofAddr != "" {
-		addr, err := obs.ServePprof(f.pprofAddr)
+		// Deliberately fire-and-forget: the CLI profile endpoint stays up
+		// for the whole run and dies with the process, so the closer
+		// ServePprof hands back is intentionally dropped here. Long-lived
+		// processes (the solve daemon, tests) must keep and Close it.
+		addr, _, err := obs.ServePprof(f.pprofAddr)
 		if err != nil {
 			return nil, err
 		}

@@ -1,15 +1,14 @@
 package deck
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/fem"
 	"repro/internal/materials"
 	"repro/internal/plan"
-	"repro/internal/sparse"
 	"repro/internal/stack"
 	"repro/internal/units"
 )
@@ -537,7 +536,7 @@ func (el *elements) lowerSweep(c *Card, sc *Scenario) (Analysis, error) {
 	}
 	stacks := make([]*stack.Stack, len(values))
 	for i, v := range values {
-		s, err := applyParam(base, param, v)
+		s, err := ApplyParam(base, param, v)
 		if err != nil {
 			return Analysis{}, errAt(el.file, c.Pos, "sweep point %s=%v: %v", param, v, err)
 		}
@@ -548,9 +547,11 @@ func (el *elements) lowerSweep(c *Card, sc *Scenario) (Analysis, error) {
 	}}, nil
 }
 
-// applyParam clones the base stack with one deck parameter changed and
-// re-validates it.
-func applyParam(base *stack.Stack, param string, v float64) (*stack.Stack, error) {
+// ApplyParam clones the base stack with one sweep parameter (r, tl, lext, n,
+// tsi, tsi1, td, tb) changed and re-validates it. Deck .sweep cards and the
+// solve service's JSON sweep requests both build their per-point stacks
+// through it, so equal requests land on identical stack values.
+func ApplyParam(base *stack.Stack, param string, v float64) (*stack.Stack, error) {
 	s := base.Clone()
 	switch param {
 	case "r":
@@ -677,63 +678,30 @@ func (el *elements) lowerPlan(c *Card) (Analysis, error) {
 
 // readModels parses the shared model selection parameters: model= (A, B, 1D,
 // ref, all), segments=, k1=, k2=, c1=, and the reference-solver knobs
-// workers-ref=, precond=, refine=.
+// workers-ref=, precond=, refine=. Construction funnels through
+// ModelSpec.build, the same path JSON-driven requests use, so a card and the
+// equivalent JSON request yield value-identical models.
 func (el *elements) readModels(r *cardReader, defSpec string, defCoeffs core.Coeffs) ([]core.Model, error) {
-	spec := strings.ToLower(r.str("model", defSpec))
-	segments := r.int("segments", 100)
-	coeffs := core.Coeffs{
-		K1: r.float("k1", units.DimNone, defCoeffs.K1),
-		K2: r.float("k2", units.DimNone, defCoeffs.K2),
-		C1: r.float("c1", units.DimNone, defCoeffs.C1),
+	sp := ModelSpec{
+		Model:      strings.ToLower(r.str("model", defSpec)),
+		Segments:   r.int("segments", 100),
+		K1:         r.float("k1", units.DimNone, defCoeffs.K1),
+		K2:         r.float("k2", units.DimNone, defCoeffs.K2),
+		C1:         r.float("c1", units.DimNone, defCoeffs.C1),
+		RefWorkers: r.int("ref-workers", 0),
+		Refine:     r.int("refine", 1),
+		Precond:    r.str("precond", "auto"),
 	}
-	res := fem.DefaultResolution()
-	res.Workers = r.int("ref-workers", 0)
-	refine := r.int("refine", 1)
-	precond := r.str("precond", "auto")
 	if r.err != nil {
 		return nil, r.err
 	}
-	if segments < 1 {
-		return nil, r.fieldErr("segments", "segments must be >= 1, got %d", segments)
-	}
-	if refine < 1 {
-		return nil, r.fieldErr("refine", "refine must be >= 1, got %d", refine)
-	}
-	if refine > 1 {
-		res = res.Refine(refine)
-	}
-	pk, err := sparse.ParsePrecond(precond)
+	models, err := sp.build()
 	if err != nil {
-		return nil, r.fieldErr("precond", "%v", err)
-	}
-	res.Precond = pk
-	one := func(name string) (core.Model, error) {
-		switch name {
-		case "a":
-			return core.ModelA{Coeffs: coeffs}, nil
-		case "b":
-			return core.NewModelB(segments), nil
-		case "1d":
-			return core.Model1D{}, nil
-		case "ref":
-			return fem.ReferenceModel{Res: res}, nil
-		default:
-			return nil, r.fieldErr("model", "unknown model %q (want A, B, 1D, ref or all)", name)
+		var se *specError
+		if errors.As(err, &se) {
+			return nil, r.fieldErr(se.field, "%s", se.msg)
 		}
-	}
-	if spec == "all" {
-		a, _ := one("a")
-		b, _ := one("b")
-		d1, _ := one("1d")
-		return []core.Model{a, b, d1}, nil
-	}
-	var models []core.Model
-	for _, name := range strings.Split(spec, ",") {
-		m, err := one(strings.TrimSpace(name))
-		if err != nil {
-			return nil, err
-		}
-		models = append(models, m)
+		return nil, err
 	}
 	return models, nil
 }

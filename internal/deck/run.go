@@ -23,6 +23,20 @@ type Options struct {
 	Workers int
 	// Trace optionally records engine spans as NDJSON.
 	Trace *obs.Tracer
+	// Reuse optionally supplies reusable solver instances for .op solves —
+	// the solve service's warm pool hands each request the instances of
+	// previous requests with the same grid topology this way. Reuse never
+	// changes results (core.ReusableSolver contract); nil solves from
+	// scratch. The provider is consulted from the run's goroutine only.
+	Reuse ReuseProvider
+}
+
+// ReuseProvider supplies per-model reusable solver instances to a run. A
+// returned instance must be exclusive to this run for its duration
+// (instances are not safe for concurrent use); nil means "solve this model
+// from scratch".
+type ReuseProvider interface {
+	InstanceFor(core.Model) core.ReusableInstance
 }
 
 // Result collects the outputs of every analysis card of a deck, in deck
@@ -81,29 +95,36 @@ func RunScenario(ctx context.Context, sc *Scenario, opt Options) (*Result, error
 func runAnalysis(ctx context.Context, sc *Scenario, a *Analysis, opt Options) (*AnalysisResult, error) {
 	switch a.Kind {
 	case "op":
-		return runOp(ctx, sc, a.Op)
+		return runOp(ctx, sc, a.Op, opt)
 	case "tran":
 		return runTran(sc, a.Tran)
 	case "sweep":
 		return runSweep(ctx, a.Sweep, opt)
 	case "plan":
-		return runPlan(a.Plan, opt)
+		return runPlan(ctx, a.Plan, opt)
 	default:
 		return nil, fmt.Errorf("deck: unknown analysis kind %q", a.Kind)
 	}
 }
 
 // runOp solves the stack with each model sequentially. Solves route through
-// SolveCtx when the model supports cancellation (the FVM reference); the
-// numerical path is identical either way.
-func runOp(ctx context.Context, sc *Scenario, op *OpAnalysis) (*AnalysisResult, error) {
+// the reuse provider's instance when one is supplied, else through SolveCtx
+// when the model supports cancellation (the FVM reference); the numerical
+// path is identical every way.
+func runOp(ctx context.Context, sc *Scenario, op *OpAnalysis, opt Options) (*AnalysisResult, error) {
 	ar := &AnalysisResult{Kind: "op"}
 	for _, m := range op.Models {
 		var (
 			r   *core.Result
 			err error
 		)
-		if cs, ok := m.(core.ContextSolver); ok {
+		var ri core.ReusableInstance
+		if opt.Reuse != nil {
+			ri = opt.Reuse.InstanceFor(m)
+		}
+		if ri != nil {
+			r, err = ri.SolveCtx(ctx, sc.Stack)
+		} else if cs, ok := m.(core.ContextSolver); ok {
 			r, err = cs.SolveCtx(ctx, sc.Stack)
 		} else {
 			r, err = m.Solve(sc.Stack)
@@ -163,12 +184,12 @@ func runSweep(ctx context.Context, sw *SweepAnalysis, opt Options) (*AnalysisRes
 	return ar, nil
 }
 
-func runPlan(pa *PlanAnalysis, opt Options) (*AnalysisResult, error) {
+func runPlan(ctx context.Context, pa *PlanAnalysis, opt Options) (*AnalysisResult, error) {
 	workers := opt.Workers
 	if pa.Workers > 0 {
 		workers = pa.Workers
 	}
-	r, err := plan.PlanWith(pa.Floor, pa.Tech, pa.Budget, pa.Model, plan.Options{Workers: workers, Trace: opt.Trace})
+	r, err := plan.PlanWith(pa.Floor, pa.Tech, pa.Budget, pa.Model, plan.Options{Ctx: ctx, Workers: workers, Trace: opt.Trace})
 	if err != nil {
 		return nil, fmt.Errorf("deck: .plan: %w", err)
 	}

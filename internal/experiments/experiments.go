@@ -28,6 +28,10 @@ const RefName = "FVM"
 
 // Config controls experiment fidelity.
 type Config struct {
+	// Ctx optionally bounds every experiment run: a cancelled context stops
+	// in-flight sweeps between solver iterations and the run returns the
+	// context error. Nil means context.Background().
+	Ctx context.Context
 	// Resolution is the reference solver mesh density.
 	Resolution fem.Resolution
 	// BlockCoeffs are Model A's coefficients for the block experiments
@@ -136,7 +140,11 @@ func runSweepPoints(cfg Config, sw *Sweep, xs []float64, stacks []*stack.Stack, 
 			jobs = jobs.Add(nm.name, s, nm.model)
 		}
 	}
-	ctx := obs.ContextWithTracer(context.Background(), cfg.Trace)
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx = obs.ContextWithTracer(ctx, cfg.Trace)
 	ctx, sp := obs.StartSpan(ctx, "experiments."+sw.ID)
 	defer sp.End()
 	obs.Default().Counter("experiments.runs").Inc()

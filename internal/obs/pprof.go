@@ -1,29 +1,73 @@
 package obs
 
 import (
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
-// ServePprof starts an HTTP server exposing the standard net/http/pprof
-// endpoints under /debug/pprof/ on addr (e.g. "localhost:6060"; ":0" picks
-// a free port) and returns the bound address. The server runs in a
-// background goroutine for the life of the process — it exists for the
-// CLIs' -pprof flag, profiling long sweeps and planning runs in flight.
-func ServePprof(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", err
-	}
-	mux := http.NewServeMux()
+// RegisterPprof mounts the standard net/http/pprof endpoints under
+// /debug/pprof/ on mux. The solve daemon uses it to expose profiling on its
+// own serving mux instead of a second listener; ServePprof uses it for the
+// CLIs' standalone debug server.
+func RegisterPprof(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ServePprof starts an HTTP server exposing the net/http/pprof endpoints
+// under /debug/pprof/ on addr (e.g. "localhost:6060"; ":0" picks a free
+// port) and returns the bound address plus a closer that shuts the server
+// down and releases the port. Long-lived processes and tests must Close it;
+// the CLIs' -pprof flag deliberately leaks it instead, keeping the profile
+// endpoint alive for the whole run (see cliobs).
+func ServePprof(addr string) (string, io.Closer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	RegisterPprof(mux)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln) //nolint:errcheck // best-effort diagnostics endpoint
-	return ln.Addr().String(), nil
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	return ln.Addr().String(), &pprofServer{srv: srv, done: done}, nil
+}
+
+// pprofServer closes the background pprof server. Close reports the Serve
+// error if it failed for any reason other than the close itself — the old
+// fire-and-forget version dropped that error on the floor. Close is
+// idempotent; later calls return the first result.
+type pprofServer struct {
+	srv  *http.Server
+	done chan error
+	once sync.Once
+	err  error
+}
+
+func (p *pprofServer) Close() error {
+	p.once.Do(func() {
+		cerr := p.srv.Close()
+		// Serve returns promptly once the listener closes; the timeout only
+		// keeps a wedged goroutine from wedging Close with it.
+		var err error
+		select {
+		case err = <-p.done:
+		case <-time.After(5 * time.Second):
+		}
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		if err == nil {
+			err = cerr
+		}
+		p.err = err
+	})
+	return p.err
 }

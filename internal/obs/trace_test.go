@@ -149,7 +149,7 @@ func TestStartSpanWithoutTracer(t *testing.T) {
 }
 
 func TestServePprof(t *testing.T) {
-	addr, err := ServePprof("127.0.0.1:0")
+	addr, closer, err := ServePprof("127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("ServePprof: %v", err)
 	}
@@ -157,8 +157,21 @@ func TestServePprof(t *testing.T) {
 	if err != nil {
 		t.Fatalf("GET pprof index: %v", err)
 	}
-	defer resp.Body.Close()
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if err := closer.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The port must actually be released: the regression this guards is the
+	// old unstoppable background server, which pinned its listener (and hid
+	// Serve errors) for the life of the process.
+	if _, err := http.Get("http://" + addr + "/debug/pprof/"); err == nil {
+		t.Fatal("pprof server still serving after Close")
+	}
+	// Close is idempotent enough for defer chains.
+	if err := closer.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
 	}
 }

@@ -137,6 +137,10 @@ type Result struct {
 // Options configures how a plan is computed; the plan itself is identical
 // for any setting.
 type Options struct {
+	// Ctx optionally bounds the run: a cancelled context stops dispatching
+	// tiles and PlanWith returns the context error instead of a partial
+	// plan. Nil means context.Background() (run to completion).
+	Ctx context.Context
 	// Workers is the number of tiles planned concurrently; values < 1
 	// select runtime.GOMAXPROCS(0).
 	Workers int
@@ -193,7 +197,11 @@ func PlanWith(f *Floorplan, tech Technology, budget float64, m core.Model, opt O
 		workers = rows * cols
 	}
 
-	ctx := obs.ContextWithTracer(context.Background(), opt.Trace)
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx = obs.ContextWithTracer(ctx, opt.Trace)
 	ctx, run := obs.StartSpan(ctx, "plan.run")
 	if run != nil {
 		run.Set("tiles", rows*cols)
@@ -213,6 +221,9 @@ func PlanWith(f *Floorplan, tech Technology, budget float64, m core.Model, opt O
 		go func() {
 			defer wg.Done()
 			for i := range tiles {
+				if ctx.Err() != nil {
+					continue // drain; the cancelled run discards the plan
+				}
 				r, c := i/cols, i%cols
 				_, sp := obs.StartSpan(ctx, "plan.tile")
 				t0 := time.Now()
@@ -235,12 +246,20 @@ func PlanWith(f *Floorplan, tech Technology, budget float64, m core.Model, opt O
 			}
 		}()
 	}
+feed:
 	for i := 0; i < rows*cols; i++ {
-		tiles <- i
+		select {
+		case tiles <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(tiles)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
 	// Report the same error a sequential row-major pass would have hit
 	// first, keeping failures deterministic under any worker count.
 	for _, err := range errs {

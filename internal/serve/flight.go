@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errClientGone reports that the waiting request's client disconnected
+// before the coalesced execution finished; the handler returns without
+// writing (the connection is gone).
+var errClientGone = errors.New("serve: client disconnected before the result was ready")
+
+// response is one finished execution, shared verbatim by every request that
+// coalesced onto it.
+type response struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+// flightGroup coalesces concurrent executions of the same canonical request
+// key into one solve, in the spirit of x/sync/singleflight (hand-rolled: the
+// repository is stdlib-only). Joiners share the leader's response bytes.
+//
+// Cancellation is reference-counted: the execution context stays alive while
+// at least one request is waiting on the call and is cancelled when the last
+// waiter disconnects, so an abandoned solve stops between CG iterations
+// instead of running to completion for nobody.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	res     response
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// do executes fn under key, coalescing with an in-flight identical call.
+// The returned bool reports whether this request joined an existing call.
+// When rctx (the request context) ends first, do returns errClientGone and
+// — if this was the last waiter — cancels the execution.
+func (g *flightGroup) do(rctx context.Context, key string, fn func(ctx context.Context) response) (response, bool, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	c, shared := g.m[key]
+	if !shared {
+		ctx, cancel := context.WithCancel(context.Background())
+		c = &flightCall{done: make(chan struct{}), cancel: cancel}
+		g.m[key] = c
+		go func() {
+			c.res = fn(ctx)
+			cancel()
+			g.mu.Lock()
+			if g.m[key] == c {
+				delete(g.m, key)
+			}
+			g.mu.Unlock()
+			close(c.done)
+		}()
+	}
+	c.waiters++
+	g.mu.Unlock()
+
+	select {
+	case <-c.done:
+		return c.res, shared, nil
+	case <-rctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		if c.waiters == 0 {
+			// Last interested client is gone: stop the solve and retire the
+			// call so a later identical request starts fresh instead of
+			// inheriting a cancelled result.
+			c.cancel()
+			if g.m[key] == c {
+				delete(g.m, key)
+			}
+		}
+		g.mu.Unlock()
+		return response{}, shared, errClientGone
+	}
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"reflect"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// pool is the warm pool of reusable solver state, keyed by grid topology.
+// Each entry holds per-model core.ReusableInstances (for the reference model
+// these carry a fem.SolveContext: assembly patterns, multigrid hierarchies,
+// solver scratch), so a request solving the same topology as an earlier one
+// skips the per-solve setup. The ReusableSolver contract guarantees reuse
+// never changes results — a pooled solve is bit-identical to a cold one.
+//
+// Entries are checked out exclusively (instances are not safe for concurrent
+// use) and returned after the request; at most maxIdle entries are kept per
+// topology, the rest are closed on check-in.
+type pool struct {
+	mu      sync.Mutex
+	maxIdle int
+	idle    map[string][]*reuseEntry
+	closed  bool
+}
+
+func newPool(maxIdle int) *pool {
+	if maxIdle <= 0 {
+		maxIdle = 2
+	}
+	return &pool{maxIdle: maxIdle, idle: make(map[string][]*reuseEntry)}
+}
+
+// reuseEntry is one checkout's set of reusable instances; it implements
+// deck.ReuseProvider for the run it is lent to.
+type reuseEntry struct {
+	inst map[core.Model]core.ReusableInstance
+}
+
+// InstanceFor returns the entry's instance for the model, creating one on
+// first sight. Models without reusable state (or with non-comparable dynamic
+// types, which cannot key the map) get nil: the run solves them statelessly.
+func (e *reuseEntry) InstanceFor(m core.Model) core.ReusableInstance {
+	rs, ok := m.(core.ReusableSolver)
+	if !ok || !reflect.TypeOf(m).Comparable() {
+		return nil
+	}
+	ri, ok := e.inst[m]
+	if !ok {
+		ri = rs.NewReusable(false)
+		if e.inst == nil {
+			e.inst = make(map[core.Model]core.ReusableInstance)
+		}
+		e.inst[m] = ri
+	}
+	return ri
+}
+
+func (e *reuseEntry) close() {
+	for _, ri := range e.inst {
+		ri.Close()
+	}
+	e.inst = nil
+}
+
+// checkout lends an idle entry for the topology, or a fresh one. The second
+// return reports a warm hit.
+func (p *pool) checkout(key string) (*reuseEntry, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if l := p.idle[key]; len(l) > 0 {
+		e := l[len(l)-1]
+		l[len(l)-1] = nil
+		p.idle[key] = l[:len(l)-1]
+		return e, true
+	}
+	return &reuseEntry{}, false
+}
+
+// checkin returns a lent entry; beyond maxIdle per topology (or after close)
+// the entry's instances are released instead.
+func (p *pool) checkin(key string, e *reuseEntry) {
+	p.mu.Lock()
+	if !p.closed && len(p.idle[key]) < p.maxIdle {
+		p.idle[key] = append(p.idle[key], e)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	e.close()
+}
+
+// close releases every idle entry; later check-ins are released on arrival.
+func (p *pool) close() {
+	p.mu.Lock()
+	entries := p.idle
+	p.idle = make(map[string][]*reuseEntry)
+	p.closed = true
+	p.mu.Unlock()
+	for _, l := range entries {
+		for _, e := range l {
+			e.close()
+		}
+	}
+}

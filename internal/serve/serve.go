@@ -1,0 +1,410 @@
+// Package serve is the ttsvd solve service: an embeddable HTTP handler
+// exposing the library's analyses — steady-state solves, parameter sweeps,
+// insertion planning and full .ttsv scenario decks — over POST endpoints.
+//
+// Every request lowers onto the same deck.Scenario execution path the CLIs'
+// -deck flag uses and renders through deck.Result.WriteText, so a response
+// body is byte-identical to the equivalent CLI run for the same input.
+// Around that deterministic core the service adds the serving machinery:
+//
+//   - single-flight coalescing: identical in-flight requests (keyed by the
+//     canonical hash of the lowered scenario) share one solve;
+//   - a warm pool of reusable solver state keyed by grid topology;
+//   - token-bucket admission control (429 + Retry-After);
+//   - per-request timeouts and client-disconnect cancellation threaded into
+//     the iterative solvers;
+//   - /metrics, /healthz and /debug/pprof/ on the same mux.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/canon"
+	"repro/internal/core"
+	"repro/internal/deck"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/stack"
+	"repro/internal/units"
+)
+
+// maxBodyBytes bounds request bodies; decks and JSON configs are small, so
+// anything past this is a mistake or abuse.
+const maxBodyBytes = 1 << 20
+
+// Config configures the service. The zero value serves with GOMAXPROCS
+// engine workers, no admission limit, no timeout and the default registry.
+type Config struct {
+	// Workers is the engine pool size for sweep and plan analyses; values
+	// < 1 select GOMAXPROCS. Per-request workers= overrides still apply.
+	Workers int
+	// Timeout bounds each solve; an expired request gets 504. Zero means no
+	// limit (client disconnect still cancels).
+	Timeout time.Duration
+	// Rate admits this many solve requests per second (token bucket);
+	// overflow gets 429 with Retry-After. Zero disables admission control.
+	Rate float64
+	// Burst is the bucket capacity; <= 0 selects ceil(Rate).
+	Burst int
+	// PoolIdle caps the warm solver-state entries kept per grid topology;
+	// <= 0 selects 2.
+	PoolIdle int
+	// Registry receives the service metrics; nil selects obs.Default().
+	Registry *obs.Registry
+	// Trace optionally records per-request and solver spans as NDJSON.
+	Trace *obs.Tracer
+}
+
+// Server is the solve service handler. Create it with New; it is safe for
+// concurrent use. Close releases the warm pool.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	pool    *pool
+	flights flightGroup
+	bucket  *tokenBucket
+	reg     *obs.Registry
+
+	// solveGate, when set (tests only), runs at the start of every
+	// coalesced execution, before any solving.
+	solveGate func(endpoint string)
+}
+
+// New returns a ready-to-serve handler for cfg.
+func New(cfg Config) *Server {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	s := &Server{
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		pool:   newPool(cfg.PoolIdle),
+		bucket: newTokenBucket(cfg.Rate, cfg.Burst),
+		reg:    reg,
+	}
+	s.mux.HandleFunc("POST /solve", s.handleRun("solve", lowerSolve))
+	s.mux.HandleFunc("POST /sweep", s.handleRun("sweep", lowerSweep))
+	s.mux.HandleFunc("POST /plan", s.handleRun("plan", lowerPlan))
+	s.mux.HandleFunc("POST /deck", s.handleRun("deck", lowerDeck))
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, s.reg.Snapshot().String())
+	})
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	obs.RegisterPprof(s.mux)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close releases the warm pool. In-flight requests finish their solves; new
+// requests still work but solve cold.
+func (s *Server) Close() error {
+	s.pool.close()
+	return nil
+}
+
+// handleRun wraps one solve endpoint: admission control, request lowering,
+// single-flight coalescing, execution, response sharing.
+func (s *Server) handleRun(endpoint string, lower func(body []byte) (*deck.Scenario, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.reg.Counter("serve." + endpoint + ".requests").Inc()
+		if ok, retry := s.bucket.take(); !ok {
+			s.reg.Counter("serve.rejected").Inc()
+			secs := int(math.Ceil(retry.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			http.Error(w, "solve capacity exhausted, retry later", http.StatusTooManyRequests)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("reading request: %v", err), http.StatusBadRequest)
+			return
+		}
+		sc, err := lower(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// The coalescing key is the canonical encoding of the *lowered*
+		// scenario, not the raw bytes: two requests that differ only in
+		// whitespace or field order still share one solve.
+		key := canon.Hash(endpoint, sc)
+		t0 := time.Now()
+		resp, shared, err := s.flights.do(r.Context(), key, func(ctx context.Context) response {
+			return s.execute(ctx, endpoint, sc)
+		})
+		s.reg.Histogram("serve.request.seconds", obs.ExpBuckets(1e-6, 4, 13)).Observe(time.Since(t0).Seconds())
+		if err != nil {
+			// Client is gone; there is nobody to write to.
+			s.reg.Counter("serve.abandoned").Inc()
+			return
+		}
+		if shared {
+			s.reg.Counter("serve.coalesced").Inc()
+		}
+		w.Header().Set("Content-Type", resp.contentType)
+		w.WriteHeader(resp.status)
+		w.Write(resp.body)
+	}
+}
+
+// execute runs one coalesced scenario to a response. ctx is the flight's
+// execution context (alive while any client waits); the configured timeout
+// and tracer stack on top, and both reach the iterative solvers through
+// deck.RunScenario.
+func (s *Server) execute(ctx context.Context, endpoint string, sc *deck.Scenario) response {
+	if s.solveGate != nil {
+		s.solveGate(endpoint)
+	}
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	ctx = obs.ContextWithTracer(ctx, s.cfg.Trace)
+	ctx, sp := obs.StartSpan(ctx, "serve."+endpoint)
+	if sp != nil {
+		sp.Set("analyses", len(sc.Analyses))
+		defer sp.End()
+	}
+
+	opt := deck.Options{Workers: s.cfg.Workers, Trace: s.cfg.Trace}
+	if sc.Stack != nil {
+		key := canon.Hash("topology", len(sc.Stack.Planes))
+		entry, warm := s.pool.checkout(key)
+		defer s.pool.checkin(key, entry)
+		if warm {
+			s.reg.Counter("serve.pool.hits").Inc()
+		} else {
+			s.reg.Counter("serve.pool.misses").Inc()
+		}
+		opt.Reuse = entry
+	}
+
+	res, err := deck.RunScenario(ctx, sc, opt)
+	if err != nil {
+		if sp != nil {
+			sp.Set("error", err.Error())
+		}
+		s.reg.Counter("serve.errors").Inc()
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			return textResponse(http.StatusGatewayTimeout, fmt.Sprintf("solve timed out after %v\n", s.cfg.Timeout))
+		case errors.Is(err, context.Canceled):
+			return textResponse(http.StatusServiceUnavailable, "solve cancelled\n")
+		default:
+			return textResponse(http.StatusUnprocessableEntity, err.Error()+"\n")
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		s.reg.Counter("serve.errors").Inc()
+		return textResponse(http.StatusInternalServerError, err.Error()+"\n")
+	}
+	return response{status: http.StatusOK, contentType: "text/plain; charset=utf-8", body: buf.Bytes()}
+}
+
+func textResponse(status int, msg string) response {
+	return response{status: status, contentType: "text/plain; charset=utf-8", body: []byte(msg)}
+}
+
+// opCoeffs and planCoeffs are the analysis-default Model A coefficients,
+// matching the deck lowering's defaults so JSON and deck requests build
+// value-identical models.
+var (
+	opCoeffs   = core.Coeffs{K1: 1.3, K2: 0.55, C1: 1}
+	planCoeffs = core.Coeffs{K1: 1.6, K2: 0.8, C1: 3.5}
+)
+
+// SolveRequest is the POST /solve body: one steady-state solve of a block.
+// Block starts from the paper's DefaultBlock, so the empty object solves the
+// baseline geometry; materials may be stock names ("Cu") or full objects.
+// All quantities are SI.
+type SolveRequest struct {
+	Block  stack.BlockConfig `json:"block"`
+	Models deck.ModelSpec    `json:"models"`
+}
+
+// SweepRequest is the POST /sweep body: a one-parameter geometry sweep.
+// Give either Values, or From/To/Points for a linear range. Param names
+// match the deck's sweepable parameters (r, tl, lext, n, tsi, tsi1, td, tb);
+// values are SI.
+type SweepRequest struct {
+	Block  stack.BlockConfig `json:"block"`
+	Models deck.ModelSpec    `json:"models"`
+	Param  string            `json:"param"`
+	Values []float64         `json:"values,omitempty"`
+	From   float64           `json:"from,omitempty"`
+	To     float64           `json:"to,omitempty"`
+	Points int               `json:"points,omitempty"`
+	// Workers overrides the service's engine pool size for this request.
+	Workers int `json:"workers,omitempty"`
+}
+
+// PlanRequest is the POST /plan body: a TTSV insertion-planning run. Tech
+// starts from plan.DefaultTechnology; PlanePowers is [row][col][plane] watts.
+type PlanRequest struct {
+	Tech    plan.Technology `json:"tech"`
+	Floor   plan.Floorplan  `json:"floor"`
+	Budget  float64         `json:"budget"`
+	Models  deck.ModelSpec  `json:"models"`
+	Workers int             `json:"workers,omitempty"`
+}
+
+// decodeStrict unmarshals body into v, rejecting unknown fields and
+// trailing garbage.
+func decodeStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %v", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("decoding request: trailing data after JSON object")
+	}
+	return nil
+}
+
+func lowerSolve(body []byte) (*deck.Scenario, error) {
+	req := SolveRequest{Block: stack.DefaultBlock()}
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	models, err := req.Models.Models("all", opCoeffs)
+	if err != nil {
+		return nil, err
+	}
+	st, err := req.Block.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &deck.Scenario{
+		Title:    "solve",
+		Stack:    st,
+		Analyses: []deck.Analysis{{Kind: "op", Op: &deck.OpAnalysis{Models: models}}},
+	}, nil
+}
+
+func lowerSweep(body []byte) (*deck.Scenario, error) {
+	req := SweepRequest{Block: stack.DefaultBlock()}
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	models, err := req.Models.Models("all", opCoeffs)
+	if err != nil {
+		return nil, err
+	}
+	base, err := req.Block.Build()
+	if err != nil {
+		return nil, err
+	}
+	values := req.Values
+	if len(values) == 0 {
+		if req.Points < 2 {
+			return nil, fmt.Errorf("sweep needs values, or from/to with points >= 2 (got points=%d)", req.Points)
+		}
+		values = units.Linspace(req.From, req.To, req.Points)
+	}
+	stacks := make([]*stack.Stack, len(values))
+	for i, v := range values {
+		s, err := deck.ApplyParam(base, req.Param, v)
+		if err != nil {
+			return nil, fmt.Errorf("sweep point %s=%v: %v", req.Param, v, err)
+		}
+		stacks[i] = s
+	}
+	return &deck.Scenario{
+		Title: "sweep",
+		Stack: base,
+		Analyses: []deck.Analysis{{Kind: "sweep", Sweep: &deck.SweepAnalysis{
+			Param: req.Param, Values: values, Stacks: stacks, Models: models, Workers: req.Workers,
+		}}},
+	}, nil
+}
+
+func lowerPlan(body []byte) (*deck.Scenario, error) {
+	req := PlanRequest{Tech: plan.DefaultTechnology()}
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	models, err := req.Models.Models("a", planCoeffs)
+	if err != nil {
+		return nil, err
+	}
+	if len(models) != 1 {
+		return nil, fmt.Errorf("plan takes exactly one model, got %d", len(models))
+	}
+	if err := req.Floor.Validate(req.Tech); err != nil {
+		return nil, err
+	}
+	return &deck.Scenario{
+		Title: "plan",
+		Analyses: []deck.Analysis{{Kind: "plan", Plan: &deck.PlanAnalysis{
+			Tech: req.Tech, Floor: &req.Floor, Budget: req.Budget, Model: models[0], Workers: req.Workers,
+		}}},
+	}, nil
+}
+
+func lowerDeck(body []byte) (*deck.Scenario, error) {
+	d, err := deck.Parse("request.ttsv", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	return d.Lower()
+}
+
+// ListenAndServe runs the service on addr until ctx is cancelled, then
+// drains: the listener closes immediately, in-flight requests get up to
+// drain (<= 0 selects 10s) to finish, stragglers are cut off. ready, when
+// non-nil, is called with the bound address once the listener is up (addr
+// may end in :0).
+func ListenAndServe(ctx context.Context, addr string, cfg Config, drain time.Duration, ready func(boundAddr string)) error {
+	s := New(cfg)
+	defer s.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	if drain <= 0 {
+		drain = 10 * time.Second
+	}
+	srv := &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	return nil
+}

@@ -2,9 +2,9 @@ package sweep
 
 import (
 	"container/list"
-	"fmt"
 	"sync"
 
+	"repro/internal/canon"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/stack"
@@ -116,15 +116,14 @@ func (c *Cache) Counters() (hits, misses, evictions int) {
 	return c.hits, c.misses, c.evictions
 }
 
-// cacheKey fingerprints a (model, stack) pair. Both are plain value structs
-// (materials are names plus scalar properties), so their Go-syntax %#v
-// rendering is a complete, deterministic serialization: distinct float64
-// values print distinctly under Go's shortest round-trip formatting, the
-// concrete type names are embedded, and — unlike %+v — string fields are
-// quoted, so a string containing "} " cannot make two different values
-// render identically.
+// cacheKey fingerprints a (model, stack) pair through the canonical
+// deterministic encoder. Unlike the %#v rendering it replaces, the canonical
+// form never prints pointer addresses (a model gaining a pointer or map
+// field keeps deduplicating instead of silently keying every solve apart)
+// and is stable across processes, so the same key space serves both this
+// in-process memoization and the solve daemon's cross-request coalescing.
 func cacheKey(m core.Model, s *stack.Stack) string {
-	return fmt.Sprintf("%T|%#v|%#v", m, m, *s)
+	return canon.String(m, s)
 }
 
 // Cached wraps a model so every Solve is memoized in c. The wrapper

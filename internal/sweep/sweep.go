@@ -99,7 +99,20 @@ type Options struct {
 	// not depend on the worker count. Warm-started solves converge to the
 	// same tolerance as cold ones but through a different iterate sequence;
 	// see EXPERIMENTS.md for when that matters.
+	//
+	// WarmStart must not be combined with Cache: a warm-started result
+	// depends on which solves preceded it in its chain, so memoizing it
+	// under the (model, stack) key alone would replay chain-order-dependent
+	// values into unrelated batches. Run rejects the combination.
 	WarmStart bool
+}
+
+// validate rejects option combinations that would silently change results.
+func (o Options) validate() error {
+	if o.WarmStart && !o.NoReuse && o.Cache != nil {
+		return fmt.Errorf("sweep: Options.WarmStart cannot be combined with a shared Cache: warm-started results depend on their chain order, so caching them under the (model, stack) key would leak order-dependent values into other batches (drop the cache or the warm start)")
+	}
+	return nil
 }
 
 // warmChainLen is the fixed length of a warm-start job chain. Like
@@ -127,6 +140,9 @@ func (b Batch) Run(ctx context.Context, opt Options) ([]Outcome, error) {
 // returns an error when ctx is cancelled, in which case the outcomes of jobs
 // that never started carry the context error.
 func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}

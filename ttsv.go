@@ -35,6 +35,7 @@ package ttsv
 import (
 	"context"
 	"io"
+	"time"
 
 	"repro/internal/chip"
 	"repro/internal/core"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/materials"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/serve"
 	"repro/internal/sparse"
 	"repro/internal/stack"
 	"repro/internal/sweep"
@@ -138,6 +140,18 @@ type (
 	// DeckError is a positioned deck parse/lowering error
 	// ("file:line:col: message").
 	DeckError = deck.Error
+
+	// ServeConfig configures the embedded solve service; see NewServeHandler
+	// and Serve.
+	ServeConfig = serve.Config
+	// ServeHandler is the solve service's http.Handler; see NewServeHandler.
+	ServeHandler = serve.Server
+	// SolveRequest is the service's POST /solve JSON body.
+	SolveRequest = serve.SolveRequest
+	// SweepRequest is the service's POST /sweep JSON body.
+	SweepRequest = serve.SweepRequest
+	// PlanRequest is the service's POST /plan JSON body.
+	PlanRequest = serve.PlanRequest
 
 	// Tracer records solver/sweep/plan spans as NDJSON; see NewTracer.
 	Tracer = obs.Tracer
@@ -382,4 +396,21 @@ func DefaultPowerMapResolution() PowerMapResolution { return chip.DefaultPowerMa
 // scaled to non-uniform power maps).
 func VerifyPlan(f *Floorplan, tech Technology, counts [][]int, res PowerMapResolution) (*PowerMapSolution, error) {
 	return chip.SolvePowerMap(f, tech, counts, res)
+}
+
+// NewServeHandler returns the solve service as an http.Handler: POST /solve,
+// /sweep, /plan and /deck run the library's analyses and respond with the
+// same deterministic text reports the CLIs print (byte-identical for equal
+// inputs), with single-flight coalescing of identical in-flight requests, a
+// warm solver-state pool, token-bucket admission control and /metrics,
+// /healthz, /debug/pprof/ on the same mux. Close the handler to release the
+// warm pool.
+func NewServeHandler(cfg ServeConfig) *ServeHandler { return serve.New(cfg) }
+
+// Serve runs the solve service on addr until ctx is cancelled, then drains
+// in-flight requests gracefully; the ttsvd command is a thin wrapper around
+// it. A nil ready is allowed; otherwise it receives the bound address once
+// the listener is up (useful with ":0").
+func Serve(ctx context.Context, addr string, cfg ServeConfig, drain time.Duration, ready func(boundAddr string)) error {
+	return serve.ListenAndServe(ctx, addr, cfg, drain, ready)
 }
