@@ -42,6 +42,35 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// -count N emits one line per run; the parser must collapse them to the
+// fastest run with elementwise-minimum memory metrics, keeping the fast
+// run's custom metrics as one coherent observation.
+func TestParseMergesCountRuns(t *testing.T) {
+	const counted = `goos: linux
+BenchmarkReferenceSolveDefault-8   	      10	 150000000 ns/op	 2000 B/op	      60 allocs/op	 5.0 cgiters
+BenchmarkReferenceSolveDefault-8   	      10	 100000000 ns/op	 1500 B/op	      70 allocs/op	 6.0 cgiters
+BenchmarkReferenceSolveDefault-8   	      10	 120000000 ns/op	 1000 B/op	      80 allocs/op	 7.0 cgiters
+PASS
+`
+	doc, err := parse(strings.NewReader(counted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1 merged", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.NsPerOp != 100000000 {
+		t.Fatalf("ns/op = %v, want the fastest run's 1e8", b.NsPerOp)
+	}
+	if b.Metrics["B/op"] != 1000 || b.Metrics["allocs/op"] != 60 {
+		t.Fatalf("memory metrics = %+v, want elementwise minima 1000/60", b.Metrics)
+	}
+	if b.Metrics["cgiters"] != 6 {
+		t.Fatalf("cgiters = %v, want the fastest run's 6", b.Metrics["cgiters"])
+	}
+}
+
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
 		t.Fatal("accepted input with no benchmark lines")

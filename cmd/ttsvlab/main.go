@@ -58,10 +58,11 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all CPUs); tables are identical for any count")
 	solverWorkers := fs.Int("solver-workers", 0, "parallel linear-solver kernel workers per reference solve (<= 1 = sequential)")
 	precond := fs.String("precond", "auto", "reference-solver preconditioner: auto, jacobi, ssor, chebyshev, mg or none")
+	operator := fs.String("operator", "auto", "reference-solver matrix representation: auto, csr or stencil (matrix-free)")
 	deckPath := fs.String("deck", "", ".ttsv scenario deck file; runs its analysis cards instead of a named experiment")
 	obsf := cliobs.Register(fs)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: ttsvlab [-quick] [-plot] [-csv DIR] [-workers N] [-solver-workers N] [-precond KIND] [-trace FILE] [-metrics] [-pprof ADDR] [-deck FILE] {fig4|fig5|fig6|fig7|table1|casestudy|calibrate|planes|transient|all}")
+		fmt.Fprintln(fs.Output(), "usage: ttsvlab [-quick] [-plot] [-csv DIR] [-workers N] [-solver-workers N] [-precond KIND] [-operator KIND] [-trace FILE] [-metrics] [-pprof ADDR] [-deck FILE] {fig4|fig5|fig6|fig7|table1|casestudy|calibrate|planes|transient|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -105,6 +106,11 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		return err
 	}
 	cfg.Resolution.Precond = pk
+	opk, err := ttsv.ParseOperator(*operator)
+	if err != nil {
+		return err
+	}
+	cfg.Resolution.Operator = opk
 	app := &app{cfg: cfg, plot: *plot, csvDir: *csvDir, out: out}
 	cmd := fs.Arg(0)
 	switch cmd {

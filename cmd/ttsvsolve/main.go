@@ -56,6 +56,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	ildDensity := fs.Float64("qild", 70, "interconnect power density [W/mm³]")
 	workers := fs.Int("workers", 0, "reference-solver kernel workers (<= 1 = sequential; only -model ref)")
 	precond := fs.String("precond", "auto", "reference-solver preconditioner: auto, jacobi, ssor, chebyshev, mg or none (only -model ref)")
+	operator := fs.String("operator", "auto", "reference-solver matrix representation: auto, csr or stencil (matrix-free; only -model ref)")
 	verbose := fs.Bool("v", false, "print per-solve linear-solver statistics (iterations, residual, preconditioner)")
 	config := fs.String("config", "", "JSON block config file (SI units); explicit flags override its fields")
 	deckPath := fs.String("deck", "", ".ttsv scenario deck file; runs its analysis cards and ignores the geometry flags")
@@ -142,6 +143,10 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		res := ttsv.DefaultResolution()
 		res.Workers = *workers
 		res.Precond, err = ttsv.ParsePrecond(*precond)
+		if err != nil {
+			return err
+		}
+		res.Operator, err = ttsv.ParseOperator(*operator)
 		if err != nil {
 			return err
 		}

@@ -206,6 +206,12 @@ func TestPositionedErrors(t *testing.T) {
 			wantLine: 6,
 		},
 		{
+			name:     "unknown operator",
+			src:      "t\nb1 side=100um\np1 tsi=500um td=4um\np2 tsi=45um td=4um tb=1um\nv1 r=10um tl=1um\n.op model=ref operator=dense\n",
+			wantMsg:  "unknown operator \"dense\"",
+			wantLine: 6,
+		},
+		{
 			name:     "unknown analysis card",
 			src:      "t\n.ac dec 10\n",
 			wantMsg:  "unknown analysis card \".ac\"",

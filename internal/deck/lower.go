@@ -678,7 +678,7 @@ func (el *elements) lowerPlan(c *Card) (Analysis, error) {
 
 // readModels parses the shared model selection parameters: model= (A, B, 1D,
 // ref, all), segments=, k1=, k2=, c1=, and the reference-solver knobs
-// workers-ref=, precond=, refine=. Construction funnels through
+// workers-ref=, precond=, refine=, operator=. Construction funnels through
 // ModelSpec.build, the same path JSON-driven requests use, so a card and the
 // equivalent JSON request yield value-identical models.
 func (el *elements) readModels(r *cardReader, defSpec string, defCoeffs core.Coeffs) ([]core.Model, error) {
@@ -691,6 +691,7 @@ func (el *elements) readModels(r *cardReader, defSpec string, defCoeffs core.Coe
 		RefWorkers: r.int("ref-workers", 0),
 		Refine:     r.int("refine", 1),
 		Precond:    r.str("precond", "auto"),
+		Operator:   r.str("operator", "auto"),
 	}
 	if r.err != nil {
 		return nil, r.err

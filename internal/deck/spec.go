@@ -36,6 +36,11 @@ type ModelSpec struct {
 	// RefWorkers is the reference solver's kernel worker count; 0 keeps the
 	// solver sequential.
 	RefWorkers int `json:"ref_workers,omitempty"`
+	// Operator selects the reference solver's matrix representation
+	// ("auto", "csr", "stencil"); empty selects "auto", which runs
+	// matrix-free whenever the preconditioner allows it. Results are
+	// bit-identical either way.
+	Operator string `json:"operator,omitempty"`
 }
 
 // Models resolves the spec into concrete model values, substituting defSpec
@@ -56,6 +61,9 @@ func (sp ModelSpec) Models(defSpec string, defCoeffs core.Coeffs) ([]core.Model,
 	}
 	if sp.Precond == "" {
 		sp.Precond = "auto"
+	}
+	if sp.Operator == "" {
+		sp.Operator = "auto"
 	}
 	return sp.build()
 }
@@ -88,6 +96,11 @@ func (sp ModelSpec) build() ([]core.Model, error) {
 		return nil, &specError{"precond", err.Error()}
 	}
 	res.Precond = pk
+	opk, err := fem.ParseOperator(sp.Operator)
+	if err != nil {
+		return nil, &specError{"operator", err.Error()}
+	}
+	res.Operator = opk
 	coeffs := core.Coeffs{K1: sp.K1, K2: sp.K2, C1: sp.C1}
 	one := func(name string) (core.Model, error) {
 		switch name {

@@ -52,6 +52,13 @@ type pattern struct {
 	vol    []float64 // axisymmetric: cell volumes
 	k      []float64 // cell conductivities, row-major like the unknowns
 	kz     []float64 // Cartesian: vertical conductivities (aliases k when isotropic)
+
+	// Matrix-free view of matrix, built lazily by stencilFor and refreshed
+	// after refills; stencilErr is the sticky probe failure and stencilDirty
+	// marks the coefficient arrays stale relative to val.
+	stencil      *sparse.Stencil
+	stencilErr   error
+	stencilDirty bool
 }
 
 // finishSymbolic turns a recorded emission stream into the CSR pattern, slot
@@ -107,6 +114,7 @@ func (pat *pattern) finishSymbolic(rs, cs []int32, vs []float64) error {
 func (pat *pattern) refillInto() (add func(r, c int, v float64), done func() error) {
 	clear(pat.val)
 	clear(pat.rhs)
+	pat.stencilDirty = true
 	t := 0
 	slots, val := pat.slots, pat.val
 	add = func(_, _ int, v float64) {
@@ -302,6 +310,7 @@ func axiSystemFrom(pat *pattern, nr, nz int, rc, zc []float64) *axiSystem {
 		// Unknown index = iz·nr + ir: the radial axis varies fastest.
 		grid: solverGrid{dims: []int{nr, nz}},
 		key:  pat.key,
+		pat:  pat,
 	}
 }
 
@@ -485,5 +494,6 @@ func cartSystemFrom(pat *pattern, nx, ny, nz int, xc, yc, zc []float64) *cartSys
 		// Unknown index = (iz·ny + iy)·nx + ix: x varies fastest, then y, z.
 		grid: solverGrid{dims: []int{nx, ny, nz}},
 		key:  pat.key,
+		pat:  pat,
 	}
 }

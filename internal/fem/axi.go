@@ -69,6 +69,7 @@ type axiSystem struct {
 	volumes []float64 // cell volumes, row-major like the unknowns
 	grid    solverGrid
 	key     asmKey
+	pat     *pattern // the owning pattern, for the matrix-free stencil view
 }
 
 // assembleAxi discretizes the problem without a reuse context; shared by the
@@ -126,6 +127,13 @@ func SolveAxiCtx(ctx context.Context, p *AxiProblem, opt sparse.Options) (*AxiSo
 // solution of the same system shape. A nil sc (or sc.NoReuse) makes every
 // solve fresh; the results are bit-identical either way (warm starts aside).
 func SolveAxiWith(ctx context.Context, sc *SolveContext, p *AxiProblem, opt sparse.Options) (*AxiSolution, error) {
+	return solveAxiWith(ctx, sc, p, opt, OperatorAuto)
+}
+
+// solveAxiWith is SolveAxiWith with an explicit operator selection (see
+// OperatorKind); the stack-level entry points thread Resolution.Operator
+// through here.
+func solveAxiWith(ctx context.Context, sc *SolveContext, p *AxiProblem, opt sparse.Options, opk OperatorKind) (*AxiSolution, error) {
 	ctx, root := obs.StartSpan(ctx, "fem.solve")
 	defer root.End()
 	asmCtx, asp := obs.StartSpan(ctx, "fem.assemble")
@@ -142,13 +150,19 @@ func SolveAxiWith(ctx context.Context, sc *SolveContext, p *AxiProblem, opt spar
 		psp.Set("precond", o.Precond.String())
 		psp.End()
 	}
+	op, opName, err := operatorFor(opk, sys.pat, sys.grid.dims, o)
+	if err != nil {
+		root.Set("error", err.Error())
+		return nil, err
+	}
+	root.Set("fem.operator", opName)
 	if o.Pool == nil {
 		o.Pool = sc.poolFor(o.Workers)
 	}
 	if o.X0 == nil {
 		o.X0 = sc.warmX0(sys.key, len(sys.rhs))
 	}
-	x, st, err := sparse.SolveCGCtx(ctx, sys.matrix, sys.rhs, o)
+	x, st, err := sparse.SolveCGCtx(ctx, op, sys.rhs, o)
 	if err != nil {
 		root.Set("error", err.Error())
 		return nil, solveErr("axisymmetric solve", len(sys.rhs), st, err)

@@ -70,6 +70,7 @@ type cartSystem struct {
 	rhs        []float64
 	grid       solverGrid
 	key        asmKey
+	pat        *pattern // the owning pattern, for the matrix-free stencil view
 }
 
 // assembleCart discretizes the problem without a reuse context. The
@@ -94,6 +95,12 @@ func SolveCartCtx(ctx context.Context, p *CartProblem, opt sparse.Options) (*Car
 // SolveCartWith is SolveCartCtx solving through a reuse context; see
 // SolveAxiWith for the contract.
 func SolveCartWith(ctx context.Context, sc *SolveContext, p *CartProblem, opt sparse.Options) (*CartSolution, error) {
+	return solveCartWith(ctx, sc, p, opt, OperatorAuto)
+}
+
+// solveCartWith is SolveCartWith with an explicit operator selection (see
+// OperatorKind).
+func solveCartWith(ctx context.Context, sc *SolveContext, p *CartProblem, opt sparse.Options, opk OperatorKind) (*CartSolution, error) {
 	ctx, root := obs.StartSpan(ctx, "fem.solve")
 	defer root.End()
 	asmCtx, asp := obs.StartSpan(ctx, "fem.assemble")
@@ -113,6 +120,12 @@ func SolveCartWith(ctx context.Context, sc *SolveContext, p *CartProblem, opt sp
 		psp.Set("precond", o.Precond.String())
 		psp.End()
 	}
+	op, opName, err := operatorFor(opk, sys.pat, sys.grid.dims, o)
+	if err != nil {
+		root.Set("error", err.Error())
+		return nil, err
+	}
+	root.Set("fem.operator", opName)
 	if o.Pool == nil {
 		o.Pool = sc.poolFor(o.Workers)
 	}
@@ -121,7 +134,7 @@ func SolveCartWith(ctx context.Context, sc *SolveContext, p *CartProblem, opt sp
 	if o.X0 == nil {
 		o.X0 = sc.warmX0(sys.key, n)
 	}
-	x, st, err := sparse.SolveCGCtx(ctx, sys.matrix, sys.rhs, o)
+	x, st, err := sparse.SolveCGCtx(ctx, op, sys.rhs, o)
 	if err != nil {
 		root.Set("error", err.Error())
 		return nil, solveErr("3-D solve", n, st, err)

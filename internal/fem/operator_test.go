@@ -1,0 +1,185 @@
+package fem
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/sparse"
+)
+
+// TestOperatorSolveBitIdenticalAxi pins the matrix-free contract end to end:
+// forcing the stencil or the CSR operator (or leaving the choice to auto)
+// must produce bit-identical temperature fields and iteration counts, at
+// every worker count and under both the single-level and multigrid
+// preconditioners.
+func TestOperatorSolveBitIdenticalAxi(t *testing.T) {
+	s := fig4(t, 10)
+	for _, pc := range []sparse.PrecondKind{sparse.PrecondChebyshev, sparse.PrecondMG} {
+		var ref *AxiSolution
+		for _, w := range []int{1, 2, 4, 8} {
+			for _, opk := range []OperatorKind{OperatorCSR, OperatorStencil, OperatorAuto} {
+				res := coarse().Refine(2)
+				res.Precond = pc
+				res.Workers = w
+				res.Operator = opk
+				sol, err := SolveStack(s, res)
+				if err != nil {
+					t.Fatalf("%v/%v workers %d: %v", pc, opk, w, err)
+				}
+				if ref == nil {
+					ref = sol
+					continue
+				}
+				if sol.Stats.Iterations != ref.Stats.Iterations {
+					t.Fatalf("%v/%v workers %d: %d iterations, want %d",
+						pc, opk, w, sol.Stats.Iterations, ref.Stats.Iterations)
+				}
+				for j := range sol.T {
+					for i := range sol.T[j] {
+						if sol.T[j][i] != ref.T[j][i] {
+							t.Fatalf("%v/%v workers %d: T[%d][%d] = %g != %g",
+								pc, opk, w, j, i, sol.T[j][i], ref.T[j][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOperatorSolveBitIdenticalCart covers the 3-D path, including the
+// anisotropic (distinct vertical conductivity) assembly: the forced stencil
+// and forced CSR solves must agree bitwise.
+func TestOperatorSolveBitIdenticalCart(t *testing.T) {
+	edges := func(n int, hi float64) []float64 {
+		e, err := mesh.Uniform(0, hi, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	for _, aniso := range []bool{false, true} {
+		p := &CartProblem{
+			XEdges: edges(7, 1e-3),
+			YEdges: edges(5, 1e-3),
+			ZEdges: edges(11, 2e-3),
+			K:      func(_, _, _ float64) float64 { return 3.0 },
+			Q:      func(_, _, z float64) float64 { return 1e8 * (z + 1e-4) },
+			Bottom: Fixed(0),
+			Top:    Insulated(),
+		}
+		if aniso {
+			p.KZ = func(_, _, z float64) float64 {
+				if z > 1e-3 {
+					return 120
+				}
+				return 3.0
+			}
+		}
+		var ref *CartSolution
+		for _, w := range []int{1, 4} {
+			for _, opk := range []OperatorKind{OperatorCSR, OperatorStencil} {
+				sc := NewSolveContext()
+				// Pin a matrix-free-capable preconditioner: a system this
+				// small auto-selects SSOR, which rejects the forced stencil.
+				sol, err := solveCartWith(context.Background(), sc, p,
+					sparse.Options{Workers: w, Precond: sparse.PrecondChebyshev}, opk)
+				sc.Close()
+				if err != nil {
+					t.Fatalf("aniso=%v %v workers %d: %v", aniso, opk, w, err)
+				}
+				if ref == nil {
+					ref = sol
+					continue
+				}
+				if sol.Stats.Iterations != ref.Stats.Iterations {
+					t.Fatalf("aniso=%v %v workers %d: %d iterations, want %d",
+						aniso, opk, w, sol.Stats.Iterations, ref.Stats.Iterations)
+				}
+				for l := range sol.T {
+					for j := range sol.T[l] {
+						for i := range sol.T[l][j] {
+							if sol.T[l][j][i] != ref.T[l][j][i] {
+								t.Fatalf("aniso=%v %v workers %d: T[%d][%d][%d] differs",
+									aniso, opk, w, l, j, i)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOperatorForcedStencilSSORFails: SSOR's triangular sweeps need the
+// assembled matrix, so forcing the stencil under it must fail the solve
+// with a diagnostic naming the conflict — while auto quietly keeps the CSR.
+func TestOperatorForcedStencilSSORFails(t *testing.T) {
+	s := fig4(t, 10)
+	res := coarse()
+	res.Precond = sparse.PrecondSSOR
+	res.Operator = OperatorStencil
+	if _, err := SolveStack(s, res); err == nil || !strings.Contains(err.Error(), "ssor") {
+		t.Fatalf("forced stencil under SSOR: err = %v, want mention of ssor", err)
+	}
+	res.Operator = OperatorAuto
+	if _, err := SolveStack(s, res); err != nil {
+		t.Fatalf("auto under SSOR must fall back to the CSR: %v", err)
+	}
+}
+
+// TestOperatorRefineCarriesSolverKnobs: Refine scales mesh counts and the
+// grading exponent but must pass the solver knobs through untouched.
+func TestOperatorRefineCarriesSolverKnobs(t *testing.T) {
+	r := DefaultResolution()
+	r.Workers = 3
+	r.Precond = sparse.PrecondMG
+	r.Operator = OperatorStencil
+	r2 := r.Refine(2)
+	if r2.Workers != 3 || r2.Precond != sparse.PrecondMG || r2.Operator != OperatorStencil {
+		t.Fatalf("Refine dropped solver knobs: %+v", r2)
+	}
+	if r2.RefineFactor != 2 {
+		t.Fatalf("Refine(2).RefineFactor = %d, want 2", r2.RefineFactor)
+	}
+	if r4 := r2.Refine(2); r4.RefineFactor != 4 || r4.Bulk != 4*r.Bulk {
+		t.Fatalf("Refine(2).Refine(2) = %+v, want factor 4 and 4x counts", r4)
+	}
+}
+
+// TestRefineKeepsGradingEnvelope asserts the nested-family property behind
+// deep-refinement solver scaling: refining must subdivide the same graded
+// mesh, so the widest/narrowest cell ratio of the graded bulk interval stays
+// (nearly) fixed instead of growing exponentially with the factor.
+func TestRefineKeepsGradingEnvelope(t *testing.T) {
+	s := fig4(t, 10)
+	spread := func(res Resolution) float64 {
+		p, err := BuildAxiProblem(s, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The first res.Bulk cells of the z mesh are the graded substrate.
+		wMax, wMin := 0.0, 1e300
+		for i := 0; i < res.Bulk; i++ {
+			w := p.ZEdges[i+1] - p.ZEdges[i]
+			if w > wMax {
+				wMax = w
+			}
+			if w < wMin {
+				wMin = w
+			}
+		}
+		return wMax / wMin
+	}
+	base := spread(DefaultResolution())
+	for _, f := range []int{2, 4, 8} {
+		sp := spread(DefaultResolution().Refine(f))
+		// Nested subdivision keeps the end-to-end envelope; the extra factor
+		// below ratio^(1/f) per cell is small and bounded.
+		if sp > 1.5*base {
+			t.Fatalf("refine %d: bulk width spread %.3g vs base %.3g — grading is compounding", f, sp, base)
+		}
+	}
+}

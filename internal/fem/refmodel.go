@@ -13,8 +13,8 @@ import (
 // as the analytical models. The zero value uses DefaultResolution.
 type ReferenceModel struct {
 	// Res is the mesh density; the zero value selects DefaultResolution.
-	// Res.Workers and/or Res.Precond alone (all mesh counts zero) keep the
-	// default mesh but tune the solver.
+	// Res.Workers, Res.Precond and/or Res.Operator alone (all mesh counts
+	// zero) keep the default mesh but tune the solver.
 	Res Resolution
 }
 
@@ -29,10 +29,11 @@ func (ReferenceModel) Name() string { return RefModelName }
 // counts are all zero keeps the default mesh, with the solver knobs
 // (Workers, Precond) carried over.
 func (m ReferenceModel) resolution() Resolution {
-	if m.Res == (Resolution{Workers: m.Res.Workers, Precond: m.Res.Precond}) {
+	if m.Res == (Resolution{Workers: m.Res.Workers, Precond: m.Res.Precond, Operator: m.Res.Operator}) {
 		r := DefaultResolution()
 		r.Workers = m.Res.Workers
 		r.Precond = m.Res.Precond
+		r.Operator = m.Res.Operator
 		return r
 	}
 	return m.Res

@@ -41,6 +41,20 @@ type Resolution struct {
 	// resolveSolver). sparse.PrecondMG forces multigrid, with the hierarchy
 	// built per solve from the assembled grid.
 	Precond sparse.PrecondKind
+	// Operator selects the matrix representation for solves at this
+	// resolution. The zero value (OperatorAuto) runs matrix-free whenever
+	// the preconditioner allows it; results are bit-identical either way.
+	Operator OperatorKind
+	// RefineFactor records how many times finer than the base mesh this
+	// resolution is (Refine maintains it). Graded mesh intervals raise
+	// their per-cell ratio to the 1/RefineFactor power, keeping the total
+	// first-to-last width ratio of each interval fixed under refinement:
+	// refined meshes form a nested family of the same graded mesh instead
+	// of compounding the per-cell ratio, which would make the width spread
+	// grow exponentially with refinement (and the linear systems
+	// correspondingly ill-conditioned). Values <= 1 leave ratios as
+	// written.
+	RefineFactor int
 }
 
 // DefaultResolution returns a resolution that keeps the block experiments
@@ -50,8 +64,14 @@ func DefaultResolution() Resolution {
 }
 
 // Refine returns a resolution with every count scaled by f (≥ 1), used for
-// grid-convergence tests.
+// grid-convergence tests. The returned resolution's RefineFactor scales by
+// the same f, so graded intervals keep their total grading envelope (see
+// RefineFactor) and successive refinements stay a nested mesh family.
 func (r Resolution) Refine(f int) Resolution {
+	rf := r.RefineFactor
+	if rf < 1 {
+		rf = 1
+	}
 	return Resolution{
 		RadialVia:     r.RadialVia * f,
 		RadialLiner:   r.RadialLiner * f,
@@ -61,7 +81,20 @@ func (r Resolution) Refine(f int) Resolution {
 		Bulk:          r.Bulk * f,
 		Workers:       r.Workers,
 		Precond:       r.Precond,
+		Operator:      r.Operator,
+		RefineFactor:  rf * f,
 	}
+}
+
+// gradeRatio adapts a per-cell grading ratio to the resolution's refinement
+// factor: ratio^(1/f) applied over f× the cells spans the same total ratio
+// as the base mesh, so refinement subdivides the graded mesh instead of
+// re-grading it more steeply.
+func (r Resolution) gradeRatio(ratio float64) float64 {
+	if r.RefineFactor > 1 && ratio != 1 {
+		return math.Pow(ratio, 1/float64(r.RefineFactor))
+	}
+	return ratio
 }
 
 func (r Resolution) validate() error {
@@ -116,7 +149,9 @@ func BuildAxiProblem(s *stack.Stack, res Resolution) (*AxiProblem, error) {
 		ratio := 1.0
 		if i == 0 {
 			cells = res.Bulk
-			ratio = 0.75 // finer towards the top (the via tip / heat path)
+			// Finer towards the top (the via tip / heat path); the ratio is
+			// relative to the base mesh so refinement keeps the envelope.
+			ratio = res.gradeRatio(0.75)
 		}
 		if sp.hi-sp.lo < 2e-6 && i != 0 {
 			cells = res.AxialMin
@@ -131,7 +166,7 @@ func BuildAxiProblem(s *stack.Stack, res Resolution) (*AxiProblem, error) {
 	rEdges, err := mesh.Line(0, []mesh.Interval{
 		{Hi: rVia, Cells: res.RadialVia},
 		{Hi: rLiner, Cells: res.RadialLiner},
-		{Hi: rOuter, Cells: res.RadialOuter, Ratio: 1.2},
+		{Hi: rOuter, Cells: res.RadialOuter, Ratio: res.gradeRatio(1.2)},
 	})
 	if err != nil {
 		return nil, err
@@ -304,5 +339,5 @@ func SolveStackWith(ctx context.Context, sc *SolveContext, s *stack.Stack, res R
 	o := sparseDefaults()
 	o.Workers = res.Workers
 	o.Precond = res.Precond
-	return SolveAxiWith(ctx, sc, p, o)
+	return solveAxiWith(ctx, sc, p, o, res.Operator)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/mg"
 	"repro/internal/obs"
 	"repro/internal/sparse"
 )
@@ -73,6 +74,20 @@ func SolveAxiTransient(p *AxiProblem, dt float64, steps int, opt sparse.Options)
 	// resolveSolver and carried in o.MG) serves the whole integration —
 	// amortizing the setup the same way the shared pool amortizes workers.
 	o = resolveSolver(o, stepMatrix, sys.grid)
+	// The step matrix shares the steady operator's structured-grid stencil
+	// shape (a diagonal addition changes no sparsity), so the per-step
+	// matvecs run matrix-free whenever the preconditioner allows it —
+	// the same auto policy as the steady solves, applied once for the
+	// whole integration.
+	var stepOp sparse.Operator = stepMatrix
+	if o.Precond != sparse.PrecondSSOR {
+		if st, err := sparse.NewStencil(stepMatrix, sys.grid.dims); err == nil {
+			stepOp = st
+			if h, ok := o.MG.(*mg.Hierarchy); ok {
+				h.SetFineOperator(st)
+			}
+		}
+	}
 	if o.Pool == nil {
 		// One pool serves every step; spawning and tearing down workers per
 		// step would dominate the short warm-started solves.
@@ -88,7 +103,7 @@ func SolveAxiTransient(p *AxiProblem, dt float64, steps int, opt sparse.Options)
 			rhs[i] = sys.rhs[i] + mOverDt[i]*x[i]
 		}
 		o.X0 = x
-		xNew, st, err := sparse.SolveCG(stepMatrix, rhs, o)
+		xNew, st, err := sparse.SolveCG(stepOp, rhs, o)
 		if err != nil {
 			return nil, solveErr(fmt.Sprintf("transient step %d", k), n, st, err)
 		}

@@ -246,7 +246,7 @@ const saOmega = 4.0 / 3.0
 // approximation property and keeps the hierarchy's convergence rate
 // mesh-independent. The rows of P follow A's sparsity (plus the diagonal),
 // assembled deterministically through the sorted COO→CSR path.
-func smoothedProlongation(a csrArrays, invDiag []float64, lmax float64, agg []int32, nc int, mem *arena) *transfer {
+func smoothedProlongation(a csrArrays, invDiag []float64, lmax float64, agg []int32, nc int, dropTol float64, mem *arena) *transfer {
 	n := len(invDiag)
 	omega := saOmega / lmax
 	p := csrArrays{ptr: mem.i32(n + 1), col: mem.i32cap(len(a.col) + n), val: mem.f64cap(len(a.val) + n)}
@@ -262,7 +262,7 @@ func smoothedProlongation(a csrArrays, invDiag []float64, lmax float64, agg []in
 	}
 	mem.adoptI32(p.col)
 	mem.adoptF64(p.val)
-	p = filterRows(p, mem)
+	p = filterRows(p, dropTol, mem)
 	pt := transpose(p, nc, mem)
 	return &transfer{
 		pPtr: p.ptr, pCol: p.col, pVal: p.val,
@@ -368,7 +368,7 @@ const pDropTol = 0.02
 
 // filterRows applies pDropTol row filtering (see above) in place on
 // freshly extracted prolongation arrays.
-func filterRows(p csrArrays, mem *arena) csrArrays {
+func filterRows(p csrArrays, dropTol float64, mem *arena) csrArrays {
 	out := csrArrays{ptr: mem.i32(len(p.ptr)), col: mem.i32cap(len(p.col)), val: mem.f64cap(len(p.val))}
 	for i := 0; i < p.rows(); i++ {
 		lo, hi := p.ptr[i], p.ptr[i+1]
@@ -379,7 +379,7 @@ func filterRows(p csrArrays, mem *arena) csrArrays {
 			}
 			sum += p.val[k]
 		}
-		cut := pDropTol * wmax
+		cut := dropTol * wmax
 		var kept float64
 		for k := lo; k < hi; k++ {
 			if math.Abs(p.val[k]) >= cut {

@@ -58,6 +58,31 @@ type Options struct {
 	PairPasses int
 	// MaxLevels caps the hierarchy depth. Zero means 24.
 	MaxLevels int
+	// Gamma is the number of coarse-grid visits per cycle below
+	// GammaFromLevel: 1 gives a pure V-cycle, 2 a truncated W-cycle (each
+	// extra visit is an additive residual correction, so the cycle stays a
+	// fixed symmetric operator and CG remains valid). Zero and negative
+	// mean 1, the V-cycle: on the nested mesh families fem's
+	// grading-preserving refinement produces, V-cycle iteration counts are
+	// already mesh-independent, so extra visits only add wall time. The
+	// knob remains for grids whose transfer quality the V-cycle cannot
+	// absorb.
+	Gamma int
+	// GammaFromLevel is the first level index whose recursion into the next
+	// coarser level runs Gamma times; shallower levels recurse once. Zero
+	// and negative mean 0 (from the finest level).
+	GammaFromLevel int
+	// DeepPairPasses is the pairwise-matching pass count for levels at index
+	// DeepAggLevel and beyond: deeper coarsening (up to 2^DeepPairPasses-cell
+	// aggregates) where the compounding Galerkin stencil growth makes extra
+	// levels expensive. Zero means 2; negative means PairPasses everywhere.
+	DeepPairPasses int
+	// DeepAggLevel is the first level index coarsened with DeepPairPasses.
+	// Zero disables deep aggregation — the default: gentle pairs converge
+	// strictly better, and on nested refinements the Galerkin
+	// densification the deep passes guard against stays mild (watch the
+	// mg.level*.density gauges). Negative means every level.
+	DeepAggLevel int
 	// Prev optionally donates a previous hierarchy whose backing arrays are
 	// recycled through the build's internal arena — the re-Galerkin path for
 	// parameter sweeps, where each point's operator shares the sparsity
@@ -73,6 +98,34 @@ func (o Options) coarsestSize() int { return intDefault(o.CoarsestSize, 400) }
 func (o Options) degree() int       { return intDefault(o.SmootherDegree, 2) }
 func (o Options) pairPasses() int   { return intDefault(o.PairPasses, 1) }
 func (o Options) maxLevels() int    { return intDefault(o.MaxLevels, 24) }
+
+func (o Options) gamma() int {
+	if o.Gamma < 0 {
+		return 1
+	}
+	return intDefault(o.Gamma, 1)
+}
+
+func (o Options) gammaFromLevel() int {
+	if o.GammaFromLevel < 0 {
+		return 0
+	}
+	return intDefault(o.GammaFromLevel, 0)
+}
+
+func (o Options) deepPairPasses() int {
+	if o.DeepPairPasses < 0 {
+		return o.pairPasses()
+	}
+	return intDefault(o.DeepPairPasses, 2)
+}
+
+func (o Options) deepAggLevel() int {
+	if o.DeepAggLevel < 0 {
+		return 0
+	}
+	return intDefault(o.DeepAggLevel, 1<<30) // zero: deep aggregation off
+}
 
 func (o Options) smootherRange() float64 {
 	if o.SmootherRange > 1 {
@@ -93,6 +146,13 @@ func intDefault(v, d int) int {
 // a Hierarchy serves one solve at a time (like sparse.Pool).
 type level struct {
 	a *sparse.CSR
+	// op is the operator the level's matrix products run through. Every
+	// level starts at its assembled CSR; SetFineOperator can redirect the
+	// finest level to a matrix-free equivalent (fem's structured-grid
+	// stencil), which must match a bit for bit — the smoother bounds and the
+	// coarse hierarchy are built from a, so a mismatched operator would
+	// desynchronize them silently.
+	op sparse.Operator
 
 	// Chebyshev smoother data (see newSmoother). lmax is the Gershgorin
 	// bound on the Jacobi-scaled spectrum, reused as the prolongation-
@@ -112,6 +172,11 @@ type level struct {
 	// iteration state.
 	b, x, res, e []float64
 	cd, cres, ct []float64
+	// b2/x2 carry the extra residual corrections of the truncated W-cycle
+	// (nil on the finest level, which is never a Gamma target). They must
+	// not alias the vectors above: the correction wraps around a full
+	// vcycle, which consumes every other scratch slot on this level.
+	b2, x2 []float64
 }
 
 // Hierarchy is a built multigrid preconditioner. It implements
@@ -121,6 +186,11 @@ type level struct {
 type Hierarchy struct {
 	levels []*level
 	coarse *linalg.Cholesky
+
+	// gamma/gammaFrom freeze the cycle shape chosen at Build time (see
+	// Options.Gamma): levels at index >= gammaFrom visit their coarse level
+	// gamma times per cycle.
+	gamma, gammaFrom int
 
 	// ar owns every array behind the hierarchy; Build(Options{Prev: h})
 	// resets and reuses it, which is why a donated hierarchy must never be
@@ -175,22 +245,36 @@ func Build(a *sparse.CSR, dims []int, opt Options) (*Hierarchy, error) {
 		opt.Prev.levels = nil
 		reused = true
 	}
-	h := &Hierarchy{ar: mem}
+	h := &Hierarchy{ar: mem, gamma: opt.gamma(), gammaFrom: opt.gammaFromLevel()}
 	for {
 		lv, err := newLevel(a, opt, mem)
 		if err != nil {
 			return nil, err
 		}
+		if len(h.levels) > 0 && h.gamma > 1 {
+			// This level can be a W-cycle recursion target: give it the
+			// dedicated correction scratch (never the finest level, whose
+			// vectors belong to the caller).
+			lv.b2 = mem.f64(a.Rows())
+			lv.x2 = mem.f64(a.Rows())
+		}
 		h.levels = append(h.levels, lv)
 		if a.Rows() <= opt.coarsestSize() || len(h.levels) >= opt.maxLevels() {
 			break
 		}
+		// Gentle pairwise coarsening everywhere by default; deeper
+		// aggregates below DeepAggLevel when the caller opts in (see
+		// Options.DeepAggLevel).
+		passes := opt.pairPasses()
+		if len(h.levels) > opt.deepAggLevel() {
+			passes = opt.deepPairPasses()
+		}
 		ar := extractCSR(a, mem)
-		agg, nc := aggregateStrength(ar, opt.pairPasses(), mem)
+		agg, nc := aggregateStrength(ar, passes, mem)
 		if nc >= a.Rows() {
 			break
 		}
-		lv.tr = smoothedProlongation(ar, lv.invDiag, lv.lmax, agg, nc, mem)
+		lv.tr = smoothedProlongation(ar, lv.invDiag, lv.lmax, agg, nc, pDropTol, mem)
 		if a, err = galerkin(ar, lv.tr, nc, mem); err != nil {
 			return nil, fmt.Errorf("mg: level %d coarse operator: %w", len(h.levels), err)
 		}
@@ -228,8 +312,14 @@ func (h *Hierarchy) bindMetrics(buildWall time.Duration, reused bool) {
 	r.Gauge("mg.levels").Set(float64(len(h.levels)))
 	h.cycles = r.Counter("mg.cycles")
 	h.levelWall = make([]*obs.Histogram, len(h.levels))
-	for k := range h.levels {
+	for k, lv := range h.levels {
 		h.levelWall[k] = r.Histogram(fmt.Sprintf("mg.cycle.level%d.seconds", k), obs.ExpBuckets(1e-7, 4, 12))
+		// Stored entries and mean stencil width per level: the Galerkin
+		// densification these gauges expose is what the deep-level
+		// aggregation and prolongation filtering exist to contain.
+		nnz := lv.a.NNZ()
+		r.Gauge(fmt.Sprintf("mg.level%d.nnz", k)).Set(float64(nnz))
+		r.Gauge(fmt.Sprintf("mg.level%d.density", k)).Set(float64(nnz) / float64(lv.a.Rows()))
 	}
 }
 
@@ -238,6 +328,7 @@ func newLevel(a *sparse.CSR, opt Options, mem *arena) (*level, error) {
 	n := a.Rows()
 	lv := &level{
 		a:      a,
+		op:     a,
 		degree: opt.degree(),
 		b:      mem.f64(n),
 		x:      mem.f64(n),
@@ -251,6 +342,23 @@ func newLevel(a *sparse.CSR, opt Options, mem *arena) (*level, error) {
 		return nil, err
 	}
 	return lv, nil
+}
+
+// SetFineOperator redirects the finest level's matrix products (smoother
+// matvecs and residuals) through op — typically the matrix-free stencil
+// internal/fem extracts from the same assembled matrix, which makes the
+// dominant per-cycle work matrix-free while the coarse levels stay on their
+// Galerkin CSRs. The operator must evaluate bit-identically to the build
+// matrix (the fem stencil's contract); nil or a size mismatch restores the
+// assembled CSR. Call per solve: a hierarchy cached across solves keeps the
+// last operator set.
+func (h *Hierarchy) SetFineOperator(op sparse.Operator) {
+	lv := h.levels[0]
+	if op == nil || op.Rows() != lv.a.Rows() || op.Cols() != lv.a.Cols() {
+		lv.op = lv.a
+		return
+	}
+	lv.op = op
 }
 
 // Levels implements sparse.MGSolver.
@@ -305,17 +413,30 @@ func (h *Hierarchy) vcycle(k int, x, b []float64, p *sparse.Pool) {
 	// res = b - A·x, fused per row (same accumulation order as the
 	// unfused matvec-then-subtract).
 	res := lv.res
-	lv.a.ResidualParallel(p, x, b, res)
+	p.ResidualOp(lv.op, x, b, res)
 	// Restrict: b_c = Pᵀ·res, parallel over coarse rows with the summation
 	// order fixed by the transposed CSR layout.
 	tr := lv.tr
 	p.MulVecRaw(tr.ptPtr, tr.ptCol, tr.ptVal, res, next.b)
 	h.vcycle(k+1, next.x, next.b, p)
+	if k >= h.gammaFrom && k+1 < len(h.levels)-1 {
+		// Truncated W-cycle: revisit the coarse level gamma-1 more times,
+		// each visit an additive correction of the residual the last one
+		// left. With B the single-visit cycle, two visits apply 2B − BAB —
+		// still symmetric, still positive definite for a convergent B — so
+		// the preconditioner stays CG-safe. Skipped on the coarsest level,
+		// whose direct solve is already exact.
+		for g := 1; g < h.gamma; g++ {
+			p.ResidualOp(next.op, next.x, next.b, next.b2)
+			h.vcycle(k+1, next.x2, next.b2, p)
+			p.VecAdd(next.x, next.x2)
+		}
+	}
 	// Prolong and correct: x += P·e, parallel over fine rows.
 	p.MulVecAddRaw(tr.pPtr, tr.pCol, tr.pVal, next.x, x)
 	// Post-smooth the correction: x += q(B)·D⁻¹·(b - A·x). Same polynomial
 	// as the pre-smoother, keeping the cycle symmetric.
-	lv.a.ResidualParallel(p, x, b, res)
+	p.ResidualOp(lv.op, x, b, res)
 	lv.smooth(lv.e, res, p)
 	p.VecAdd(x, lv.e)
 }

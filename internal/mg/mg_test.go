@@ -371,3 +371,73 @@ func dot(a, b []float64) float64 {
 }
 
 func norm2(v []float64) float64 { return math.Sqrt(dot(v, v)) }
+
+// TestWCycleIsSymmetricAndConverges exercises the truncated W-cycle
+// (Options.Gamma = 2, off by default): the extra coarse visits are additive
+// residual corrections, so the cycle must remain a fixed symmetric positive
+// definite operator (CG-safe) and converge at least as fast as the V-cycle
+// as a stationary iteration.
+func TestWCycleIsSymmetricAndConverges(t *testing.T) {
+	a, dims := layered2D(48, 48)
+	h, err := Build(a, dims, Options{Gamma: 2, GammaFromLevel: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sparse.NewPool(1)
+	defer p.Close()
+	n := a.Rows()
+	u := make([]float64, n)
+	v := make([]float64, n)
+	mu := make([]float64, n)
+	mv := make([]float64, n)
+	for trial := uint64(0); trial < 5; trial++ {
+		fillRand(u, 3000+trial)
+		fillRand(v, 4000+trial)
+		h.Cycle(mu, u, p)
+		h.Cycle(mv, v, p)
+		uMv, vMu, uMu := dot(u, mv), dot(v, mu), dot(u, mu)
+		if rel := math.Abs(uMv-vMu) / math.Max(math.Abs(uMv), 1e-300); rel > 1e-10 {
+			t.Fatalf("trial %d: W-cycle not symmetric: u·Mv = %.17g, v·Mu = %.17g (rel %g)", trial, uMv, vMu, rel)
+		}
+		if uMu <= 0 {
+			t.Fatalf("trial %d: u·Mu = %g, W-cycle is not positive definite", trial, uMu)
+		}
+	}
+	b := make([]float64, n)
+	fillRand(b, 11)
+	_, st, err := sparse.SolveCG(a, b, sparse.Options{Precond: sparse.PrecondMG, MG: h, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations > 30 {
+		t.Fatalf("W-cycle CG took %d iterations, want <= 30", st.Iterations)
+	}
+}
+
+// TestDeepAggregationShortensHierarchy exercises the opt-in deep-level
+// aggregation: 2^DeepPairPasses-cell aggregates below DeepAggLevel must
+// yield a strictly shallower hierarchy than pairs everywhere, and the
+// resulting preconditioner must still converge.
+func TestDeepAggregationShortensHierarchy(t *testing.T) {
+	a, dims := poisson2D(96, 96)
+	pairs, err := Build(a, dims, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := Build(a, dims, Options{DeepAggLevel: 1, DeepPairPasses: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.Levels() >= pairs.Levels() {
+		t.Fatalf("deep aggregation gave %d levels, pairs %d; want shallower", deep.Levels(), pairs.Levels())
+	}
+	b := make([]float64, a.Rows())
+	fillRand(b, 13)
+	_, st, err := sparse.SolveCG(a, b, sparse.Options{Precond: sparse.PrecondMG, MG: deep, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations > 60 {
+		t.Fatalf("deep-aggregation CG took %d iterations, want <= 60", st.Iterations)
+	}
+}

@@ -51,7 +51,7 @@ func (lv *level) newSmoother(rng float64, mem *arena) error {
 // every step is a pooled matvec or element-wise update, so the result is
 // bit-identical for any worker count. z must not alias r or the scratch.
 func (lv *level) smooth(z, r []float64, p *sparse.Pool) {
-	a, invD := lv.a, lv.invDiag
+	a, invD := lv.op, lv.invDiag
 	d, res, t := lv.cd, lv.cres, lv.ct
 	// The element-wise recurrence steps run through sparse's fused Cheby
 	// kernels: a smoother application sits inside every vcycle of every CG
@@ -60,7 +60,7 @@ func (lv *level) smooth(z, r []float64, p *sparse.Pool) {
 	sigma := lv.theta / lv.delta
 	rhoOld := 1 / sigma
 	for k := 2; k <= lv.degree; k++ {
-		a.MulVecParallel(p, d, t)
+		p.MulVecOp(a, d, t)
 		rho := 1 / (2*sigma - rhoOld)
 		p.ChebyStep(z, d, res, invD, t, rho*rhoOld, 2*rho/lv.delta)
 		rhoOld = rho

@@ -26,43 +26,37 @@ const chebyshevCondTarget = 60.0
 // the pool while remaining a fixed linear SPD operator (CG stays valid) and
 // bit-identical for any worker count.
 type chebyshevPrecond struct {
-	a            *CSR
+	a            Operator
 	invDiag      []float64
 	theta, delta float64 // midpoint and half-width of the eigenvalue bounds
 	pool         *Pool
 	d, res, t    []float64 // correction, scaled residual, matvec scratch
 }
 
-func newChebyshev(a *CSR, pool *Pool) (*chebyshevPrecond, error) {
-	n := a.rows
+func newChebyshev(a Operator, pool *Pool) (*chebyshevPrecond, error) {
+	n := a.Rows()
 	// All four workspaces come from the pool free-list: inv is fully written
 	// here, and apply overwrites d, res and t before their first read.
-	inv := pool.Grab(n)
-	for i := 0; i < n; i++ {
-		var diag float64
-		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
-			if a.colIdx[k] == i {
-				diag = a.val[k]
-				break
-			}
-		}
+	inv := a.DiagonalInto(pool.Grab(n))
+	for i, diag := range inv {
 		if diag == 0 {
 			pool.Release(inv)
 			return nil, fmt.Errorf("sparse: chebyshev preconditioner: zero diagonal at row %d", i)
 		}
 		inv[i] = 1 / diag
 	}
-	// Gershgorin upper bound on the spectrum of D⁻¹A.
+	// Gershgorin upper bound on the spectrum of D⁻¹A. The row sums accumulate
+	// in ascending column order in every Operator implementation, so the
+	// bound — and with it the whole preconditioner — is bit-identical between
+	// the CSR and matrix-free paths.
+	rowAbs := a.AbsRowSumsInto(pool.Grab(n))
 	var lmax float64
 	for i := 0; i < n; i++ {
-		var row float64
-		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
-			row += math.Abs(a.val[k])
-		}
-		if b := row * math.Abs(inv[i]); b > lmax {
+		if b := rowAbs[i] * math.Abs(inv[i]); b > lmax {
 			lmax = b
 		}
 	}
+	pool.Release(rowAbs)
 	if lmax <= 0 || math.IsNaN(lmax) || math.IsInf(lmax, 0) {
 		pool.Release(inv)
 		return nil, fmt.Errorf("sparse: chebyshev preconditioner: eigenvalue bound %g", lmax)

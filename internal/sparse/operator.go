@@ -1,0 +1,74 @@
+package sparse
+
+import "math"
+
+// Operator is the read-only matrix contract the iterative solvers and the
+// single-level preconditioners consume: everything CG, the Chebyshev
+// preconditioner and the multigrid smoother need from A without committing
+// to a storage format. *CSR implements it, as does the matrix-free Stencil
+// for structured grids.
+//
+// The span methods mirror the pool kernels: each covers the half-open row
+// range [lo, hi) with one plain sequential loop, and each row's sum must
+// accumulate its terms in ascending column order — that single well-defined
+// evaluation order is what makes two implementations of the same matrix
+// bit-identical, and results independent of the pool's worker count.
+type Operator interface {
+	// Rows and Cols report the matrix dimensions.
+	Rows() int
+	Cols() int
+	// SpanMulVec writes y[i] = (A·x)[i] for lo <= i < hi.
+	SpanMulVec(x, y []float64, lo, hi int)
+	// SpanMulVecAdd accumulates y[i] += (A·x)[i] for lo <= i < hi.
+	SpanMulVecAdd(x, y []float64, lo, hi int)
+	// SpanMulVecDot writes y[i] = (A·x)[i] for lo <= i < hi and returns the
+	// partial dot product Σ w[i]·y[i] over the span, accumulated in row
+	// order — the fused kernel at the heart of every CG iteration.
+	SpanMulVecDot(x, y, w []float64, lo, hi int) float64
+	// SpanResidual writes r[i] = b[i] - (A·x)[i] for lo <= i < hi.
+	SpanResidual(x, b, r []float64, lo, hi int)
+	// DiagonalInto writes the main diagonal into d (len min(rows, cols)) and
+	// returns it.
+	DiagonalInto(d []float64) []float64
+	// AbsRowSumsInto writes Σ_j |a_ij| into s and returns it, each row's sum
+	// accumulated in ascending column order (the Gershgorin bounds behind the
+	// Chebyshev eigenvalue estimates).
+	AbsRowSumsInto(s []float64) []float64
+}
+
+// SpanMulVec implements Operator.
+func (m *CSR) SpanMulVec(x, y []float64, lo, hi int) { mulVecSpan(m, x, y, lo, hi) }
+
+// SpanMulVecAdd implements Operator.
+func (m *CSR) SpanMulVecAdd(x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.val[k] * x[m.colIdx[k]]
+		}
+		y[i] += s
+	}
+}
+
+// SpanMulVecDot implements Operator.
+func (m *CSR) SpanMulVecDot(x, y, w []float64, lo, hi int) float64 {
+	return mulVecDotSpan(m, x, y, w, lo, hi)
+}
+
+// SpanResidual implements Operator.
+func (m *CSR) SpanResidual(x, b, r []float64, lo, hi int) { residualSpan(m, x, b, r, lo, hi) }
+
+// AbsRowSumsInto implements Operator. s must have Rows() elements.
+func (m *CSR) AbsRowSumsInto(s []float64) []float64 {
+	if len(s) != m.rows {
+		panic("sparse: AbsRowSumsInto length mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		var row float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			row += math.Abs(m.val[k])
+		}
+		s[i] = row
+	}
+	return s
+}

@@ -10,14 +10,16 @@ package sparse
 // floating-point evaluation order: results are bit-identical for any worker
 // count, including the sequential path, which walks the same chunk grid.
 //
-// Each kernel is written twice: a span function with the actual loop, and a
-// dispatching method that either calls the span directly (sequential pools)
-// or wraps it in a closure for parRange. The split is deliberate: a function
-// literal handed to parRange escapes to the heap on every call — the
-// parallel path ships it to worker goroutines, so escape analysis pins it
-// even when the sequential branch runs — and with hundreds of kernel calls
-// per solve those closures dominated the steady-state allocation profile.
-// The sequential fast paths never build a closure.
+// Dispatch is closure-free on both paths. The parallel path stores the
+// pending kernel's kind and operands in the pool's reusable job struct and
+// ships plain chunk-span values over a channel; workers switch on the kind
+// and run the span loops directly. The earlier design sent a function
+// literal per worker per kernel call, and with hundreds of kernel calls per
+// solve those escaping closures dominated the multi-worker allocation
+// profile (thousands of allocs per solve vs double digits sequentially).
+// A pool serves one solve at a time, so a single job struct suffices: the
+// channel send orders the operand writes before the workers' reads, and
+// wg.Wait orders the workers' results before the caller continues.
 
 import (
 	"math"
@@ -42,6 +44,43 @@ func chunkSpan(c, n int) (lo, hi int) {
 	return lo, hi
 }
 
+// kernelKind enumerates the span loops the workers can run; see runChunk.
+type kernelKind uint8
+
+const (
+	kernDot kernelKind = iota
+	kernMulVec
+	kernMulVecDot
+	kernResidual
+	kernCGUpdate
+	kernXpby
+	kernRawMulVec
+	kernRawMulVecAdd
+	kernVecAdd
+	kernChebyBegin
+	kernChebyStep
+	kernBody
+)
+
+// kernelJob holds one kernel dispatch: the kind plus every operand any kind
+// needs. It lives on the pool and is overwritten per call — never allocated —
+// and cleared after the call so pooled vectors stay collectable.
+type kernelJob struct {
+	kind kernelKind
+	n    int
+	op   Operator
+	ptr  []int32
+	col  []int32
+	// v1..v5 are the vector operands; their role depends on the kind (e.g.
+	// for kernResidual: v1 = x, v2 = b, v3 = r).
+	v1, v2, v3, v4, v5 []float64
+	s1, s2             float64
+	body               func(lo, hi int)
+}
+
+// spanRange is a contiguous run of chunk indices assigned to one worker.
+type spanRange struct{ c0, c1 int }
+
 // Pool is a reusable set of kernel workers for the iterative solvers. A nil
 // Pool and a one-worker Pool both run every kernel inline on the calling
 // goroutine. Pools may be reused across solves (e.g. the many steps of a
@@ -49,7 +88,9 @@ func chunkSpan(c, n int) (lo, hi int) {
 // called concurrently.
 type Pool struct {
 	workers  int
-	tasks    chan func()
+	spans    chan spanRange
+	wg       sync.WaitGroup
+	job      kernelJob
 	partials []float64 // per-chunk reduction scratch, grown on demand
 	scratch  [][]float64
 	closed   bool
@@ -64,11 +105,14 @@ func NewPool(workers int) *Pool {
 	}
 	p := &Pool{workers: workers}
 	if workers > 1 {
-		p.tasks = make(chan func())
+		p.spans = make(chan spanRange)
 		for w := 1; w < workers; w++ {
 			go func() {
-				for f := range p.tasks {
-					f()
+				for t := range p.spans {
+					for c := t.c0; c < t.c1; c++ {
+						p.runChunk(c)
+					}
+					p.wg.Done()
 				}
 			}()
 		}
@@ -91,11 +135,11 @@ func (p *Pool) seq() bool { return p == nil || p.workers <= 1 }
 // Close releases the pool's workers. It is safe to call on a nil or
 // sequential pool, and more than once.
 func (p *Pool) Close() {
-	if p == nil || p.tasks == nil || p.closed {
+	if p == nil || p.spans == nil || p.closed {
 		return
 	}
 	p.closed = true
-	close(p.tasks)
+	close(p.spans)
 }
 
 // Grab returns a length-n float64 slice from the pool's scratch free-list,
@@ -131,58 +175,81 @@ func (p *Pool) Release(vs ...[]float64) {
 	}
 }
 
-// parRange runs body(lo, hi, chunk) over every chunk of the fixed grid for
+// runChunk executes the current job on chunk c. Reduction kinds store their
+// partial into partials[c]; the caller combines partials in chunk order.
+func (p *Pool) runChunk(c int) {
+	j := &p.job
+	lo, hi := chunkSpan(c, j.n)
+	switch j.kind {
+	case kernDot:
+		p.partials[c] = dotSpan(j.v1, j.v2, lo, hi)
+	case kernMulVec:
+		j.op.SpanMulVec(j.v1, j.v2, lo, hi)
+	case kernMulVecDot:
+		p.partials[c] = j.op.SpanMulVecDot(j.v1, j.v2, j.v3, lo, hi)
+	case kernResidual:
+		j.op.SpanResidual(j.v1, j.v2, j.v3, lo, hi)
+	case kernCGUpdate:
+		p.partials[c] = cgUpdateSpan(j.v1, j.v2, j.v3, j.v4, j.s1, lo, hi)
+	case kernXpby:
+		xpbySpan(j.v1, j.v2, j.s1, lo, hi)
+	case kernRawMulVec:
+		rawMulVecSpan(j.ptr, j.col, j.v1, j.v2, j.v3, lo, hi)
+	case kernRawMulVecAdd:
+		rawMulVecAddSpan(j.ptr, j.col, j.v1, j.v2, j.v3, lo, hi)
+	case kernVecAdd:
+		vecAddSpan(j.v1, j.v2, lo, hi)
+	case kernChebyBegin:
+		chebyBeginSpan(j.v1, j.v2, j.v3, j.v4, j.v5, j.s1, lo, hi)
+	case kernChebyStep:
+		chebyStepSpan(j.v1, j.v2, j.v3, j.v4, j.v5, j.s1, j.s2, lo, hi)
+	case kernBody:
+		j.body(lo, hi)
+	}
+}
+
+// run executes the job stored in p.job over every chunk of the grid for
 // length n, spreading contiguous chunk spans across the workers. The chunk
 // grid — and therefore the work each chunk performs — is identical for any
-// worker count; only the assignment of chunks to OS threads varies.
-func (p *Pool) parRange(n int, body func(lo, hi, chunk int)) {
+// worker count; only the assignment of chunks to OS threads varies. Callers
+// must have filled p.job (except n, set here); run clears it before
+// returning. Only the parallel path reaches run: the sequential fast paths
+// in each kernel method never touch the job struct.
+func (p *Pool) run(n int) {
+	p.job.n = n
 	nc := numChunks(n)
-	runSpan := func(c0, c1 int) {
-		for c := c0; c < c1; c++ {
-			lo, hi := chunkSpan(c, n)
-			body(lo, hi, c)
-		}
-	}
-	w := p.Workers()
+	w := p.workers
 	if w > nc {
 		w = nc
 	}
 	if w <= 1 {
-		runSpan(0, nc)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(w - 1)
-	for i := 1; i < w; i++ {
-		c0, c1 := i*nc/w, (i+1)*nc/w
-		p.tasks <- func() {
-			defer wg.Done()
-			runSpan(c0, c1)
+		for c := 0; c < nc; c++ {
+			p.runChunk(c)
 		}
+	} else {
+		p.wg.Add(w - 1)
+		for i := 1; i < w; i++ {
+			p.spans <- spanRange{c0: i * nc / w, c1: (i + 1) * nc / w}
+		}
+		for c := 0; c < nc/w; c++ {
+			p.runChunk(c)
+		}
+		p.wg.Wait()
 	}
-	runSpan(0, nc/w)
-	wg.Wait()
+	p.job = kernelJob{}
 }
 
-// reduce computes one partial per chunk and combines them in chunk-index
-// order, giving every reduction a single evaluation order for any worker
-// count.
-func (p *Pool) reduce(n int, partial func(lo, hi int) float64) float64 {
+// runReduce is run for reduction kinds: it sizes the per-chunk partial
+// buffer, executes the job, and combines the partials in chunk-index order.
+func (p *Pool) runReduce(n int) float64 {
 	nc := numChunks(n)
-	var ps []float64
-	if p == nil {
-		ps = make([]float64, nc)
-	} else {
-		if cap(p.partials) < nc {
-			p.partials = make([]float64, nc)
-		}
-		ps = p.partials[:nc]
+	if cap(p.partials) < nc {
+		p.partials = make([]float64, nc)
 	}
-	p.parRange(n, func(lo, hi, c int) {
-		ps[c] = partial(lo, hi)
-	})
+	p.partials = p.partials[:nc]
+	p.run(n)
 	var s float64
-	for _, v := range ps {
+	for _, v := range p.partials {
 		s += v
 	}
 	return s
@@ -306,7 +373,8 @@ func (p *Pool) dot(a, b []float64) float64 {
 		}
 		return s
 	}
-	return p.reduce(len(a), func(lo, hi int) float64 { return dotSpan(a, b, lo, hi) })
+	p.job = kernelJob{kind: kernDot, v1: a, v2: b}
+	return p.runReduce(len(a))
 }
 
 // norm2 computes ||v||₂ with chunked ordered reduction. dot(v, v) performs
@@ -315,35 +383,39 @@ func (p *Pool) norm2(v []float64) float64 { return math.Sqrt(p.dot(v, v)) }
 
 // mulVec computes y = A·x across the pool. Rows are independent, so the
 // result is exact regardless of chunking.
-func (p *Pool) mulVec(m *CSR, x, y []float64) {
+func (p *Pool) mulVec(m Operator, x, y []float64) {
 	if p.seq() {
-		mulVecSpan(m, x, y, 0, m.rows)
+		m.SpanMulVec(x, y, 0, m.Rows())
 		return
 	}
-	p.parRange(m.rows, func(lo, hi, _ int) { mulVecSpan(m, x, y, lo, hi) })
+	p.job = kernelJob{kind: kernMulVec, op: m, v1: x, v2: y}
+	p.run(m.Rows())
 }
 
 // mulVecDot fuses y = A·x with the reduction dot(w, y), saving one pass over
 // the vectors per CG iteration.
-func (p *Pool) mulVecDot(m *CSR, x, y, w []float64) float64 {
+func (p *Pool) mulVecDot(m Operator, x, y, w []float64) float64 {
+	n := m.Rows()
 	if p.seq() {
 		var s float64
-		for c, nc := 0, numChunks(m.rows); c < nc; c++ {
-			lo, hi := chunkSpan(c, m.rows)
-			s += mulVecDotSpan(m, x, y, w, lo, hi)
+		for c, nc := 0, numChunks(n); c < nc; c++ {
+			lo, hi := chunkSpan(c, n)
+			s += m.SpanMulVecDot(x, y, w, lo, hi)
 		}
 		return s
 	}
-	return p.reduce(m.rows, func(lo, hi int) float64 { return mulVecDotSpan(m, x, y, w, lo, hi) })
+	p.job = kernelJob{kind: kernMulVecDot, op: m, v1: x, v2: y, v3: w}
+	return p.runReduce(n)
 }
 
 // residualFrom computes r = b - A·x across the pool.
-func (p *Pool) residualFrom(m *CSR, x, b, r []float64) {
+func (p *Pool) residualFrom(m Operator, x, b, r []float64) {
 	if p.seq() {
-		residualSpan(m, x, b, r, 0, m.rows)
+		m.SpanResidual(x, b, r, 0, m.Rows())
 		return
 	}
-	p.parRange(m.rows, func(lo, hi, _ int) { residualSpan(m, x, b, r, lo, hi) })
+	p.job = kernelJob{kind: kernResidual, op: m, v1: x, v2: b, v3: r}
+	p.run(m.Rows())
 }
 
 // cgUpdate fuses the CG solution/residual updates x += α·d, r -= α·ad with
@@ -357,7 +429,8 @@ func (p *Pool) cgUpdate(x, r, d, ad []float64, alpha float64) float64 {
 		}
 		return s
 	}
-	return p.reduce(len(x), func(lo, hi int) float64 { return cgUpdateSpan(x, r, d, ad, alpha, lo, hi) })
+	p.job = kernelJob{kind: kernCGUpdate, v1: x, v2: r, v3: d, v4: ad, s1: alpha}
+	return p.runReduce(len(x))
 }
 
 // xpby computes d = z + β·d (the CG direction update).
@@ -366,7 +439,8 @@ func (p *Pool) xpby(d, z []float64, beta float64) {
 		xpbySpan(d, z, beta, 0, len(d))
 		return
 	}
-	p.parRange(len(d), func(lo, hi, _ int) { xpbySpan(d, z, beta, lo, hi) })
+	p.job = kernelJob{kind: kernXpby, v1: d, v2: z, s1: beta}
+	p.run(len(d))
 }
 
 // Range runs body(lo, hi) over the fixed deterministic chunk grid for
@@ -377,7 +451,7 @@ func (p *Pool) xpby(d, z []float64, beta float64) {
 // bit-identical for any worker count. A nil pool runs sequentially over the
 // same grid. It exists for external deterministic kernels; note that the
 // body closure escapes to the heap on every call, so hot per-iteration loops
-// should use a dedicated kernel method (VecAdd, MulVecRaw, ChebyStep, ...)
+// should use a dedicated kernel method (VecAdd, MulVecOp, ChebyStep, ...)
 // instead. Reductions that must combine partials stay inside this package.
 func (p *Pool) Range(n int, body func(lo, hi int)) {
 	if p.seq() {
@@ -387,7 +461,8 @@ func (p *Pool) Range(n int, body func(lo, hi int)) {
 		}
 		return
 	}
-	p.parRange(n, func(lo, hi, _ int) { body(lo, hi) })
+	p.job = kernelJob{kind: kernBody, body: body}
+	p.run(n)
 }
 
 // VecAdd computes dst[i] += src[i] across the pool — element-wise, so
@@ -397,7 +472,8 @@ func (p *Pool) VecAdd(dst, src []float64) {
 		vecAddSpan(dst, src, 0, len(dst))
 		return
 	}
-	p.parRange(len(dst), func(lo, hi, _ int) { vecAddSpan(dst, src, lo, hi) })
+	p.job = kernelJob{kind: kernVecAdd, v1: dst, v2: src}
+	p.run(len(dst))
 }
 
 // MulVecRaw computes y = M·x for a raw CSR triple (row pointers, column
@@ -411,7 +487,8 @@ func (p *Pool) MulVecRaw(ptr, col []int32, val, x, y []float64) {
 		rawMulVecSpan(ptr, col, val, x, y, 0, n)
 		return
 	}
-	p.parRange(n, func(lo, hi, _ int) { rawMulVecSpan(ptr, col, val, x, y, lo, hi) })
+	p.job = kernelJob{kind: kernRawMulVec, ptr: ptr, col: col, v1: val, v2: x, v3: y}
+	p.run(n)
 }
 
 // MulVecAddRaw computes y += M·x for a raw CSR triple; see MulVecRaw.
@@ -421,7 +498,8 @@ func (p *Pool) MulVecAddRaw(ptr, col []int32, val, x, y []float64) {
 		rawMulVecAddSpan(ptr, col, val, x, y, 0, n)
 		return
 	}
-	p.parRange(n, func(lo, hi, _ int) { rawMulVecAddSpan(ptr, col, val, x, y, lo, hi) })
+	p.job = kernelJob{kind: kernRawMulVecAdd, ptr: ptr, col: col, v1: val, v2: x, v3: y}
+	p.run(n)
 }
 
 // ChebyBegin runs the first step of the Chebyshev semi-iteration on
@@ -433,7 +511,8 @@ func (p *Pool) ChebyBegin(z, d, res, invD, r []float64, invTheta float64) {
 		chebyBeginSpan(z, d, res, invD, r, invTheta, 0, len(r))
 		return
 	}
-	p.parRange(len(r), func(lo, hi, _ int) { chebyBeginSpan(z, d, res, invD, r, invTheta, lo, hi) })
+	p.job = kernelJob{kind: kernChebyBegin, v1: z, v2: d, v3: res, v4: invD, v5: r, s1: invTheta}
+	p.run(len(r))
 }
 
 // ChebyStep runs one subsequent step of the Chebyshev semi-iteration given
@@ -443,7 +522,30 @@ func (p *Pool) ChebyStep(z, d, res, invD, t []float64, c1, c2 float64) {
 		chebyStepSpan(z, d, res, invD, t, c1, c2, 0, len(res))
 		return
 	}
-	p.parRange(len(res), func(lo, hi, _ int) { chebyStepSpan(z, d, res, invD, t, c1, c2, lo, hi) })
+	p.job = kernelJob{kind: kernChebyStep, v1: z, v2: d, v3: res, v4: invD, v5: t, s1: c1, s2: c2}
+	p.run(len(res))
+}
+
+// MulVecOp computes y = A·x for any Operator across the pool's workers. The
+// result is bitwise identical for any worker count (rows are independent; no
+// reduction is involved). A nil pool runs sequentially.
+func (p *Pool) MulVecOp(a Operator, x, y []float64) {
+	if len(x) != a.Cols() || len(y) != a.Rows() {
+		panic("sparse: MulVecOp dimension mismatch")
+	}
+	p.mulVec(a, x, y)
+}
+
+// ResidualOp computes r = b - A·x for any Operator across the pool's
+// workers. The matvec and subtraction are fused per row; each row's sum
+// accumulates in ascending column order, so the result is bit-identical to
+// MulVecOp followed by an element-wise subtraction, for any worker count.
+// A nil pool runs sequentially.
+func (p *Pool) ResidualOp(a Operator, x, b, r []float64) {
+	if len(x) != a.Cols() || len(b) != a.Rows() || len(r) != a.Rows() {
+		panic("sparse: ResidualOp dimension mismatch")
+	}
+	p.residualFrom(a, x, b, r)
 }
 
 // MulVecParallel computes y = A·x across the pool's workers, reusing y when

@@ -199,10 +199,9 @@ type jacobiPrecond struct {
 	pool    *Pool
 }
 
-func newJacobi(a *CSR, pl *Pool) (*jacobiPrecond, error) {
-	inv := pl.Grab(a.rows)
-	for i := 0; i < a.rows; i++ {
-		v := a.At(i, i)
+func newJacobi(a Operator, pl *Pool) (*jacobiPrecond, error) {
+	inv := a.DiagonalInto(pl.Grab(a.Rows()))
+	for i, v := range inv {
 		if v == 0 {
 			pl.Release(inv)
 			return nil, fmt.Errorf("sparse: jacobi preconditioner: zero diagonal at row %d", i)
@@ -227,7 +226,15 @@ type ssorPrecond struct {
 	pool *Pool
 }
 
-func newSSOR(a *CSR, pl *Pool) (*ssorPrecond, error) {
+// newSSOR builds the SSOR preconditioner. Its triangular sweeps walk the
+// explicit CSR index arrays, so it is the one preconditioner that cannot run
+// on a matrix-free Operator; callers selecting SSOR must solve through the
+// assembled CSR matrix.
+func newSSOR(op Operator, pl *Pool) (*ssorPrecond, error) {
+	a, ok := op.(*CSR)
+	if !ok {
+		return nil, fmt.Errorf("sparse: ssor preconditioner requires an assembled *CSR matrix, got a matrix-free operator")
+	}
 	d := a.DiagonalInto(pl.Grab(a.rows))
 	for i, v := range d {
 		if v == 0 {
@@ -278,7 +285,7 @@ type mgPrecond struct {
 
 func (m mgPrecond) apply(z, r []float64) { m.h.Cycle(z, r, m.pool) }
 
-func makePrecond(a *CSR, kind PrecondKind, mg MGSolver, pl *Pool) (preconditioner, PrecondKind, error) {
+func makePrecond(a Operator, kind PrecondKind, mg MGSolver, pl *Pool) (preconditioner, PrecondKind, error) {
 	if kind == PrecondDefault {
 		if pl.Workers() > 1 {
 			kind = PrecondChebyshev
@@ -323,8 +330,11 @@ func ctxErr(ctx context.Context) error {
 }
 
 // SolveCG solves the symmetric positive definite system A·x = b with the
-// preconditioned Conjugate Gradient method.
-func SolveCG(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
+// preconditioned Conjugate Gradient method. The matrix is consumed through
+// the Operator interface: pass the assembled *CSR, or a matrix-free Stencil
+// for structured grids — with the same values the two produce bit-identical
+// iterates (every kernel accumulates in ascending column order either way).
+func SolveCG(a Operator, b []float64, opt Options) ([]float64, Stats, error) {
 	return SolveCGCtx(context.Background(), a, b, opt)
 }
 
@@ -338,7 +348,7 @@ func SolveCG(a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
 // obs.Tracer, and records iteration/residual/wall histograms plus
 // per-preconditioner counters into the obs default registry. Neither
 // touches the numerical path.
-func SolveCGCtx(ctx context.Context, a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
+func SolveCGCtx(ctx context.Context, a Operator, b []float64, opt Options) ([]float64, Stats, error) {
 	ctx, sp := obs.StartSpan(ctx, "sparse.cg")
 	x, st, err := solveCG(ctx, a, b, opt)
 	if sp != nil {
@@ -359,11 +369,11 @@ func SolveCGCtx(ctx context.Context, a *CSR, b []float64, opt Options) ([]float6
 	return x, st, err
 }
 
-func solveCG(ctx context.Context, a *CSR, b []float64, opt Options) ([]float64, Stats, error) {
+func solveCG(ctx context.Context, a Operator, b []float64, opt Options) ([]float64, Stats, error) {
 	start := time.Now()
-	n := a.rows
-	if a.cols != n {
-		return nil, Stats{}, fmt.Errorf("sparse: CG needs a square matrix, got %dx%d", a.rows, a.cols)
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, Stats{}, fmt.Errorf("sparse: CG needs a square matrix, got %dx%d", a.Rows(), a.Cols())
 	}
 	if len(b) != n {
 		return nil, Stats{}, fmt.Errorf("sparse: CG rhs length %d, want %d", len(b), n)

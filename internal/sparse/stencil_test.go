@@ -1,0 +1,263 @@
+package sparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// gridCSR assembles a structured-grid conduction matrix the way the fem
+// package does: one strictly positive conductance per axis-neighbor pair,
+// emitted symmetrically (i,i)+g (i,j)-g (j,j)+g (j,i)-g, plus a positive
+// Dirichlet-style diagonal boost — SPD with a full nearest-neighbor stencil.
+func gridCSR(dims []int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	nd := [3]int{1, 1, 1}
+	n := 1
+	for i, d := range dims {
+		nd[i] = d
+		n *= d
+	}
+	stride := [3]int{1, nd[0], nd[0] * nd[1]}
+	c := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		ix := i % nd[0]
+		iy := i / nd[0] % nd[1]
+		iz := i / (nd[0] * nd[1])
+		coord := [3]int{ix, iy, iz}
+		for d := 0; d < 3; d++ {
+			if coord[d]+1 >= nd[d] {
+				continue
+			}
+			j := i + stride[d]
+			g := 0.1 + rng.Float64()
+			c.Add(i, i, g)
+			c.Add(i, j, -g)
+			c.Add(j, j, g)
+			c.Add(j, i, -g)
+		}
+		c.Add(i, i, 0.5+rng.Float64())
+	}
+	return c.ToCSR()
+}
+
+var stencilDims = [][]int{
+	{9},
+	{7, 5},
+	{1, 6},
+	{6, 1},
+	{4, 3, 5},
+	{1, 4, 5},
+	{4, 1, 5},
+	{3, 4, 1},
+	{1, 1, 7},
+}
+
+// The stencil operator must reproduce the CSR product bit for bit — same
+// values, same accumulation order — for every grid shape, including axes
+// collapsed to one cell, and for every kernel the solvers call.
+func TestStencilMatchesCSRBitIdentical(t *testing.T) {
+	for _, dims := range stencilDims {
+		a := gridCSR(dims, 17)
+		st, err := NewStencil(a, dims)
+		if err != nil {
+			t.Fatalf("dims %v: NewStencil: %v", dims, err)
+		}
+		n := a.Rows()
+		x := randomVec(n, 5)
+		b := randomVec(n, 6)
+		w := randomVec(n, 7)
+
+		yc := make([]float64, n)
+		ys := make([]float64, n)
+		a.SpanMulVec(x, yc, 0, n)
+		st.SpanMulVec(x, ys, 0, n)
+		for i := range yc {
+			if yc[i] != ys[i] {
+				t.Fatalf("dims %v: SpanMulVec differs at %d: %x vs %x", dims, i, yc[i], ys[i])
+			}
+		}
+
+		ac := append([]float64(nil), b...)
+		as := append([]float64(nil), b...)
+		a.SpanMulVecAdd(x, ac, 0, n)
+		st.SpanMulVecAdd(x, as, 0, n)
+		for i := range ac {
+			if ac[i] != as[i] {
+				t.Fatalf("dims %v: SpanMulVecAdd differs at %d", dims, i)
+			}
+		}
+
+		dc := a.SpanMulVecDot(x, yc, w, 0, n)
+		ds := st.SpanMulVecDot(x, ys, w, 0, n)
+		if dc != ds {
+			t.Fatalf("dims %v: SpanMulVecDot differs: %x vs %x", dims, dc, ds)
+		}
+
+		rc := make([]float64, n)
+		rs := make([]float64, n)
+		a.SpanResidual(x, b, rc, 0, n)
+		st.SpanResidual(x, b, rs, 0, n)
+		for i := range rc {
+			if rc[i] != rs[i] {
+				t.Fatalf("dims %v: SpanResidual differs at %d", dims, i)
+			}
+		}
+
+		diagC := a.DiagonalInto(make([]float64, n))
+		diagS := st.DiagonalInto(make([]float64, n))
+		absC := a.AbsRowSumsInto(make([]float64, n))
+		absS := st.AbsRowSumsInto(make([]float64, n))
+		for i := 0; i < n; i++ {
+			if diagC[i] != diagS[i] {
+				t.Fatalf("dims %v: DiagonalInto differs at %d", dims, i)
+			}
+			if absC[i] != absS[i] {
+				t.Fatalf("dims %v: AbsRowSumsInto differs at %d: %x vs %x", dims, i, absC[i], absS[i])
+			}
+		}
+	}
+}
+
+// The pool's parallel kernels over a Stencil must stay bit-identical to the
+// sequential CSR product for any worker count (same chunk grid, same
+// per-chunk evaluation order).
+func TestStencilParallelBitIdenticalAcrossWorkers(t *testing.T) {
+	dims := []int{13, 11, 7} // 1001 rows: several 256-row chunks plus a ragged tail
+	a := gridCSR(dims, 23)
+	st, err := NewStencil(a, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Rows()
+	x := randomVec(n, 8)
+	b := randomVec(n, 9)
+	ref := make([]float64, n)
+	a.SpanMulVec(x, ref, 0, n)
+	refR := make([]float64, n)
+	a.SpanResidual(x, b, refR, 0, n)
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewPool(workers)
+		y := make([]float64, n)
+		r := make([]float64, n)
+		p.MulVecOp(st, x, y)
+		p.ResidualOp(st, x, b, r)
+		for i := 0; i < n; i++ {
+			if y[i] != ref[i] {
+				t.Fatalf("workers=%d: MulVecOp differs at %d", workers, i)
+			}
+			if r[i] != refR[i] {
+				t.Fatalf("workers=%d: ResidualOp differs at %d", workers, i)
+			}
+		}
+		p.Close()
+	}
+}
+
+// Refresh must pick up in-place value changes (the numeric-refill path) and
+// reject refills that break the off-diagonal symmetry the lower-neighbor
+// reuse depends on.
+func TestStencilRefresh(t *testing.T) {
+	dims := []int{5, 4}
+	a := gridCSR(dims, 31)
+	st, err := NewStencil(a, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Rows()
+	// Scale every value in place, as a refill with different material
+	// parameters would.
+	for k := range a.val {
+		a.val[k] *= 1.75
+	}
+	if err := st.Refresh(); err != nil {
+		t.Fatalf("Refresh after symmetric rescale: %v", err)
+	}
+	x := randomVec(n, 4)
+	yc := make([]float64, n)
+	ys := make([]float64, n)
+	a.SpanMulVec(x, yc, 0, n)
+	st.SpanMulVec(x, ys, 0, n)
+	for i := range yc {
+		if yc[i] != ys[i] {
+			t.Fatalf("post-Refresh product differs at %d", i)
+		}
+	}
+	// Break one off-diagonal pair: Refresh must notice.
+	for k := a.rowPtr[1]; k < a.rowPtr[2]; k++ {
+		if a.colIdx[k] == 2 {
+			a.val[k] *= 2
+		}
+	}
+	if err := st.Refresh(); err == nil {
+		t.Fatal("Refresh accepted an asymmetric refill")
+	}
+}
+
+func TestNewStencilRejectsNonStencilMatrices(t *testing.T) {
+	// Entry outside the neighbor pattern.
+	c := NewCOO(6, 6)
+	for i := 0; i < 6; i++ {
+		c.Add(i, i, 2)
+	}
+	c.Add(0, 5, -1)
+	c.Add(5, 0, -1)
+	if _, err := NewStencil(c.ToCSR(), []int{3, 2}); err == nil ||
+		!strings.Contains(err.Error(), "stencil neighbor") {
+		t.Fatalf("expected non-neighbor rejection, got %v", err)
+	}
+	// Missing interior coupling: diagonal-only matrix on a 2-D grid.
+	d := NewCOO(6, 6)
+	for i := 0; i < 6; i++ {
+		d.Add(i, i, 2)
+	}
+	if _, err := NewStencil(d.ToCSR(), []int{3, 2}); err == nil ||
+		!strings.Contains(err.Error(), "missing") {
+		t.Fatalf("expected missing-coupling rejection, got %v", err)
+	}
+	// Grid size must match the matrix.
+	if _, err := NewStencil(gridCSR([]int{3, 2}, 1), []int{3, 3}); err == nil {
+		t.Fatal("expected cell-count mismatch rejection")
+	}
+	// Unstructured matrix (random couplings) must be rejected, not mis-read.
+	if _, err := NewStencil(randomSPD(12, 2), []int{12}); err == nil {
+		t.Fatal("expected rejection of an unstructured matrix")
+	}
+}
+
+// End to end: CG over the Stencil must return bit-identical solutions and
+// iteration counts to CG over the CSR it was extracted from, for the
+// preconditioners that support matrix-free operation.
+func TestSolveCGStencilMatchesCSR(t *testing.T) {
+	dims := []int{9, 8, 5}
+	a := gridCSR(dims, 41)
+	st, err := NewStencil(a, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randomVec(a.Rows(), 11)
+	for _, pk := range []PrecondKind{PrecondNone, PrecondJacobi, PrecondChebyshev} {
+		xc, sc, err := SolveCG(a, b, Options{Precond: pk})
+		if err != nil {
+			t.Fatalf("%v csr: %v", pk, err)
+		}
+		xs, ss, err := SolveCG(st, b, Options{Precond: pk})
+		if err != nil {
+			t.Fatalf("%v stencil: %v", pk, err)
+		}
+		if sc.Iterations != ss.Iterations {
+			t.Fatalf("%v: iteration count differs: %d vs %d", pk, sc.Iterations, ss.Iterations)
+		}
+		for i := range xc {
+			if xc[i] != xs[i] {
+				t.Fatalf("%v: solution differs at %d: %x vs %x", pk, i, xc[i], xs[i])
+			}
+		}
+	}
+	// SSOR needs the assembled CSR; a matrix-free operator must be refused
+	// loudly rather than silently downgraded.
+	if _, _, err := SolveCG(st, b, Options{Precond: PrecondSSOR}); err == nil ||
+		!strings.Contains(err.Error(), "ssor") {
+		t.Fatalf("expected ssor-over-stencil rejection, got %v", err)
+	}
+}

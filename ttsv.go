@@ -124,6 +124,9 @@ type (
 	// PrecondKind selects the reference solver's preconditioner; see
 	// Resolution.Precond and the Precond* constants.
 	PrecondKind = sparse.PrecondKind
+	// OperatorKind selects the reference solver's matrix representation;
+	// see Resolution.Operator and the Operator* constants.
+	OperatorKind = fem.OperatorKind
 	// PlanOptions controls worker count and memoization of insertion
 	// planning.
 	PlanOptions = plan.Options
@@ -175,6 +178,22 @@ const (
 // ParsePrecond converts a command-line spelling ("auto", "jacobi", "none",
 // "ssor", "chebyshev", "mg") into a PrecondKind.
 func ParsePrecond(s string) (PrecondKind, error) { return sparse.ParsePrecond(s) }
+
+// Operator choices for Resolution.Operator. OperatorAuto runs the solve
+// matrix-free off the structured-grid stencil whenever the preconditioner
+// allows it (everything but SSOR) and falls back to the assembled CSR
+// otherwise; results are bit-identical either way. OperatorCSR forces the
+// assembled matrix, OperatorStencil fails the solve when matrix-free is
+// impossible.
+const (
+	OperatorAuto    = fem.OperatorAuto
+	OperatorCSR     = fem.OperatorCSR
+	OperatorStencil = fem.OperatorStencil
+)
+
+// ParseOperator converts a command-line spelling ("auto", "csr", "stencil",
+// or "matfree") into an OperatorKind.
+func ParseOperator(s string) (OperatorKind, error) { return fem.ParseOperator(s) }
 
 // Stock materials (conductivities from the paper's §IV).
 var (
