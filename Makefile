@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify race bench bench-json bench-compare profile profile-stencil fuzz loadsmoke clean
+.PHONY: all build test verify race bench bench-json bench-compare profile profile-stencil fuzz loadsmoke sweepsmoke clean
 
 all: build test
 
@@ -22,7 +22,11 @@ test:
 # FuzzParseDeck exploration on top of the checked-in seeds, the solve-service
 # suite by name under the race detector (the contract that every ttsvd
 # endpoint is byte-identical to the CLI/deck path and that coalescing,
-# admission and drain are race-free), then the whole suite under the race
+# admission and drain are race-free), the sharded/resumable-sweep identity
+# properties by name under the race detector (the contract that shard
+# partitioning, the checkpoint journal, resume-after-kill and the disk cache
+# never change a report's bytes, through the engine, the deck layer, the CLI
+# and the streaming /sweep endpoint), then the whole suite under the race
 # detector, one pass over every benchmark so the harness itself cannot rot,
 # and a single-iteration smoke run of the bench-json pipeline.
 verify:
@@ -31,6 +35,7 @@ verify:
 	$(GO) test -race -run 'OperatorSolveBitIdentical|StencilMatchesCSR|StencilParallel|SolveCGStencil' ./internal/fem ./internal/sparse
 	$(GO) test -race -run 'Deck|CorpusGoldens' ./internal/deck ./cmd/ttsvsolve ./cmd/ttsvplan .
 	$(GO) test -race -run 'MatchesGoldens|MatchesDeck|Coalescing|WarmPool|Admission|Timeout|BadRequests|HealthMetrics|Flight|TokenBucket|ListenAndServeDrains|CancelledRun' ./internal/serve ./cmd/ttsvsolve
+	$(GO) test -race -run 'ShardSpec|SweepJournal|SweepShardMerge|MergeJournals|DiskCache|DeckSweep|DeckShardMerge|SweepFlagsRequireDeck|SweepStream|SweepShardPartitions|WarmPoolKeysOnGridTopology|RefundsAdmissionToken|GridTopology|SweepSmoke' ./internal/sweep ./internal/deck ./internal/serve ./internal/fem ./cmd/ttsvsolve ./cmd/ttsvload
 	$(GO) test -fuzz '^FuzzParseDeck$$' -fuzztime 10s -run '^FuzzParseDeck$$' ./internal/deck
 	$(GO) test -race ./...
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -44,6 +49,13 @@ race:
 # concurrent load — and reports req/s with p50/p99 latency.
 loadsmoke:
 	$(GO) run ./cmd/ttsvload -inproc -n 400 -c 8 -mix hotspot
+
+# sweepsmoke drives a small sharded sweep through an in-process ttsvd's
+# streaming /sweep endpoint — a quick end-to-end check that shard
+# partitioning and per-point NDJSON progress streaming jointly deliver every
+# sweep point exactly once.
+sweepsmoke:
+	$(GO) run ./cmd/ttsvload -inproc -sweep -points 12 -shards 2
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -17,6 +17,10 @@
 //	-csv DIR     write each table as CSV into DIR
 //	-workers N   solve sweep points on N parallel workers (0 = all CPUs);
 //	             output tables are identical for any worker count
+//	-deck FILE   run a .ttsv scenario deck instead of a named experiment;
+//	             -shard i/n, -journal FILE, -resume, -merge F1,F2,...,
+//	             -cache-dir DIR and -progress shard, checkpoint, resume and
+//	             merge its .sweep (see README "Sharded & resumable sweeps")
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"time"
 
 	ttsv "repro"
+	"repro/internal/clideck"
 	"repro/internal/cliobs"
 	"repro/internal/experiments"
 	"repro/internal/report"
@@ -60,9 +65,10 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	precond := fs.String("precond", "auto", "reference-solver preconditioner: auto, jacobi, ssor, chebyshev, mg or none")
 	operator := fs.String("operator", "auto", "reference-solver matrix representation: auto, csr or stencil (matrix-free)")
 	deckPath := fs.String("deck", "", ".ttsv scenario deck file; runs its analysis cards instead of a named experiment")
+	sweepf := clideck.Register(fs)
 	obsf := cliobs.Register(fs)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: ttsvlab [-quick] [-plot] [-csv DIR] [-workers N] [-solver-workers N] [-precond KIND] [-operator KIND] [-trace FILE] [-metrics] [-pprof ADDR] [-deck FILE] {fig4|fig5|fig6|fig7|table1|casestudy|calibrate|planes|transient|all}")
+		fmt.Fprintln(fs.Output(), "usage: ttsvlab [-quick] [-plot] [-csv DIR] [-workers N] [-solver-workers N] [-precond KIND] [-operator KIND] [-trace FILE] [-metrics] [-pprof ADDR] [-deck FILE [-shard I/N] [-journal FILE] [-resume] [-merge F1,F2,...] [-cache-dir DIR] [-progress]] {fig4|fig5|fig6|fig7|table1|casestudy|calibrate|planes|transient|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -71,6 +77,9 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	if *deckPath == "" && fs.NArg() != 1 {
 		fs.Usage()
 		return fmt.Errorf("exactly one experiment required")
+	}
+	if *deckPath == "" && sweepf.Set() {
+		return fmt.Errorf("-shard/-journal/-resume/-merge/-cache-dir/-progress control a deck's .sweep and require -deck")
 	}
 	tracer, err := obsf.Start(out)
 	if err != nil {
@@ -82,12 +91,16 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		}
 	}()
 	if *deckPath != "" {
+		ctl, err := sweepf.Control(os.Stderr)
+		if err != nil {
+			return err
+		}
 		d, err := ttsv.ParseDeckFile(*deckPath)
 		if err != nil {
 			return err
 		}
 		ctx := ttsv.TraceContext(ctx, tracer)
-		res, err := ttsv.RunDeck(ctx, d, ttsv.DeckOptions{Workers: *workers, Trace: tracer})
+		res, err := ttsv.RunDeck(ctx, d, ttsv.DeckOptions{Workers: *workers, Trace: tracer, Sweep: ctl})
 		if err != nil {
 			return err
 		}

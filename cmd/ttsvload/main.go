@@ -9,6 +9,12 @@
 //	ttsvload -inproc -n 500 -c 16 -mix hotspot
 //	ttsvload -addr 127.0.0.1:7437 -duration 10s
 //
+// With -sweep it instead smoke-tests the service's streaming sharded /sweep:
+// one concurrent streamed request per shard, verifying that every sweep point
+// arrives exactly once across the shards' NDJSON progress streams.
+//
+//	ttsvload -inproc -sweep -points 12 -shards 2
+//
 // The request schedule is a deterministic function of the request index, so
 // two runs against the same server are comparable.
 package main
@@ -53,11 +59,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	conc := fs.Int("c", 4, "concurrent client workers")
 	mix := fs.String("mix", "uniform", "key mix: uniform or hotspot (80% of requests hit key 0)")
 	keys := fs.Int("keys", 8, "number of distinct request geometries")
+	sweepMode := fs.Bool("sweep", false, "smoke-test the streaming sharded /sweep instead of load-testing /solve")
+	points := fs.Int("points", 12, "sweep points for -sweep")
+	shards := fs.Int("shards", 2, "concurrent streamed shards for -sweep")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *keys < 1 || *conc < 1 {
 		return fmt.Errorf("-keys and -c must be >= 1")
+	}
+	if *sweepMode && (*points < 1 || *shards < 1) {
+		return fmt.Errorf("-points and -shards must be >= 1")
 	}
 	if *mix != "uniform" && *mix != "hotspot" {
 		return fmt.Errorf("unknown -mix %q (want uniform or hotspot)", *mix)
@@ -86,6 +98,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		case err := <-errc:
 			return fmt.Errorf("in-process server: %w", err)
 		}
+	}
+
+	if *sweepMode {
+		return sweepSmoke(ctx, target, *points, *shards, out)
 	}
 
 	bodies, err := makeBodies(*keys)
@@ -146,6 +162,127 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("%d of %d requests failed", failed.Load(), total)
 	}
 	return ctx.Err()
+}
+
+// sweepSmoke fires one streamed sharded /sweep request per shard
+// concurrently and verifies that the shards' NDJSON progress streams jointly
+// deliver every sweep point exactly once, each stream ending in a final
+// record carrying the shard's report.
+func sweepSmoke(ctx context.Context, target string, points, shards int, out io.Writer) error {
+	url := "http://" + target + "/sweep"
+	fmt.Fprintf(out, "ttsvload: sweep smoke: %d points across %d streamed shards -> %s\n", points, shards, url)
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	counts := make([]map[int]int, shards) // per shard: point index -> times seen
+	errs := make([]error, shards)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			counts[s], errs[s] = streamShard(ctx, client, url, points, s+1, shards)
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	seen := make(map[int]int, points)
+	streamed := 0
+	for s := 0; s < shards; s++ {
+		if errs[s] != nil {
+			return fmt.Errorf("shard %d/%d: %w", s+1, shards, errs[s])
+		}
+		for i, c := range counts[s] {
+			seen[i] += c
+			streamed += c
+		}
+		fmt.Fprintf(out, "ttsvload: shard %d/%d streamed %d points\n", s+1, shards, len(counts[s]))
+	}
+	for i := 0; i < points; i++ {
+		if seen[i] != 1 {
+			return fmt.Errorf("sweep point %d streamed %d times across the shards, want exactly once", i, seen[i])
+		}
+	}
+	fmt.Fprintf(out, "ttsvload: sweep smoke OK: %d/%d points streamed once each in %v\n",
+		streamed, points, elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// streamShard posts one streamed shard request and tallies the point indices
+// its NDJSON progress records carry.
+func streamShard(ctx context.Context, client *http.Client, url string, points, shard, shards int) (map[int]int, error) {
+	body, err := json.Marshal(serve.SweepRequest{
+		Block:  stack.DefaultBlock(),
+		Param:  "r",
+		From:   units.UM(5),
+		To:     units.UM(20),
+		Points: points,
+		Models: deck.ModelSpec{Model: "a"},
+		Shard:  fmt.Sprintf("%d/%d", shard, shards),
+		Stream: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		return nil, fmt.Errorf("Content-Type %q, want application/x-ndjson", ct)
+	}
+
+	counts := make(map[int]int)
+	sawFinal := false
+	dec := json.NewDecoder(resp.Body)
+	for {
+		// One flat struct covers both record kinds: progress records fill
+		// Index/Err, the final record fills Done/Report/Err. (The "error"
+		// key means the same thing in both.)
+		var rec struct {
+			Index  int    `json:"i"`
+			Done   bool   `json:"done"`
+			Report string `json:"report"`
+			Err    string `json:"error"`
+		}
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if sawFinal {
+			return nil, fmt.Errorf("record after the final one")
+		}
+		if rec.Done {
+			if rec.Err != "" {
+				return nil, fmt.Errorf("final record: %s", rec.Err)
+			}
+			if rec.Report == "" {
+				return nil, fmt.Errorf("final record carries no report")
+			}
+			sawFinal = true
+			continue
+		}
+		if rec.Err != "" {
+			return nil, fmt.Errorf("point %d: %s", rec.Index, rec.Err)
+		}
+		counts[rec.Index]++
+	}
+	if !sawFinal {
+		return nil, fmt.Errorf("stream ended without a final record")
+	}
+	return counts, nil
 }
 
 // pickKey maps a request index to a geometry key. Uniform round-robins;

@@ -21,12 +21,31 @@ func TestRunInProcess(t *testing.T) {
 	}
 }
 
+// TestSweepSmokeInProcess drives the streaming sharded /sweep smoke through
+// an in-process server: every point must arrive exactly once across the
+// shards' NDJSON streams.
+func TestSweepSmokeInProcess(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-inproc", "-sweep", "-points", "12", "-shards", "2"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"sweep smoke OK", "12/12 points"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output does not contain %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestFlagValidation(t *testing.T) {
 	for _, args := range [][]string{
 		{},                                    // neither -addr nor -inproc
 		{"-addr", "x", "-inproc"},             // both
 		{"-inproc", "-mix", "zipf"},           // unknown mix
 		{"-inproc", "-keys", "0"},             // degenerate keys
+		{"-inproc", "-sweep", "-points", "0"}, // degenerate sweep smoke
+		{"-inproc", "-sweep", "-shards", "0"},
 	} {
 		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
 			t.Errorf("run(%v) accepted invalid flags", args)

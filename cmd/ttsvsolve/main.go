@@ -19,6 +19,7 @@ import (
 	"time"
 
 	ttsv "repro"
+	"repro/internal/clideck"
 	"repro/internal/cliobs"
 	"repro/internal/stack"
 	"repro/internal/units"
@@ -60,9 +61,13 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	verbose := fs.Bool("v", false, "print per-solve linear-solver statistics (iterations, residual, preconditioner)")
 	config := fs.String("config", "", "JSON block config file (SI units); explicit flags override its fields")
 	deckPath := fs.String("deck", "", ".ttsv scenario deck file; runs its analysis cards and ignores the geometry flags")
+	sweepf := clideck.Register(fs)
 	obsf := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *deckPath == "" && sweepf.Set() {
+		return fmt.Errorf("-shard/-journal/-resume/-merge/-cache-dir/-progress control a deck's .sweep and require -deck")
 	}
 	tracer, err := obsf.Start(out)
 	if err != nil {
@@ -75,12 +80,16 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	}()
 
 	if *deckPath != "" {
+		ctl, err := sweepf.Control(os.Stderr)
+		if err != nil {
+			return err
+		}
 		d, err := ttsv.ParseDeckFile(*deckPath)
 		if err != nil {
 			return err
 		}
 		ctx := ttsv.TraceContext(ctx, tracer)
-		res, err := ttsv.RunDeck(ctx, d, ttsv.DeckOptions{Workers: *workers, Trace: tracer})
+		res, err := ttsv.RunDeck(ctx, d, ttsv.DeckOptions{Workers: *workers, Trace: tracer, Sweep: ctl})
 		if err != nil {
 			return err
 		}

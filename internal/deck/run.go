@@ -1,9 +1,11 @@
 package deck
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 
@@ -29,6 +31,68 @@ type Options struct {
 	// changes results (core.ReusableSolver contract); nil solves from
 	// scratch. The provider is consulted from the run's goroutine only.
 	Reuse ReuseProvider
+	// Sweep controls sharding, checkpoint journaling, resumption and
+	// merging of .sweep analyses; the zero value runs sweeps in-process
+	// with no journal, exactly as before.
+	Sweep SweepControl
+}
+
+// SweepControl shards, journals, resumes and merges .sweep analyses. Shard,
+// JournalPath, Resume and MergePaths apply to the deck's sweep analysis and
+// therefore require the deck to contain exactly one analysis, a sweep
+// (RunScenario rejects anything else — a journal file checkpoints one batch).
+type SweepControl struct {
+	// Shard selects one chain-aligned slice of the sweep's job list; the
+	// zero spec runs the whole batch. The report then covers only the
+	// shard's fully-contained value rows and carries a shard header; the
+	// journal (not the shard report) is the merge artifact.
+	Shard sweep.ShardSpec
+	// JournalPath, when set, checkpoints every completed point to this
+	// NDJSON file, creating or truncating it (appending when Resume is set).
+	JournalPath string
+	// Resume replays the completed points of an existing JournalPath file
+	// instead of re-solving them; a missing or empty file starts fresh. The
+	// journal's shard spec must match Shard.
+	Resume bool
+	// MergePaths, when non-empty, skips solving entirely: the named shard
+	// journals are merged (they must jointly cover every point) and the
+	// report is rendered from the replayed outcomes — byte-identical to a
+	// single-process run of the same deck. Exclusive with Shard/JournalPath.
+	MergePaths []string
+	// CacheDir, when set, backs the sweep with a persistent on-disk result
+	// cache (sweep.OpenDiskCache) behind the in-memory LRU, so points
+	// solved by earlier runs — or concurrent shards sharing the directory —
+	// are replayed from disk.
+	CacheDir string
+	// Progress, when set, is called once per completed point. Calls arrive
+	// concurrently from worker goroutines; the callback must be safe for
+	// concurrent use.
+	Progress func(SweepProgress)
+}
+
+// active reports whether any per-sweep control (shard/journal/merge) is set.
+func (c SweepControl) active() bool {
+	return !c.Shard.IsZero() || c.JournalPath != "" || len(c.MergePaths) > 0
+}
+
+// SweepProgress is one completed sweep point, as delivered to
+// SweepControl.Progress and streamed by the solve service's /sweep endpoint.
+type SweepProgress struct {
+	// Index is the point's global batch index; Total the batch size.
+	Index int `json:"i"`
+	Total int `json:"n"`
+	// Label is the job label, e.g. "r=1e-05/fvm-ref".
+	Label string `json:"label"`
+	// MaxDT is the point's peak temperature rise (valid when Err is empty).
+	MaxDT float64 `json:"max_dt"`
+	// Err carries the point's failure, empty on success.
+	Err string `json:"error,omitempty"`
+	// FromCache and Replayed report result provenance: memoization cache
+	// hit, or replay from a checkpoint journal.
+	FromCache bool `json:"from_cache,omitempty"`
+	Replayed  bool `json:"replayed,omitempty"`
+	// RuntimeNS is the point's solve wall time (0 for cache hits/replays).
+	RuntimeNS int64 `json:"runtime_ns,omitempty"`
 }
 
 // ReuseProvider supplies per-model reusable solver instances to a run. A
@@ -58,11 +122,16 @@ type AnalysisResult struct {
 	// Tran holds the transient trace (Kind "tran").
 	Tran *core.TransientResult
 	// Sweep fields (Kind "sweep"): DT[i][j] is the max rise at Values[i]
-	// under Models[j].
-	SweepParam  string
-	SweepValues []float64
-	SweepModels []string
-	SweepDT     [][]float64
+	// under Models[j]. A sharded run sets SweepShard and trims Values/DT to
+	// the value rows wholly inside the shard (SweepTotalValues keeps the
+	// full batch size); unsharded runs leave both zero, so their reports
+	// are byte-identical to before sharding existed.
+	SweepParam       string
+	SweepValues      []float64
+	SweepModels      []string
+	SweepDT          [][]float64
+	SweepShard       string
+	SweepTotalValues int
 	// Plan fields (Kind "plan").
 	Plan       *plan.Result
 	PlanModel  string
@@ -80,6 +149,14 @@ func Run(ctx context.Context, d *Deck, opt Options) (*Result, error) {
 
 // RunScenario executes an already-lowered scenario.
 func RunScenario(ctx context.Context, sc *Scenario, opt Options) (*Result, error) {
+	if opt.Sweep.active() {
+		if len(sc.Analyses) != 1 || sc.Analyses[0].Kind != "sweep" {
+			return nil, fmt.Errorf("deck: shard/journal/merge controls checkpoint one batch and require a deck with exactly one analysis, a .sweep (this deck has %d)", len(sc.Analyses))
+		}
+		if len(opt.Sweep.MergePaths) > 0 && (!opt.Sweep.Shard.IsZero() || opt.Sweep.JournalPath != "") {
+			return nil, fmt.Errorf("deck: merge mode replays existing journals and cannot be combined with -shard or -journal")
+		}
+	}
 	res := &Result{Title: sc.Title}
 	for i := range sc.Analyses {
 		a := &sc.Analyses[i]
@@ -148,7 +225,9 @@ func runTran(sc *Scenario, tr *TranAnalysis) (*AnalysisResult, error) {
 
 // runSweep fans the value×model grid through the batch engine. The engine
 // guarantees bit-identical results for any worker count, so the deck layer
-// inherits worker invariance for free.
+// inherits worker invariance for free; sharding, journaling and resumption
+// ride on the engine's chain-aligned partition and checkpoint journal, so
+// they inherit the same identity guarantee.
 func runSweep(ctx context.Context, sw *SweepAnalysis, opt Options) (*AnalysisResult, error) {
 	workers := opt.Workers
 	if sw.Workers > 0 {
@@ -160,26 +239,154 @@ func runSweep(ctx context.Context, sw *SweepAnalysis, opt Options) (*AnalysisRes
 			jobs = jobs.Add(fmt.Sprintf("%s=%s/%s", sw.Param, g(sw.Values[i]), m.Name()), sw.Stacks[i], m)
 		}
 	}
-	outcomes, err := sweep.Run(ctx, jobs, sweep.Options{Workers: workers, Trace: opt.Trace})
+	ctl := opt.Sweep
+
+	if len(ctl.MergePaths) > 0 {
+		outcomes, err := mergeJournalFiles(jobs, ctl.MergePaths)
+		if err != nil {
+			return nil, err
+		}
+		return sweepResult(sw, outcomes, 0, sweep.ShardSpec{})
+	}
+
+	sopt := sweep.Options{Workers: workers, Trace: opt.Trace}
+	if ctl.CacheDir != "" {
+		disk, err := sweep.OpenDiskCache(ctl.CacheDir, 0)
+		if err != nil {
+			return nil, fmt.Errorf("deck: .sweep cache: %w", err)
+		}
+		sopt.Cache = sweep.NewCacheWithDisk(sweep.DefaultCacheCapacity, disk)
+	}
+	if ctl.Progress != nil {
+		total := len(jobs)
+		sopt.Progress = func(i int, oc sweep.Outcome) {
+			p := SweepProgress{
+				Index:     i,
+				Total:     total,
+				Label:     oc.Job.Name(),
+				FromCache: oc.FromCache,
+				Replayed:  oc.Replayed,
+				RuntimeNS: oc.Runtime.Nanoseconds(),
+			}
+			if oc.Err != nil {
+				p.Err = oc.Err.Error()
+			} else if oc.Result != nil {
+				p.MaxDT = oc.Result.MaxDT
+			}
+			ctl.Progress(p)
+		}
+	}
+	var jf *os.File
+	if ctl.JournalPath != "" {
+		var err error
+		if ctl.Resume {
+			sopt.Resume, err = readResume(ctl.JournalPath, jobs, ctl.Shard)
+			if err != nil {
+				return nil, err
+			}
+			jf, err = os.OpenFile(ctl.JournalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		} else {
+			jf, err = os.Create(ctl.JournalPath)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("deck: .sweep journal: %w", err)
+		}
+		defer jf.Close()
+		sopt.Journal, err = sweep.NewJournal(jf, jobs, ctl.Shard)
+		if err != nil {
+			return nil, fmt.Errorf("deck: .sweep journal: %w", err)
+		}
+	}
+
+	outcomes, lo, err := sweep.RunShard(ctx, jobs, ctl.Shard, sopt)
 	if err != nil {
 		return nil, err
 	}
-	ar := &AnalysisResult{Kind: "sweep", SweepParam: sw.Param, SweepValues: sw.Values}
+	if sopt.Journal != nil {
+		if jerr := sopt.Journal.Err(); jerr != nil {
+			return nil, fmt.Errorf("deck: .sweep journal: %w", jerr)
+		}
+		if err := jf.Close(); err != nil {
+			return nil, fmt.Errorf("deck: .sweep journal: %w", err)
+		}
+	}
+	return sweepResult(sw, outcomes, lo, ctl.Shard)
+}
+
+// readResume replays the completed points of an existing journal file. A
+// missing or empty file is a fresh start, not an error — "resume" is then
+// just a journaled run. The journal's recorded shard must match the
+// requested one: resuming shard 2/5 from shard 1/5's journal would replay
+// the wrong points.
+func readResume(path string, jobs []sweep.Job, spec sweep.ShardSpec) (map[int]sweep.Outcome, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("deck: .sweep resume: %w", err)
+	}
+	if len(data) == 0 {
+		return nil, nil
+	}
+	resume, got, err := sweep.ReadJournal(bytes.NewReader(data), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("deck: .sweep resume %s: %w", path, err)
+	}
+	if got != spec {
+		return nil, fmt.Errorf("deck: .sweep resume %s: journal is for shard %q, this run is shard %q", path, got.String(), spec.String())
+	}
+	return resume, nil
+}
+
+// mergeJournalFiles merges shard journal files into full-batch outcomes.
+func mergeJournalFiles(jobs []sweep.Job, paths []string) ([]sweep.Outcome, error) {
+	readers := make([]io.Reader, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("deck: .sweep merge: %w", err)
+		}
+		readers = append(readers, bytes.NewReader(data))
+	}
+	outcomes, err := sweep.MergeJournals(jobs, readers...)
+	if err != nil {
+		return nil, fmt.Errorf("deck: .sweep merge: %w", err)
+	}
+	return outcomes, nil
+}
+
+// sweepResult renders outcomes covering batch indices [lo, lo+len(outcomes))
+// into the analysis result. Only value rows whose jobs all fall inside the
+// range are reported — a shard boundary can split a value's model row when
+// the models-per-value count does not divide the chain length — and a
+// sharded result is marked so the report says what it covers. An unsharded
+// result (zero spec, lo 0) reports every row, exactly as before.
+func sweepResult(sw *SweepAnalysis, outcomes []sweep.Outcome, lo int, spec sweep.ShardSpec) (*AnalysisResult, error) {
+	ar := &AnalysisResult{Kind: "sweep", SweepParam: sw.Param}
 	for _, m := range sw.Models {
 		ar.SweepModels = append(ar.SweepModels, m.Name())
 	}
 	nm := len(sw.Models)
-	ar.SweepDT = make([][]float64, len(sw.Values))
+	hi := lo + len(outcomes)
 	for i := range sw.Values {
+		if i*nm < lo || (i+1)*nm > hi {
+			continue
+		}
 		row := make([]float64, nm)
 		for j := 0; j < nm; j++ {
-			o := &outcomes[i*nm+j]
+			o := &outcomes[i*nm+j-lo]
 			if o.Err != nil {
 				return nil, fmt.Errorf("deck: .sweep job %s: %w", o.Job.Name(), o.Err)
 			}
 			row[j] = o.Result.MaxDT
 		}
-		ar.SweepDT[i] = row
+		ar.SweepValues = append(ar.SweepValues, sw.Values[i])
+		ar.SweepDT = append(ar.SweepDT, row)
+	}
+	if !spec.IsZero() {
+		ar.SweepShard = spec.String()
+		ar.SweepTotalValues = len(sw.Values)
 	}
 	return ar, nil
 }
@@ -247,6 +454,9 @@ func (r *Result) WriteText(w io.Writer) error {
 			bw.printf("  final dT=%s K settled=%v settlingTime=%s s\n", g(t.FinalDT), t.Settled, g(t.SettlingTime))
 		case "sweep":
 			bw.printf(".sweep %s (%d points)\n", a.SweepParam, len(a.SweepValues))
+			if a.SweepShard != "" {
+				bw.printf("  shard: %s (%d of %d values)\n", a.SweepShard, len(a.SweepValues), a.SweepTotalValues)
+			}
 			bw.printf("  models: %s\n", strings.Join(a.SweepModels, " "))
 			for j, v := range a.SweepValues {
 				parts := make([]string, len(a.SweepDT[j]))

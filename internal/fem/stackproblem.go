@@ -153,7 +153,7 @@ func BuildAxiProblem(s *stack.Stack, res Resolution) (*AxiProblem, error) {
 			// relative to the base mesh so refinement keeps the envelope.
 			ratio = res.gradeRatio(0.75)
 		}
-		if sp.hi-sp.lo < 2e-6 && i != 0 {
+		if sp.hi-sp.lo < thinSpanMax && i != 0 {
 			cells = res.AxialMin
 		}
 		intervals = append(intervals, mesh.Interval{Hi: sp.hi, Cells: cells, Ratio: ratio})

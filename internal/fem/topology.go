@@ -1,0 +1,50 @@
+package fem
+
+import (
+	"strings"
+
+	"repro/internal/stack"
+)
+
+// thinSpanMax is the span thickness below which the axial mesh falls back to
+// Resolution.AxialMin cells instead of AxialPerLayer — thin bond/liner-scale
+// layers would otherwise force needle cells. The threshold decides the cell
+// count of every span, which makes it part of the grid topology (see
+// GridTopology).
+const thinSpanMax = 2e-6
+
+// GridTopology returns a signature of the axisymmetric grid structure
+// BuildAxiProblem derives from the stack: one class character per layer span,
+// bottom-up — 'b' for the graded bulk substrate, 't' for thin spans meshed at
+// AxialMin, 'n' for normal spans meshed at AxialPerLayer. Two stacks with the
+// same signature produce grids with identical cell counts and boundary
+// conditions at any given Resolution (radial counts depend only on the
+// Resolution), so solver state assembled for one is structurally reusable for
+// the other; stacks with different signatures are not, even when their plane
+// counts coincide.
+//
+// The signature is cheap (no meshing) and deterministic, making it a sound
+// pool/cache key component for solver-state reuse across requests.
+func GridTopology(s *stack.Stack) (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	cellArea := s.Footprint / float64(s.Via.EffectiveCount())
+	spans, _, err := buildLayerSpans(s, cellArea)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("axi:")
+	for i, sp := range spans {
+		switch {
+		case i == 0:
+			b.WriteByte('b')
+		case sp.hi-sp.lo < thinSpanMax:
+			b.WriteByte('t')
+		default:
+			b.WriteByte('n')
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,80 @@
+package fem
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stack"
+	"repro/internal/units"
+)
+
+// TestGridTopologySignature pins the signature's shape and its two contract
+// properties: stacks whose spans mesh identically share a signature, and
+// stacks whose spans cross the thin-span threshold do not — even at equal
+// plane counts.
+func TestGridTopologySignature(t *testing.T) {
+	base, err := stack.DefaultBlock().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := GridTopology(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sig, "axi:") {
+		t.Fatalf("signature %q lacks the axi: prefix", sig)
+	}
+	if !strings.HasPrefix(sig, "axi:b") {
+		t.Fatalf("signature %q does not start with the bulk span", sig)
+	}
+
+	// A pure resolution change of the same geometry (different via radius,
+	// same layer structure) keeps the signature: radii shape the r-mesh
+	// only, and the r-mesh is Resolution-determined.
+	big, err := stack.Fig4Block(units.UM(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := stack.Fig4Block(units.UM(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := GridTopology(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := GridTopology(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb != ss {
+		t.Errorf("radius change altered the topology: %q vs %q", sb, ss)
+	}
+
+	// Equal plane counts, different topology: a bonding layer crossing the
+	// thin-span threshold changes the axial meshing class.
+	cfg := stack.DefaultBlock()
+	cfg.TB = units.UM(3) // past thinSpanMax: bond spans mesh at AxialPerLayer
+	thick, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := GridTopology(thick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(thick.Planes) != len(base.Planes) {
+		t.Fatalf("premise broken: plane counts differ")
+	}
+	if st == sig {
+		t.Errorf("thin and thick bond stacks share topology %q", sig)
+	}
+}
+
+// TestGridTopologyRejectsInvalidStack: a stack that fails validation cannot
+// produce a signature.
+func TestGridTopologyRejectsInvalidStack(t *testing.T) {
+	if _, err := GridTopology(&stack.Stack{}); err == nil {
+		t.Fatal("empty stack produced a topology signature")
+	}
+}

@@ -53,3 +53,15 @@ func (b *tokenBucket) take() (ok bool, retryAfter time.Duration) {
 	}
 	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
 }
+
+// refund returns an admitted request's token, capped at the burst capacity.
+// Requests rejected before any solving (bad body, oversized body) give their
+// token back so a stream of malformed posts cannot starve valid solves.
+func (b *tokenBucket) refund() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens = math.Min(b.burst, b.tokens+1)
+}

@@ -27,14 +27,17 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/canon"
 	"repro/internal/core"
 	"repro/internal/deck"
+	"repro/internal/fem"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/stack"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -94,7 +97,7 @@ func New(cfg Config) *Server {
 		reg:    reg,
 	}
 	s.mux.HandleFunc("POST /solve", s.handleRun("solve", lowerSolve))
-	s.mux.HandleFunc("POST /sweep", s.handleRun("sweep", lowerSweep))
+	s.mux.HandleFunc("POST /sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /plan", s.handleRun("plan", lowerPlan))
 	s.mux.HandleFunc("POST /deck", s.handleRun("deck", lowerDeck))
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -127,53 +130,77 @@ func (s *Server) handleRun(endpoint string, lower func(body []byte) (*deck.Scena
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.reg.Counter("serve." + endpoint + ".requests").Inc()
 		if ok, retry := s.bucket.take(); !ok {
-			s.reg.Counter("serve.rejected").Inc()
-			secs := int(math.Ceil(retry.Seconds()))
-			if secs < 1 {
-				secs = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			http.Error(w, "solve capacity exhausted, retry later", http.StatusTooManyRequests)
+			s.rateLimited(w, retry)
 			return
 		}
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-		if err != nil {
-			http.Error(w, fmt.Sprintf("reading request: %v", err), http.StatusBadRequest)
+		body, ok := s.readBody(w, r)
+		if !ok {
 			return
 		}
 		sc, err := lower(body)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			s.reject(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		// The coalescing key is the canonical encoding of the *lowered*
 		// scenario, not the raw bytes: two requests that differ only in
 		// whitespace or field order still share one solve.
 		key := canon.Hash(endpoint, sc)
-		t0 := time.Now()
-		resp, shared, err := s.flights.do(r.Context(), key, func(ctx context.Context) response {
-			return s.execute(ctx, endpoint, sc)
+		s.coalesced(w, r, endpoint, key, func(ctx context.Context) response {
+			return s.execute(ctx, endpoint, sc, deck.SweepControl{})
 		})
-		s.reg.Histogram("serve.request.seconds", obs.ExpBuckets(1e-6, 4, 13)).Observe(time.Since(t0).Seconds())
-		if err != nil {
-			// Client is gone; there is nobody to write to.
-			s.reg.Counter("serve.abandoned").Inc()
-			return
-		}
-		if shared {
-			s.reg.Counter("serve.coalesced").Inc()
-		}
-		w.Header().Set("Content-Type", resp.contentType)
-		w.WriteHeader(resp.status)
-		w.Write(resp.body)
 	}
+}
+
+// readBody reads the request body under the size cap. On failure it answers
+// the client (413 for an oversized body, 400 otherwise), refunds the
+// admission token — the request never reached a solver — and returns false.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.reject(w, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit), http.StatusRequestEntityTooLarge)
+		} else {
+			s.reject(w, fmt.Sprintf("reading request: %v", err), http.StatusBadRequest)
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+// reject answers a request rejected before any solving and gives its
+// admission token back.
+func (s *Server) reject(w http.ResponseWriter, msg string, status int) {
+	s.bucket.refund()
+	s.reg.Counter("serve.refunded").Inc()
+	http.Error(w, msg, status)
+}
+
+// coalesced runs fn under the single-flight group and writes the shared
+// response.
+func (s *Server) coalesced(w http.ResponseWriter, r *http.Request, endpoint, key string, fn func(context.Context) response) {
+	t0 := time.Now()
+	resp, shared, err := s.flights.do(r.Context(), key, fn)
+	s.reg.Histogram("serve.request.seconds", obs.ExpBuckets(1e-6, 4, 13)).Observe(time.Since(t0).Seconds())
+	if err != nil {
+		// Client is gone; there is nobody to write to.
+		s.reg.Counter("serve.abandoned").Inc()
+		return
+	}
+	if shared {
+		s.reg.Counter("serve.coalesced").Inc()
+	}
+	w.Header().Set("Content-Type", resp.contentType)
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
 }
 
 // execute runs one coalesced scenario to a response. ctx is the flight's
 // execution context (alive while any client waits); the configured timeout
 // and tracer stack on top, and both reach the iterative solvers through
 // deck.RunScenario.
-func (s *Server) execute(ctx context.Context, endpoint string, sc *deck.Scenario) response {
+func (s *Server) execute(ctx context.Context, endpoint string, sc *deck.Scenario, sweepCtl deck.SweepControl) response {
 	if s.solveGate != nil {
 		s.solveGate(endpoint)
 	}
@@ -189,9 +216,9 @@ func (s *Server) execute(ctx context.Context, endpoint string, sc *deck.Scenario
 		defer sp.End()
 	}
 
-	opt := deck.Options{Workers: s.cfg.Workers, Trace: s.cfg.Trace}
+	opt := deck.Options{Workers: s.cfg.Workers, Trace: s.cfg.Trace, Sweep: sweepCtl}
 	if sc.Stack != nil {
-		key := canon.Hash("topology", len(sc.Stack.Planes))
+		key := poolKey(sc.Stack)
 		entry, warm := s.pool.checkout(key)
 		defer s.pool.checkin(key, entry)
 		if warm {
@@ -223,6 +250,123 @@ func (s *Server) execute(ctx context.Context, endpoint string, sc *deck.Scenario
 		return textResponse(http.StatusInternalServerError, err.Error()+"\n")
 	}
 	return response{status: http.StatusOK, contentType: "text/plain; charset=utf-8", body: buf.Bytes()}
+}
+
+// poolKey derives the warm-pool key from the stack's grid topology — the
+// same structural inputs that decide whether assembled solver state is
+// actually reusable. Keying on plane count alone made distinct topologies
+// with equal plane counts (e.g. differing bond-layer thickness classes)
+// share and thrash one pool entry. Stacks whose topology cannot be derived
+// (the reference solver would reject them anyway) fall back to the plane
+// count so they still pool somewhere.
+func poolKey(st *stack.Stack) string {
+	if sig, err := fem.GridTopology(st); err == nil {
+		return canon.Hash("topology", sig)
+	}
+	return canon.Hash("topology", len(st.Planes))
+}
+
+// handleSweep serves POST /sweep: admission, lowering, then either the
+// coalesced one-shot response path (like every other endpoint, with the
+// shard spec folded into the coalescing key) or — when the request sets
+// "stream" — a per-point NDJSON progress stream that bypasses coalescing,
+// since each client gets its own live stream.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("serve.sweep.requests").Inc()
+	if ok, retry := s.bucket.take(); !ok {
+		s.rateLimited(w, retry)
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, sc, spec, err := lowerSweepRequest(body)
+	if err != nil {
+		s.reject(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctl := deck.SweepControl{Shard: spec}
+	if !req.Stream {
+		key := canon.Hash("sweep", spec.String(), sc)
+		s.coalesced(w, r, "sweep", key, func(ctx context.Context) response {
+			return s.execute(ctx, "sweep", sc, ctl)
+		})
+		return
+	}
+	s.streamSweep(w, r, sc, ctl)
+}
+
+// streamSweep executes the sweep with a progress callback wired to the
+// response: one NDJSON record per completed point, then a final record
+// carrying the full text report (or the error). The HTTP status is committed
+// before solving starts, so failures surface in the final record, not the
+// status line.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, sc *deck.Scenario, ctl deck.SweepControl) {
+	s.reg.Counter("serve.sweep.streams").Inc()
+	ctx := r.Context()
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	ctx = obs.ContextWithTracer(ctx, s.cfg.Trace)
+	ctx, sp := obs.StartSpan(ctx, "serve.sweep.stream")
+	if sp != nil {
+		defer sp.End()
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	emit := func(v any) {
+		mu.Lock()
+		defer mu.Unlock()
+		enc.Encode(v)
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	ctl.Progress = func(p deck.SweepProgress) { emit(p) }
+
+	opt := deck.Options{Workers: s.cfg.Workers, Trace: s.cfg.Trace, Sweep: ctl}
+	res, err := deck.RunScenario(ctx, sc, opt)
+	final := sweepStreamFinal{Done: true}
+	if err != nil {
+		s.reg.Counter("serve.errors").Inc()
+		if sp != nil {
+			sp.Set("error", err.Error())
+		}
+		final.Err = err.Error()
+	} else {
+		var buf bytes.Buffer
+		if werr := res.WriteText(&buf); werr != nil {
+			final.Err = werr.Error()
+		} else {
+			final.Report = buf.String()
+		}
+	}
+	emit(final)
+}
+
+// sweepStreamFinal is the last record of a /sweep NDJSON stream.
+type sweepStreamFinal struct {
+	Done   bool   `json:"done"`
+	Report string `json:"report,omitempty"`
+	Err    string `json:"error,omitempty"`
+}
+
+// rateLimited answers a request rejected by the admission bucket.
+func (s *Server) rateLimited(w http.ResponseWriter, retry time.Duration) {
+	s.reg.Counter("serve.rejected").Inc()
+	secs := int(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, "solve capacity exhausted, retry later", http.StatusTooManyRequests)
 }
 
 func textResponse(status int, msg string) response {
@@ -260,6 +404,17 @@ type SweepRequest struct {
 	Points int               `json:"points,omitempty"`
 	// Workers overrides the service's engine pool size for this request.
 	Workers int `json:"workers,omitempty"`
+	// Shard selects one chain-aligned slice of the sweep's job list, in the
+	// 1-based "i/n" form (e.g. "2/5"); empty runs the whole batch. The
+	// response then covers only that shard's value rows and carries a shard
+	// header, letting N processes split one sweep and merge their journals.
+	Shard string `json:"shard,omitempty"`
+	// Stream switches the response to NDJSON: one progress record per
+	// completed point (deck.SweepProgress), then a final
+	// {"done":true,"report":...} record with the full text report. Streamed
+	// requests bypass single-flight coalescing — each client gets its own
+	// live stream.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // PlanRequest is the POST /plan body: a TTSV insertion-planning run. Tech
@@ -306,23 +461,27 @@ func lowerSolve(body []byte) (*deck.Scenario, error) {
 	}, nil
 }
 
-func lowerSweep(body []byte) (*deck.Scenario, error) {
+func lowerSweepRequest(body []byte) (SweepRequest, *deck.Scenario, sweep.ShardSpec, error) {
 	req := SweepRequest{Block: stack.DefaultBlock()}
 	if err := decodeStrict(body, &req); err != nil {
-		return nil, err
+		return req, nil, sweep.ShardSpec{}, err
+	}
+	spec, err := sweep.ParseShardSpec(req.Shard)
+	if err != nil {
+		return req, nil, sweep.ShardSpec{}, err
 	}
 	models, err := req.Models.Models("all", opCoeffs)
 	if err != nil {
-		return nil, err
+		return req, nil, sweep.ShardSpec{}, err
 	}
 	base, err := req.Block.Build()
 	if err != nil {
-		return nil, err
+		return req, nil, sweep.ShardSpec{}, err
 	}
 	values := req.Values
 	if len(values) == 0 {
 		if req.Points < 2 {
-			return nil, fmt.Errorf("sweep needs values, or from/to with points >= 2 (got points=%d)", req.Points)
+			return req, nil, sweep.ShardSpec{}, fmt.Errorf("sweep needs values, or from/to with points >= 2 (got points=%d)", req.Points)
 		}
 		values = units.Linspace(req.From, req.To, req.Points)
 	}
@@ -330,17 +489,18 @@ func lowerSweep(body []byte) (*deck.Scenario, error) {
 	for i, v := range values {
 		s, err := deck.ApplyParam(base, req.Param, v)
 		if err != nil {
-			return nil, fmt.Errorf("sweep point %s=%v: %v", req.Param, v, err)
+			return req, nil, sweep.ShardSpec{}, fmt.Errorf("sweep point %s=%v: %v", req.Param, v, err)
 		}
 		stacks[i] = s
 	}
-	return &deck.Scenario{
+	sc := &deck.Scenario{
 		Title: "sweep",
 		Stack: base,
 		Analyses: []deck.Analysis{{Kind: "sweep", Sweep: &deck.SweepAnalysis{
 			Param: req.Param, Values: values, Stacks: stacks, Models: models, Workers: req.Workers,
 		}}},
-	}, nil
+	}
+	return req, sc, spec, nil
 }
 
 func lowerPlan(body []byte) (*deck.Scenario, error) {

@@ -399,8 +399,17 @@ func TestBadRequests(t *testing.T) {
 	})
 	t.Run("oversized body", func(t *testing.T) {
 		status, got := post(t, ts.URL+"/deck", bytes.Repeat([]byte("*"), maxBodyBytes+1))
-		if status != http.StatusBadRequest {
-			t.Errorf("status %d, want 400; body:\n%s", status, got)
+		if status != http.StatusRequestEntityTooLarge {
+			t.Errorf("status %d, want 413; body:\n%s", status, got)
+		}
+		if !strings.Contains(string(got), "exceeds") {
+			t.Errorf("body %q does not explain the size limit", got)
+		}
+	})
+	t.Run("oversized sweep body", func(t *testing.T) {
+		status, got := post(t, ts.URL+"/sweep", bytes.Repeat([]byte("*"), maxBodyBytes+1))
+		if status != http.StatusRequestEntityTooLarge {
+			t.Errorf("status %d, want 413; body:\n%s", status, got)
 		}
 	})
 }

@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/deck"
+	"repro/internal/fem"
+	"repro/internal/stack"
+	"repro/internal/units"
+)
+
+// sweepBody marshals a SweepRequest for the 6-point Model A radius sweep the
+// streaming tests share.
+func sweepBody(t *testing.T, mutate func(*SweepRequest)) []byte {
+	t.Helper()
+	req := SweepRequest{
+		Block:  stack.DefaultBlock(),
+		Param:  "r",
+		From:   units.UM(5),
+		To:     units.UM(20),
+		Points: 6,
+		Models: deck.ModelSpec{Model: "a"},
+	}
+	if mutate != nil {
+		mutate(&req)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// postStream posts a streaming sweep and returns the decoded progress
+// records and the final record.
+func postStream(t *testing.T, url string, body []byte) ([]deck.SweepProgress, sweepStreamFinal) {
+	t.Helper()
+	resp, err := http.Post(url+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q, want application/x-ndjson", ct)
+	}
+	var (
+		progress []deck.SweepProgress
+		final    sweepStreamFinal
+		sawFinal bool
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if sawFinal {
+			t.Fatalf("record after the final one: %s", line)
+		}
+		var probe struct {
+			Done bool `json:"done"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if probe.Done {
+			if err := json.Unmarshal(line, &final); err != nil {
+				t.Fatal(err)
+			}
+			sawFinal = true
+			continue
+		}
+		var p deck.SweepProgress
+		if err := json.Unmarshal(line, &p); err != nil {
+			t.Fatal(err)
+		}
+		progress = append(progress, p)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawFinal {
+		t.Fatal("stream ended without a final record")
+	}
+	return progress, final
+}
+
+// TestSweepStreamsNDJSONProgress: a streamed /sweep delivers one progress
+// record per point and a final record whose embedded report is byte-identical
+// to the non-streamed response for the same request.
+func TestSweepStreamsNDJSONProgress(t *testing.T) {
+	_, ts, reg := newTestServer(t, Config{Workers: 2})
+	progress, final := postStream(t, ts.URL, sweepBody(t, func(r *SweepRequest) { r.Stream = true }))
+	if len(progress) != 6 {
+		t.Fatalf("got %d progress records, want 6", len(progress))
+	}
+	seen := make(map[int]bool)
+	for _, p := range progress {
+		if p.Total != 6 {
+			t.Errorf("point %d: total %d, want 6", p.Index, p.Total)
+		}
+		if p.Err != "" {
+			t.Errorf("point %d failed: %s", p.Index, p.Err)
+		}
+		if p.Label == "" {
+			t.Errorf("point %d has no label", p.Index)
+		}
+		if seen[p.Index] {
+			t.Errorf("point %d reported twice", p.Index)
+		}
+		seen[p.Index] = true
+	}
+	for i := 0; i < 6; i++ {
+		if !seen[i] {
+			t.Errorf("point %d never reported", i)
+		}
+	}
+	if final.Err != "" {
+		t.Fatalf("final record carries error: %s", final.Err)
+	}
+
+	status, plain := post(t, ts.URL+"/sweep", sweepBody(t, nil))
+	if status != http.StatusOK {
+		t.Fatalf("non-streamed sweep: status %d", status)
+	}
+	if final.Report != string(plain) {
+		t.Errorf("streamed report differs from one-shot response:\n--- stream ---\n%s\n--- plain ---\n%s", final.Report, plain)
+	}
+	if got := reg.Counter("serve.sweep.streams").Value(); got != 1 {
+		t.Errorf("serve.sweep.streams = %d, want 1", got)
+	}
+}
+
+// TestSweepStreamShard: a sharded stream reports exactly the shard's points
+// (global indices) and its report carries the shard header.
+func TestSweepStreamShard(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{Workers: 2})
+	// 12 points × 1 model = 12 jobs; chains of 8 give shard 2/2 = [8, 12).
+	body := sweepBody(t, func(r *SweepRequest) { r.Points = 12; r.Shard = "2/2"; r.Stream = true })
+	progress, final := postStream(t, ts.URL, body)
+	if len(progress) != 4 {
+		t.Fatalf("shard 2/2 of 12 points streamed %d records, want 4", len(progress))
+	}
+	for _, p := range progress {
+		if p.Index < 8 || p.Index >= 12 {
+			t.Errorf("point %d outside shard range [8,12)", p.Index)
+		}
+		if p.Total != 12 {
+			t.Errorf("point %d: total %d, want 12", p.Index, p.Total)
+		}
+	}
+	if final.Err != "" {
+		t.Fatalf("final record carries error: %s", final.Err)
+	}
+	if !strings.Contains(final.Report, "shard: 2/2 (4 of 12 values)") {
+		t.Errorf("shard report missing shard header:\n%s", final.Report)
+	}
+}
+
+// TestSweepShardPartitionsReport: the one-shot sharded responses jointly
+// carry exactly the unsharded report's value rows, each under its shard
+// header; a malformed shard spec is a 400.
+func TestSweepShardPartitionsReport(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{Workers: 2})
+	status, full := post(t, ts.URL+"/sweep", sweepBody(t, func(r *SweepRequest) { r.Points = 12 }))
+	if status != http.StatusOK {
+		t.Fatalf("unsharded sweep: status %d, body:\n%s", status, full)
+	}
+	var shardRows []string
+	for _, spec := range []string{"1/2", "2/2"} {
+		status, body := post(t, ts.URL+"/sweep", sweepBody(t, func(r *SweepRequest) { r.Points = 12; r.Shard = spec }))
+		if status != http.StatusOK {
+			t.Fatalf("shard %s: status %d, body:\n%s", spec, status, body)
+		}
+		if !strings.Contains(string(body), fmt.Sprintf("shard: %s", spec)) {
+			t.Errorf("shard %s response missing shard header:\n%s", spec, body)
+		}
+		for _, line := range strings.Split(string(body), "\n") {
+			if strings.HasPrefix(line, "  r=") {
+				shardRows = append(shardRows, line)
+			}
+		}
+	}
+	var fullRows []string
+	for _, line := range strings.Split(string(full), "\n") {
+		if strings.HasPrefix(line, "  r=") {
+			fullRows = append(fullRows, line)
+		}
+	}
+	if len(fullRows) != 12 {
+		t.Fatalf("unsharded report has %d value rows, want 12:\n%s", len(fullRows), full)
+	}
+	if strings.Join(shardRows, "\n") != strings.Join(fullRows, "\n") {
+		t.Errorf("shard rows differ from unsharded rows:\n--- shards ---\n%s\n--- full ---\n%s",
+			strings.Join(shardRows, "\n"), strings.Join(fullRows, "\n"))
+	}
+
+	status, body := post(t, ts.URL+"/sweep", sweepBody(t, func(r *SweepRequest) { r.Shard = "5/2" }))
+	if status != http.StatusBadRequest {
+		t.Errorf("bad shard spec: status %d, want 400; body:\n%s", status, body)
+	}
+}
+
+// TestWarmPoolKeysOnGridTopology is the regression test for the warm-pool
+// key: two scenarios with the same plane count but different grid topologies
+// (thin vs thick bonding layers cross the fem thin-span threshold) must pool
+// under distinct keys and each get their own warm hits — under the old
+// plane-count key they shared one entry and evicted each other.
+func TestWarmPoolKeysOnGridTopology(t *testing.T) {
+	s, ts, reg := newTestServer(t, Config{Workers: 1})
+	thin := []byte(`{"models": {"model": "ref"}}`)                         // t_b = 1 µm: bond spans thin
+	thick := []byte(`{"block": {"TB": 3e-6}, "models": {"model": "ref"}}`) // t_b = 3 µm: bond spans normal
+
+	// The premise: equal plane counts, different topologies.
+	thinStack, err := stack.DefaultBlock().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := stack.DefaultBlock()
+	cfg.TB = units.UM(3)
+	thickStack, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(thinStack.Planes) != len(thickStack.Planes) {
+		t.Fatalf("premise broken: %d vs %d planes", len(thinStack.Planes), len(thickStack.Planes))
+	}
+	tt, err := fem.GridTopology(thinStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := fem.GridTopology(thickStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt == tk {
+		t.Fatalf("premise broken: topologies equal (%s)", tt)
+	}
+
+	for _, body := range [][]byte{thin, thick} {
+		if status, got := post(t, ts.URL+"/solve", body); status != http.StatusOK {
+			t.Fatalf("cold solve: status %d, body:\n%s", status, got)
+		}
+	}
+	s.pool.mu.Lock()
+	keys := len(s.pool.idle)
+	s.pool.mu.Unlock()
+	if keys != 2 {
+		t.Fatalf("pool holds %d topology keys after two different-topology solves, want 2", keys)
+	}
+
+	cold := make(map[string][]byte)
+	hits0 := reg.Counter("serve.pool.hits").Value()
+	for name, body := range map[string][]byte{"thin": thin, "thick": thick} {
+		status, got := post(t, ts.URL+"/solve", body)
+		if status != http.StatusOK {
+			t.Fatalf("warm %s solve: status %d", name, status)
+		}
+		cold[name] = got
+	}
+	if hits := reg.Counter("serve.pool.hits").Value() - hits0; hits != 2 {
+		t.Errorf("warm hits = %d, want 2 (one per topology)", hits)
+	}
+}
+
+// TestRejectedRequestRefundsAdmissionToken: requests rejected before solving
+// (malformed or oversized bodies) give their admission token back, so with a
+// frozen 1-token bucket a valid solve still goes through after a burst of
+// garbage — and the bucket is empty afterwards.
+func TestRejectedRequestRefundsAdmissionToken(t *testing.T) {
+	s, ts, reg := newTestServer(t, Config{Workers: 1, Rate: 1e-4, Burst: 1})
+	base := time.Now()
+	s.bucket.now = func() time.Time { return base } // frozen: no refill, ever
+
+	if status, _ := post(t, ts.URL+"/solve", []byte(`{`)); status != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", status)
+	}
+	if status, _ := post(t, ts.URL+"/deck", bytes.Repeat([]byte("*"), maxBodyBytes+1)); status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", status)
+	}
+	if got := reg.Counter("serve.refunded").Value(); got != 2 {
+		t.Errorf("serve.refunded = %d, want 2", got)
+	}
+
+	status, body := post(t, ts.URL+"/solve", []byte(`{"models": {"model": "a"}}`))
+	if status != http.StatusOK {
+		t.Fatalf("valid request after refunds: status %d, body:\n%s (token was burned by rejected requests)", status, body)
+	}
+	resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(`{"models": {"model": "a"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("bucket should now be empty: status %d, want 429", resp.StatusCode)
+	}
+}

@@ -33,6 +33,7 @@ type Cache struct {
 	capacity  int
 	entries   map[string]*list.Element
 	order     *list.List // front = most recently used
+	disk      *DiskCache // optional persistent tier behind the LRU
 	hits      int
 	misses    int
 	evictions int
@@ -58,28 +59,61 @@ func NewCacheSize(capacity int) *Cache {
 	}
 }
 
-// lookup returns the cached outcome for key, counting hit/miss and marking
-// the entry most recently used.
-func (c *Cache) lookup(key string) (*core.Result, error, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		c.misses++
-		obs.Default().Counter("sweep.cache.misses").Inc()
-		return nil, nil, false
-	}
-	c.hits++
-	obs.Default().Counter("sweep.cache.hits").Inc()
-	c.order.MoveToFront(el)
-	e := el.Value.(*cacheEntry)
-	return e.res, e.err, true
+// NewCacheWithDisk returns a two-tier cache: the in-memory LRU in front of a
+// persistent DiskCache. Lookups consult memory first and fall through to
+// disk on a miss, promoting disk hits into memory; successful results are
+// stored in both tiers, failures only in memory (see DiskCache). A nil disk
+// degrades to NewCacheSize.
+func NewCacheWithDisk(capacity int, disk *DiskCache) *Cache {
+	c := NewCacheSize(capacity)
+	c.disk = disk
+	return c
 }
 
-// store records an outcome (including failures, so repeatedly-invalid
-// geometries fail fast), evicting the least-recently-used entry when the
-// capacity is exceeded.
+// Disk returns the persistent tier, or nil for a memory-only cache.
+func (c *Cache) Disk() *DiskCache { return c.disk }
+
+// lookup returns the cached outcome for key, counting hit/miss and marking
+// the entry most recently used. Memory misses fall through to the disk tier
+// (outside the lock — disk lookups do file I/O) and promote hits.
+func (c *Cache) lookup(key string) (*core.Result, error, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		obs.Default().Counter("sweep.cache.hits").Inc()
+		return e.res, e.err, true
+	}
+	c.mu.Unlock()
+	if res, ok := c.disk.lookup(key); ok {
+		c.storeMem(key, res, nil)
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		obs.Default().Counter("sweep.cache.hits").Inc()
+		return res, nil, true
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	obs.Default().Counter("sweep.cache.misses").Inc()
+	return nil, nil, false
+}
+
+// store records an outcome in both tiers (failures stay memory-only).
 func (c *Cache) store(key string, res *core.Result, err error) {
+	c.storeMem(key, res, err)
+	if err == nil {
+		c.disk.store(key, res)
+	}
+}
+
+// storeMem records an outcome in the in-memory LRU (including failures, so
+// repeatedly-invalid geometries fail fast), evicting the least-recently-used
+// entry when the capacity is exceeded.
+func (c *Cache) storeMem(key string, res *core.Result, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {

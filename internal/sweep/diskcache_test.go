@@ -1,0 +1,126 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestDiskCachePersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	jobs := resumeJobs(t, core.Model1D{}, 4)
+
+	d1, err := OpenDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(context.Background(), jobs, Options{Workers: 2, Cache: NewCacheWithDisk(16, d1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, stores, _ := d1.Counters(); stores != len(jobs) {
+		t.Fatalf("first run persisted %d entries, want %d", stores, len(jobs))
+	}
+
+	// A fresh process: new memory tier, same directory. Every point must be
+	// a disk hit and replay the identical result.
+	d2, err := OpenDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != len(jobs) {
+		t.Fatalf("reopened cache sees %d entries, want %d", d2.Len(), len(jobs))
+	}
+	second, err := Run(context.Background(), jobs, Options{Workers: 2, Cache: NewCacheWithDisk(16, d2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _, _ := d2.Counters()
+	if hits != len(jobs) || misses != 0 {
+		t.Fatalf("reopened cache: %d hits %d misses, want %d/0", hits, misses, len(jobs))
+	}
+	for i := range first {
+		if !second[i].FromCache {
+			t.Fatalf("point %d not served from cache on second run", i)
+		}
+		if !reflect.DeepEqual(first[i].Result, second[i].Result) {
+			t.Fatalf("point %d differs across processes", i)
+		}
+	}
+}
+
+func TestDiskCacheDoesNotPersistFailures(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := Batch{}.Add("bad", fig4Stack(t, 10), failModel{})
+	if _, err := Run(context.Background(), jobs, Options{Cache: NewCacheWithDisk(16, d)}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("failure persisted to disk (%d entries)", d.Len())
+	}
+}
+
+func TestDiskCacheEvictsOldest(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskCache(dir, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &core.Result{Model: "x", MaxDT: 1}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		d.store(key, res)
+		// Distinct mtimes so eviction order is well defined even on coarse
+		// filesystem timestamp granularity.
+		now := time.Now().Add(time.Duration(i-10) * time.Second)
+		os.Chtimes(d.path(key), now, now)
+	}
+	d.cap = 3
+	d.evict()
+	if d.Len() != 3 {
+		t.Fatalf("cache holds %d entries after eviction, want 3", d.Len())
+	}
+	if _, ok := d.lookup("key-0"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, ok := d.lookup("key-4"); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestDiskCacheRejectsCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.store("k", &core.Result{Model: "x", MaxDT: 2})
+	if err := os.WriteFile(d.path("k"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.lookup("k"); ok {
+		t.Fatal("corrupt entry served")
+	}
+	// And a colliding key (file content for a different canonical key) is a
+	// miss, not a wrong replay.
+	d.store("other", &core.Result{Model: "y", MaxDT: 3})
+	data, err := os.ReadFile(d.path("other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.path("k"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.lookup("k"); ok {
+		t.Fatal("entry with mismatched key served")
+	}
+}

@@ -69,6 +69,10 @@ type Outcome struct {
 	// stats aggregation must skip outcomes with FromCache set or it
 	// double-counts iterations and wall time.
 	FromCache bool
+	// Replayed reports that the outcome was restored from a checkpoint
+	// journal (Options.Resume) instead of being solved in this run. Like
+	// FromCache, a replayed Result carries the original solve's stats.
+	Replayed bool
 }
 
 // Options configures a batch run. The zero value runs on GOMAXPROCS workers
@@ -105,6 +109,25 @@ type Options struct {
 	// under the (model, stack) key alone would replay chain-order-dependent
 	// values into unrelated batches. Run rejects the combination.
 	WarmStart bool
+	// Journal optionally checkpoints every completed point as one NDJSON
+	// record, so a killed run can be resumed (see ReadJournal and Resume).
+	// Cancelled points are not journaled — a context error is not an
+	// outcome. Replayed points ARE re-journaled, which keeps a journal
+	// written across several resume sessions self-complete. Journal write
+	// failures never abort the sweep; check Journal.Err after the run.
+	Journal *Journal
+	// Resume replays previously completed outcomes (from ReadJournal) by
+	// global batch index instead of re-solving them. Replay is
+	// chain-granular: a warm-start chain is replayed only when every one of
+	// its points is present, otherwise the whole chain re-solves from its
+	// boundary — deterministically identical to the first attempt — so
+	// resumed results stay bit-identical to an uninterrupted run.
+	Resume map[int]Outcome
+	// Progress, when set, is called once per completed point with the global
+	// batch index. It is invoked concurrently from worker goroutines; the
+	// callback must be safe for concurrent use and should return quickly
+	// (it runs on the solving goroutine).
+	Progress func(i int, oc Outcome)
 }
 
 // validate rejects option combinations that would silently change results.
@@ -140,27 +163,53 @@ func (b Batch) Run(ctx context.Context, opt Options) ([]Outcome, error) {
 // returns an error when ctx is cancelled, in which case the outcomes of jobs
 // that never started carry the context error.
 func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
+	out, _, err := RunShard(ctx, jobs, ShardSpec{}, opt)
+	return out, err
+}
+
+// RunShard evaluates one shard of the batch: the chain-aligned job-index
+// range spec.Range(len(jobs)). It returns one Outcome per shard job (the
+// slice covers [lo, lo+len(out)) of the batch) plus the shard's first global
+// index. The zero spec evaluates the whole batch, making Run a special case.
+//
+// Because shard boundaries coincide with warm-chain boundaries, running every
+// shard of a partition (in any number of processes) and concatenating the
+// outcomes in shard order yields exactly the outcomes of a single-process
+// Run over the same jobs.
+func RunShard(ctx context.Context, jobs []Job, spec ShardSpec, opt Options) ([]Outcome, int, error) {
 	if err := opt.validate(); err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, 0, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	lo, hi := spec.Range(len(jobs))
+	out, err := runRange(ctx, jobs, lo, hi, opt)
+	return out, lo, err
+}
+
+// runRange is the worker-pool core shared by Run and RunShard: it evaluates
+// jobs[lo:hi] and returns their outcomes (out[0] belongs to jobs[lo]).
+func runRange(ctx context.Context, jobs []Job, lo, hi int, opt Options) ([]Outcome, error) {
 	ctx = obs.ContextWithTracer(ctx, opt.Trace)
+	n := hi - lo
 	workers := opt.Workers
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > n {
+		workers = n
 	}
-	out := make([]Outcome, len(jobs))
-	if len(jobs) == 0 {
+	out := make([]Outcome, n)
+	if n == 0 {
 		return out, ctx.Err()
 	}
 	ctx, run := obs.StartSpan(ctx, "sweep.run")
 	if run != nil {
-		run.Set("jobs", len(jobs))
+		run.Set("jobs", n)
 		run.Set("workers", workers)
 		defer run.End()
 	}
@@ -168,10 +217,22 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 
 	// Jobs are dispatched as contiguous chains of batch indices: length 1
 	// normally (identical to per-job dispatch), warmChainLen when warm
-	// starting, where the chain is the unit of warm-start seeding.
+	// starting, where the chain is the unit of warm-start seeding. Chain
+	// boundaries are anchored at index 0, not at lo; shard ranges are
+	// chain-aligned by construction, so a sharded run walks the same chains
+	// as the unsharded one.
 	chain := 1
 	if opt.WarmStart && !opt.NoReuse {
 		chain = warmChainLen
+	}
+	finish := func(k int, oc Outcome) {
+		out[k-lo] = oc
+		if opt.Journal != nil && !isCancellation(oc.Err) {
+			opt.Journal.point(k, oc)
+		}
+		if opt.Progress != nil {
+			opt.Progress(k, oc)
+		}
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -182,18 +243,30 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 			inst := &instances{warmStart: opt.WarmStart, disabled: opt.NoReuse}
 			defer inst.close()
 			for i := range idx {
+				end := min(i+chain, hi)
+				// Replay the chain from the checkpoint journal only when it
+				// completed wholly; a partially journaled chain re-solves
+				// from its boundary so warm-start seeding replays the exact
+				// original sequence.
+				if chainJournaled(opt.Resume, i, end) {
+					for k := i; k < end; k++ {
+						finish(k, opt.Resume[k])
+					}
+					continue
+				}
 				inst.resetWarm()
-				for k := i; k < min(i+chain, len(jobs)); k++ {
+				for k := i; k < end; k++ {
 					busy.Add(1)
-					out[k] = evaluate(ctx, jobs[k], opt.Cache, inst)
+					oc := evaluate(ctx, jobs[k], opt.Cache, inst)
 					busy.Add(-1)
+					finish(k, oc)
 				}
 			}
 		}()
 	}
 
 feed:
-	for i := 0; i < len(jobs); i += chain {
+	for i := lo; i < hi; i += chain {
 		select {
 		case idx <- i:
 		case <-ctx.Done():
@@ -206,14 +279,28 @@ feed:
 	if err := ctx.Err(); err != nil {
 		// Mark the jobs that never ran (their zero Outcome has neither a
 		// result nor an error).
-		for i := range out {
-			if out[i].Result == nil && out[i].Err == nil {
-				out[i] = Outcome{Job: jobs[i], Err: err}
+		for k := range out {
+			if out[k].Result == nil && out[k].Err == nil {
+				out[k] = Outcome{Job: jobs[lo+k], Err: err}
 			}
 		}
 		return out, err
 	}
 	return out, nil
+}
+
+// chainJournaled reports whether every point of the chain [i, end) was
+// restored from a journal.
+func chainJournaled(resume map[int]Outcome, i, end int) bool {
+	if len(resume) == 0 {
+		return false
+	}
+	for k := i; k < end; k++ {
+		if _, ok := resume[k]; !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // instances is one worker's set of reusable solver instances, keyed by

@@ -118,6 +118,12 @@ type (
 	SweepOptions = sweep.Options
 	// SweepCache memoizes solves keyed on geometry+model across sweeps.
 	SweepCache = sweep.Cache
+	// SweepDiskCache is the persistent on-disk result cache behind
+	// SweepCache; see OpenSweepDiskCache.
+	SweepDiskCache = sweep.DiskCache
+	// SweepShardSpec selects one chain-aligned slice of a sweep batch; see
+	// ParseSweepShard and DeckSweepControl.Shard.
+	SweepShardSpec = sweep.ShardSpec
 	// SolverStats reports an iterative linear solve (iterations, residual,
 	// preconditioner); see Result.Solver and SolveReferenceStats.
 	SolverStats = sparse.Stats
@@ -140,6 +146,12 @@ type (
 	DeckResult = deck.Result
 	// DeckOptions controls a deck run's engine worker pools and tracing.
 	DeckOptions = deck.Options
+	// DeckSweepControl shards, journals, resumes and merges a deck's .sweep
+	// analysis (DeckOptions.Sweep); the zero value changes nothing.
+	DeckSweepControl = deck.SweepControl
+	// DeckSweepProgress is one completed sweep point as delivered to
+	// DeckSweepControl.Progress and streamed by the service's /sweep.
+	DeckSweepProgress = deck.SweepProgress
 	// DeckError is a positioned deck parse/lowering error
 	// ("file:line:col: message").
 	DeckError = deck.Error
@@ -327,6 +339,26 @@ func NewSweepCache() *SweepCache { return sweep.NewCache() }
 // NewSweepCacheSize returns a memoization cache holding at most capacity
 // entries with least-recently-used eviction; capacity <= 0 means unbounded.
 func NewSweepCacheSize(capacity int) *SweepCache { return sweep.NewCacheSize(capacity) }
+
+// OpenSweepDiskCache opens (creating the directory if needed) a persistent
+// sweep result cache holding at most maxEntries results (<= 0 selects a
+// generous default), evicting least-recently-hit entries. Concurrent
+// processes — e.g. shards of one sweep — may share a directory.
+func OpenSweepDiskCache(dir string, maxEntries int) (*SweepDiskCache, error) {
+	return sweep.OpenDiskCache(dir, maxEntries)
+}
+
+// NewSweepCacheWithDisk layers the in-memory LRU (capacity <= 0 means
+// unbounded) over a persistent disk cache; disk may be nil.
+func NewSweepCacheWithDisk(capacity int, disk *SweepDiskCache) *SweepCache {
+	return sweep.NewCacheWithDisk(capacity, disk)
+}
+
+// ParseSweepShard parses a 1-based "i/n" shard spec ("2/5" = the second of
+// five shards); the empty string selects the whole batch. Shards partition a
+// sweep on the engine's warm-chain boundaries, so per-shard results — and
+// merged reports — are bit-identical to a single-process run.
+func ParseSweepShard(s string) (SweepShardSpec, error) { return sweep.ParseShardSpec(s) }
 
 // NewTracer returns a span tracer writing NDJSON records (one JSON object
 // per line) to w. Attach it to SweepOptions.Trace or PlanOptions.Trace, or
