@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify race bench bench-json bench-compare profile profile-stencil fuzz loadsmoke sweepsmoke clean
+.PHONY: all build test verify race bench bench-json bench-compare profile profile-stencil profile-mgbuild fuzz loadsmoke sweepsmoke clean
 
 all: build test
 
@@ -33,6 +33,7 @@ verify:
 	$(GO) vet ./...
 	$(GO) test -race -run 'SolveContext|WarmStart|SweepReuse|RebuildMatches|RebuildAcross' ./internal/fem ./internal/sweep ./internal/mg
 	$(GO) test -race -run 'OperatorSolveBitIdentical|StencilMatchesCSR|StencilParallel|SolveCGStencil' ./internal/fem ./internal/sparse
+	$(GO) test -race -run 'GeometricHierarchyProperty|GeometricCycleSymmetric|GeometricRebuildMatchesFreshBuild|GeometricHierarchyMatchesGalerkin|GeometricContextCacheKeyedBySelection' ./internal/mg ./internal/fem
 	$(GO) test -race -run 'Deck|CorpusGoldens' ./internal/deck ./cmd/ttsvsolve ./cmd/ttsvplan .
 	$(GO) test -race -run 'MatchesGoldens|MatchesDeck|Coalescing|WarmPool|Admission|Timeout|BadRequests|HealthMetrics|Flight|TokenBucket|ListenAndServeDrains|CancelledRun' ./internal/serve ./cmd/ttsvsolve
 	$(GO) test -race -run 'ShardSpec|SweepJournal|SweepShardMerge|MergeJournals|DiskCache|DeckSweep|DeckShardMerge|SweepFlagsRequireDeck|SweepStream|SweepShardPartitions|WarmPoolKeysOnGridTopology|RefundsAdmissionToken|GridTopology|SweepSmoke' ./internal/sweep ./internal/deck ./internal/serve ./internal/fem ./cmd/ttsvsolve ./cmd/ttsvload
@@ -119,6 +120,18 @@ profile-stencil:
 		-cpuprofile $(PROFILE_DIR)/stencil_cpu.pprof \
 		-memprofile $(PROFILE_DIR)/stencil_mem.pprof \
 		-o $(PROFILE_DIR)/sparse.test ./internal/sparse
+	@echo "profiles written to $(PROFILE_DIR)/"
+
+# profile-mgbuild captures CPU and allocation pprof profiles of the fresh
+# refined reference solve (hierarchy construction dominates the Galerkin
+# path; the geometric variant is the A/B). Inspect with
+#   go tool pprof profiles/repro.test profiles/mgbuild_cpu.pprof
+profile-mgbuild:
+	@mkdir -p $(PROFILE_DIR)
+	$(GO) test -run '^$$' -bench 'ReferenceSolveRefinedFresh$$|ReferenceSolveRefinedFreshGeom$$' -benchtime 5x \
+		-cpuprofile $(PROFILE_DIR)/mgbuild_cpu.pprof \
+		-memprofile $(PROFILE_DIR)/mgbuild_mem.pprof \
+		-o $(PROFILE_DIR)/repro.test .
 	@echo "profiles written to $(PROFILE_DIR)/"
 
 # Seed corpora run on every plain `go test`; this target explores further.

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -44,12 +45,17 @@ type Record struct {
 }
 
 // Document is the whole archive: the environment header lines go test
-// prints, then every benchmark.
+// prints, then every benchmark. GoMaxProcs and NumCPU are captured from
+// benchjson's own process — it runs on the same host, in the same pipeline,
+// as the benchmarks it archives — so a comparison against an archive from a
+// differently-sized machine is recognizable as such.
 type Document struct {
 	Goos       string   `json:"goos,omitempty"`
 	Goarch     string   `json:"goarch,omitempty"`
 	Pkg        string   `json:"pkg,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
+	NumCPU     int      `json:"numcpu,omitempty"`
 	Benchmarks []Record `json:"benchmarks"`
 }
 
@@ -73,6 +79,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	doc.GoMaxProcs = runtime.GOMAXPROCS(0)
+	doc.NumCPU = runtime.NumCPU()
 	if *refPath != "" {
 		return compare(doc, *refPath, *threshold, *allocThreshold, out)
 	}

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -221,5 +223,25 @@ func TestRunEmitsJSON(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), `"name": "ReferenceSolveDefault"`) {
 		t.Errorf("JSON output missing record:\n%s", buf.String())
+	}
+}
+
+// The archive header must record the parallelism of the producing host, so a
+// comparison against an archive from a differently-sized machine is
+// recognizable as such.
+func TestRunRecordsHostParallelism(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, strings.NewReader(sample), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		t.Errorf("gomaxprocs = %d, want %d", doc.GoMaxProcs, runtime.GOMAXPROCS(0))
+	}
+	if doc.NumCPU != runtime.NumCPU() {
+		t.Errorf("numcpu = %d, want %d", doc.NumCPU, runtime.NumCPU())
 	}
 }

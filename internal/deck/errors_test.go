@@ -212,6 +212,24 @@ func TestPositionedErrors(t *testing.T) {
 			wantLine: 6,
 		},
 		{
+			name:     "unknown mg hierarchy",
+			src:      "t\nb1 side=100um\np1 tsi=500um td=4um\np2 tsi=45um td=4um tb=1um\nv1 r=10um tl=1um\n.op model=ref mg.hierarchy=amg\n",
+			wantMsg:  "unknown hierarchy \"amg\"",
+			wantLine: 6,
+		},
+		{
+			name:     "unknown mg precision",
+			src:      "t\nb1 side=100um\np1 tsi=500um td=4um\np2 tsi=45um td=4um tb=1um\nv1 r=10um tl=1um\n.op model=ref mg.precision=f16\n",
+			wantMsg:  "unknown precision \"f16\"",
+			wantLine: 6,
+		},
+		{
+			name:     "f32 without geometric",
+			src:      "t\nb1 side=100um\np1 tsi=500um td=4um\np2 tsi=45um td=4um tb=1um\nv1 r=10um tl=1um\n.op model=ref mg.precision=f32\n",
+			wantMsg:  "mg.precision=f32 requires mg.hierarchy=geometric",
+			wantLine: 6,
+		},
+		{
 			name:     "unknown analysis card",
 			src:      "t\n.ac dec 10\n",
 			wantMsg:  "unknown analysis card \".ac\"",

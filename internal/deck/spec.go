@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fem"
+	"repro/internal/mg"
 	"repro/internal/sparse"
 )
 
@@ -41,6 +42,18 @@ type ModelSpec struct {
 	// matrix-free whenever the preconditioner allows it. Results are
 	// bit-identical either way.
 	Operator string `json:"operator,omitempty"`
+	// MGHierarchy selects how multigrid coarse levels are built ("auto",
+	// "galerkin", "geometric"); empty selects "auto" (Galerkin). The
+	// geometric hierarchy re-discretizes coarse stencils directly —
+	// markedly cheaper fresh builds — and falls back to Galerkin when the
+	// operator is not stencil-structured. Temperatures agree within solver
+	// tolerance either way.
+	MGHierarchy string `json:"mg_hierarchy,omitempty"`
+	// MGPrecision selects the multigrid preconditioner-data storage
+	// precision ("auto", "f64", "f32"); empty selects "auto" (f64). "f32"
+	// requires the geometric hierarchy. The outer CG stays float64, so
+	// reported temperatures stay within solver tolerance.
+	MGPrecision string `json:"mg_precision,omitempty"`
 }
 
 // Models resolves the spec into concrete model values, substituting defSpec
@@ -64,6 +77,12 @@ func (sp ModelSpec) Models(defSpec string, defCoeffs core.Coeffs) ([]core.Model,
 	}
 	if sp.Operator == "" {
 		sp.Operator = "auto"
+	}
+	if sp.MGHierarchy == "" {
+		sp.MGHierarchy = "auto"
+	}
+	if sp.MGPrecision == "" {
+		sp.MGPrecision = "auto"
 	}
 	return sp.build()
 }
@@ -101,6 +120,19 @@ func (sp ModelSpec) build() ([]core.Model, error) {
 		return nil, &specError{"operator", err.Error()}
 	}
 	res.Operator = opk
+	hk, err := mg.ParseHierarchy(sp.MGHierarchy)
+	if err != nil {
+		return nil, &specError{"mg.hierarchy", err.Error()}
+	}
+	res.Hierarchy = hk
+	prk, err := mg.ParsePrecision(sp.MGPrecision)
+	if err != nil {
+		return nil, &specError{"mg.precision", err.Error()}
+	}
+	res.Precision = prk
+	if prk == mg.PrecisionF32 && hk != mg.HierarchyGeometric {
+		return nil, &specError{"mg.precision", "mg.precision=f32 requires mg.hierarchy=geometric"}
+	}
 	coeffs := core.Coeffs{K1: sp.K1, K2: sp.K2, C1: sp.C1}
 	one := func(name string) (core.Model, error) {
 		switch name {

@@ -39,11 +39,15 @@ type SolveContext struct {
 }
 
 // hierEntry pairs a multigrid hierarchy with a snapshot of the operator
-// values it was built from, so hierarchyFor can prove the operator unchanged
-// before serving the hierarchy again.
+// values it was built from — so hierarchyFor can prove the operator
+// unchanged before serving the hierarchy again — and the mg selection it
+// was built under: a cached Galerkin hierarchy must never be served to a
+// solve that asked for the geometric one (or vice versa), even on identical
+// operator values.
 type hierEntry struct {
 	h    *mg.Hierarchy
 	vals []float64
+	sel  mgSelect
 }
 
 // NewSolveContext returns an empty context ready for reuse.
@@ -130,23 +134,25 @@ func (sc *SolveContext) poolFor(workers int) *sparse.Pool {
 //     depends on the operator values, so none can be kept — but without
 //     allocations, and bit-identical to a fresh build;
 //   - no cached hierarchy (or no context) → fresh build.
-func (sc *SolveContext) hierarchyFor(key asmKey, a *sparse.CSR, g solverGrid) (*mg.Hierarchy, error) {
+func (sc *SolveContext) hierarchyFor(key asmKey, a *sparse.CSR, g solverGrid, sel mgSelect) (*mg.Hierarchy, error) {
 	if !sc.reusing() {
-		return mg.Build(a, g.dims, mg.Options{})
+		return buildHierarchy(a, g, sel, nil)
 	}
 	e := sc.hier[key]
 	vals := sc.operatorValues(key, a)
-	if e != nil && e.h != nil && vals != nil && sameFloats(e.vals, vals) {
+	if e != nil && e.h != nil && e.sel == sel && vals != nil && sameFloats(e.vals, vals) {
 		obs.Default().Counter("fem.mg.reuse.hits").Inc()
 		return e.h, nil
 	}
-	opt := mg.Options{}
+	var prev *mg.Hierarchy
 	if e != nil && e.h != nil {
-		opt.Prev = e.h
+		// A selection change recycles too: the arena's arrays are untyped
+		// capacity, equally useful to either hierarchy mode.
+		prev = e.h
 		e.h = nil
 		obs.Default().Counter("fem.mg.reuse.rebuilds").Inc()
 	}
-	h, err := mg.Build(a, g.dims, opt)
+	h, err := buildHierarchy(a, g, sel, prev)
 	if err != nil {
 		delete(sc.hier, key)
 		return nil, err
@@ -156,12 +162,29 @@ func (sc *SolveContext) hierarchyFor(key asmKey, a *sparse.CSR, g solverGrid) (*
 		sc.hier[key] = e
 	}
 	e.h = h
+	e.sel = sel
 	if vals != nil {
 		e.vals = append(e.vals[:0], vals...)
 	} else {
 		e.vals = nil
 	}
 	return h, nil
+}
+
+// buildHierarchy builds a multigrid hierarchy under the given selection,
+// recycling prev's arena when provided. A failed geometric build — the
+// matrix was not a structured conductance stencil — retries as a fresh
+// Galerkin build (counted in fem.mg.geometric.fallback) before the caller's
+// single-level fallback kicks in; prev is already consumed by then and is
+// not offered again.
+func buildHierarchy(a *sparse.CSR, g solverGrid, sel mgSelect, prev *mg.Hierarchy) (*mg.Hierarchy, error) {
+	opt := mg.Options{Hierarchy: sel.Hierarchy, Precision: sel.Precision, Prev: prev}
+	h, err := mg.Build(a, g.dims, opt)
+	if err != nil && sel.Hierarchy == mg.HierarchyGeometric {
+		obs.Default().Counter("fem.mg.geometric.fallback").Inc()
+		h, err = mg.Build(a, g.dims, mg.Options{})
+	}
+	return h, err
 }
 
 // operatorValues returns the live value array of the pattern-owned matrix

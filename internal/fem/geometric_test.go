@@ -1,0 +1,117 @@
+package fem
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/mg"
+	"repro/internal/sparse"
+)
+
+// TestGeometricHierarchyMatchesGalerkin runs the reference stack at a
+// refinement deep enough for multigrid under all three hierarchy/precision
+// selections. The preconditioner only shapes the Krylov space, so every
+// selection must converge to the same temperature field, and the geometric
+// line-smoothed W-cycle must stay in the same mesh-independent iteration
+// band as Galerkin.
+func TestGeometricHierarchyMatchesGalerkin(t *testing.T) {
+	s := fig4(t, 10)
+	var refMax float64
+	var refIters int
+	for _, tc := range []struct {
+		name string
+		hier mg.HierarchyKind
+		prec mg.PrecisionKind
+	}{
+		{"galerkin", mg.HierarchyGalerkin, mg.PrecisionF64},
+		{"geometric", mg.HierarchyGeometric, mg.PrecisionF64},
+		{"geometric-f32", mg.HierarchyGeometric, mg.PrecisionF32},
+	} {
+		res := coarse().Refine(2)
+		res.Precond = sparse.PrecondMG
+		res.Hierarchy = tc.hier
+		res.Precision = tc.prec
+		sol, err := SolveStack(s, res)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if sol.Stats.Precond != sparse.PrecondMG || sol.Stats.Levels < 2 {
+			t.Fatalf("%s: ran %v with %d levels, want multigrid", tc.name, sol.Stats.Precond, sol.Stats.Levels)
+		}
+		if sol.Stats.Iterations > 30 {
+			t.Errorf("%s: %d CG iterations, want <= 30", tc.name, sol.Stats.Iterations)
+		}
+		maxT, _, _ := sol.MaxT()
+		if tc.hier == mg.HierarchyGalerkin {
+			refMax, refIters = maxT, sol.Stats.Iterations
+			continue
+		}
+		if diff := maxT - refMax; diff > 1e-8 || diff < -1e-8 {
+			t.Errorf("%s: max ΔT %g vs galerkin %g", tc.name, maxT, refMax)
+		}
+		if sol.Stats.Iterations > refIters+5 {
+			t.Errorf("%s: %d CG iterations vs galerkin's %d", tc.name, sol.Stats.Iterations, refIters)
+		}
+	}
+}
+
+// TestGeometricResolutionValidation: f32 preconditioner storage requires the
+// geometric hierarchy; the Galerkin CSR kernels are float64-only.
+func TestGeometricResolutionValidation(t *testing.T) {
+	s := fig4(t, 10)
+	res := coarse()
+	res.Precision = mg.PrecisionF32
+	if _, err := SolveStack(s, res); err == nil {
+		t.Fatal("f32 precision without geometric hierarchy did not error")
+	}
+	res.Hierarchy = mg.HierarchyGeometric
+	if _, err := SolveStack(s, res); err != nil {
+		t.Fatalf("f32 + geometric rejected: %v", err)
+	}
+}
+
+// TestGeometricContextCacheKeyedBySelection: a warm SolveContext must not
+// hand a hierarchy built under one hierarchy/precision selection to a solve
+// requesting another, and warm solves must match cold ones bit-for-bit.
+func TestGeometricContextCacheKeyedBySelection(t *testing.T) {
+	s := fig4(t, 10)
+	sc := NewSolveContext()
+	defer sc.Close()
+
+	solve := func(hier mg.HierarchyKind, prec mg.PrecisionKind) *AxiSolution {
+		res := coarse().Refine(2)
+		res.Precond = sparse.PrecondMG
+		res.Hierarchy = hier
+		res.Precision = prec
+		sol, err := SolveStackWith(context.Background(), sc, s, res)
+		if err != nil {
+			t.Fatalf("%v/%v: %v", hier, prec, err)
+		}
+		return sol
+	}
+
+	gal1 := solve(mg.HierarchyGalerkin, mg.PrecisionF64)
+	geo1 := solve(mg.HierarchyGeometric, mg.PrecisionF64)
+	f32a := solve(mg.HierarchyGeometric, mg.PrecisionF32)
+	// Second round reuses the context's cached assembly and hierarchies.
+	gal2 := solve(mg.HierarchyGalerkin, mg.PrecisionF64)
+	geo2 := solve(mg.HierarchyGeometric, mg.PrecisionF64)
+	f32b := solve(mg.HierarchyGeometric, mg.PrecisionF32)
+
+	for _, pair := range []struct {
+		name       string
+		cold, warm *AxiSolution
+	}{{"galerkin", gal1, gal2}, {"geometric", geo1, geo2}, {"geometric-f32", f32a, f32b}} {
+		if pair.cold.Stats.Iterations != pair.warm.Stats.Iterations {
+			t.Errorf("%s: warm solve took %d iterations, cold %d",
+				pair.name, pair.warm.Stats.Iterations, pair.cold.Stats.Iterations)
+		}
+		coldMax, _, _ := pair.cold.MaxT()
+		warmMax, _, _ := pair.warm.MaxT()
+		// The warm solve starts from the cached solution, so CG may stop on
+		// a different Krylov sequence; answers agree within solver tolerance.
+		if diff := coldMax - warmMax; diff > 1e-8 || diff < -1e-8 {
+			t.Errorf("%s: warm max ΔT %g vs cold %g", pair.name, warmMax, coldMax)
+		}
+	}
+}

@@ -81,6 +81,26 @@ func (pat *pattern) stencilFor(dims []int) (*sparse.Stencil, error) {
 	return pat.stencil, nil
 }
 
+// setMGAttrs records the multigrid construction a solve actually uses —
+// after cache reuse and any geometric-build fallback — on its root span:
+// fem.mg.hierarchy (galerkin|geometric) and fem.mg.precision (f64|f32).
+// Solves that resolved to a single-level preconditioner record nothing.
+func setMGAttrs(sp *obs.Span, o sparse.Options) {
+	h, ok := o.MG.(*mg.Hierarchy)
+	if !ok {
+		return
+	}
+	hier, prec := mg.HierarchyGalerkin, mg.PrecisionF64
+	if h.Geometric() {
+		hier = mg.HierarchyGeometric
+	}
+	if h.MixedPrecision() {
+		prec = mg.PrecisionF32
+	}
+	sp.Set("fem.mg.hierarchy", hier.String())
+	sp.Set("fem.mg.precision", prec.String())
+}
+
 // operatorFor resolves the operator a solve runs on, given the fully
 // resolved solver options (the preconditioner decides matrix-free
 // eligibility). It returns the operator plus its name for the fem.operator

@@ -85,7 +85,7 @@ func TestOperatorSolveBitIdenticalCart(t *testing.T) {
 				// Pin a matrix-free-capable preconditioner: a system this
 				// small auto-selects SSOR, which rejects the forced stencil.
 				sol, err := solveCartWith(context.Background(), sc, p,
-					sparse.Options{Workers: w, Precond: sparse.PrecondChebyshev}, opk)
+					sparse.Options{Workers: w, Precond: sparse.PrecondChebyshev}, opk, mgSelect{})
 				sc.Close()
 				if err != nil {
 					t.Fatalf("aniso=%v %v workers %d: %v", aniso, opk, w, err)

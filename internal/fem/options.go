@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/mg"
 	"repro/internal/obs"
 	"repro/internal/sparse"
 )
@@ -63,6 +64,14 @@ type solverGrid struct {
 	dims []int
 }
 
+// mgSelect bundles the multigrid construction choices a Resolution carries
+// (hierarchy mode and preconditioner-data precision) through the solve paths
+// into the hierarchy cache. The zero value is the default Galerkin/f64 build.
+type mgSelect struct {
+	Hierarchy mg.HierarchyKind
+	Precision mg.PrecisionKind
+}
+
 // resolveSolver finalizes the solver options for an assembled system: the
 // default preconditioner becomes multigrid above mgAutoThreshold unknowns
 // (falling back to the single-level default when a hierarchy cannot be
@@ -71,16 +80,17 @@ type solverGrid struct {
 // system size. A pre-built Options.MG (e.g. the transient integrator's
 // shared hierarchy) is reused as-is.
 func resolveSolver(opt sparse.Options, a *sparse.CSR, g solverGrid) sparse.Options {
-	return resolveSolverWith(nil, asmKey{}, opt, a, g)
+	return resolveSolverWith(nil, asmKey{}, opt, a, g, mgSelect{})
 }
 
 // resolveSolverWith is resolveSolver drawing the multigrid hierarchy from
-// sc's cache (reused when the operator values are unchanged, rebuilt through
-// the predecessor's recycled arena otherwise). A nil sc builds fresh.
-func resolveSolverWith(sc *SolveContext, key asmKey, opt sparse.Options, a *sparse.CSR, g solverGrid) sparse.Options {
+// sc's cache (reused when the operator values are unchanged and the mg
+// selection matches, rebuilt through the predecessor's recycled arena
+// otherwise). A nil sc builds fresh.
+func resolveSolverWith(sc *SolveContext, key asmKey, opt sparse.Options, a *sparse.CSR, g solverGrid, sel mgSelect) sparse.Options {
 	if opt.MG == nil && (opt.Precond == sparse.PrecondMG ||
 		(opt.Precond == sparse.PrecondDefault && a.Rows() >= mgAutoThreshold)) {
-		if h, err := sc.hierarchyFor(key, a, g); err == nil {
+		if h, err := sc.hierarchyFor(key, a, g, sel); err == nil {
 			if opt.Precond == sparse.PrecondDefault {
 				obs.Default().Counter("fem.mg.auto").Inc()
 			}

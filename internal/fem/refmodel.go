@@ -13,8 +13,9 @@ import (
 // as the analytical models. The zero value uses DefaultResolution.
 type ReferenceModel struct {
 	// Res is the mesh density; the zero value selects DefaultResolution.
-	// Res.Workers, Res.Precond and/or Res.Operator alone (all mesh counts
-	// zero) keep the default mesh but tune the solver.
+	// Res.Workers, Res.Precond, Res.Operator, Res.Hierarchy and/or
+	// Res.Precision alone (all mesh counts zero) keep the default mesh but
+	// tune the solver.
 	Res Resolution
 }
 
@@ -27,13 +28,16 @@ func (ReferenceModel) Name() string { return RefModelName }
 
 // resolution returns the effective mesh density: a Resolution whose mesh
 // counts are all zero keeps the default mesh, with the solver knobs
-// (Workers, Precond) carried over.
+// (Workers, Precond, Operator, Hierarchy, Precision) carried over.
 func (m ReferenceModel) resolution() Resolution {
-	if m.Res == (Resolution{Workers: m.Res.Workers, Precond: m.Res.Precond, Operator: m.Res.Operator}) {
+	if m.Res == (Resolution{Workers: m.Res.Workers, Precond: m.Res.Precond, Operator: m.Res.Operator,
+		Hierarchy: m.Res.Hierarchy, Precision: m.Res.Precision}) {
 		r := DefaultResolution()
 		r.Workers = m.Res.Workers
 		r.Precond = m.Res.Precond
 		r.Operator = m.Res.Operator
+		r.Hierarchy = m.Res.Hierarchy
+		r.Precision = m.Res.Precision
 		return r
 	}
 	return m.Res

@@ -24,6 +24,7 @@ package mg
 // bit-identical to a fresh build.
 type arena struct {
 	freeF64, usedF64   [][]float64
+	freeF32, usedF32   [][]float32
 	freeI32, usedI32   [][]int32
 	freeInt, usedInt   [][]int
 	freeBool, usedBool [][]bool
@@ -35,6 +36,8 @@ type arena struct {
 func (ar *arena) reset() {
 	ar.freeF64 = append(ar.freeF64, ar.usedF64...)
 	ar.usedF64 = ar.usedF64[:0]
+	ar.freeF32 = append(ar.freeF32, ar.usedF32...)
+	ar.usedF32 = ar.usedF32[:0]
 	ar.freeI32 = append(ar.freeI32, ar.usedI32...)
 	ar.usedI32 = ar.usedI32[:0]
 	ar.freeInt = append(ar.freeInt, ar.usedInt...)
@@ -48,6 +51,16 @@ func (ar *arena) reset() {
 // closure-free pattern below (hand-rolled: this package predates generics
 // use elsewhere in the repo and the four copies stay trivially readable).
 func bestFitF64(free [][]float64, n int) int {
+	best := -1
+	for i, s := range free {
+		if cap(s) >= n && (best < 0 || cap(s) < cap(free[best])) {
+			best = i
+		}
+	}
+	return best
+}
+
+func bestFitF32(free [][]float32, n int) int {
 	best := -1
 	for i, s := range free {
 		if cap(s) >= n && (best < 0 || cap(s) < cap(free[best])) {
@@ -119,6 +132,18 @@ func (ar *arena) f64(n int) []float64 {
 	}
 	s := make([]float64, n)
 	ar.usedF64 = append(ar.usedF64, s)
+	return s
+}
+
+func (ar *arena) f32(n int) []float32 {
+	if i := bestFitF32(ar.freeF32, n); i >= 0 {
+		s := ar.takeF32(i)[:n]
+		clear(s)
+		ar.usedF32 = append(ar.usedF32, s)
+		return s
+	}
+	s := make([]float32, n)
+	ar.usedF32 = append(ar.usedF32, s)
 	return s
 }
 
@@ -197,6 +222,15 @@ func (ar *arena) takeF64(i int) []float64 {
 	ar.freeF64[i] = ar.freeF64[last]
 	ar.freeF64[last] = nil
 	ar.freeF64 = ar.freeF64[:last]
+	return s[:cap(s)]
+}
+
+func (ar *arena) takeF32(i int) []float32 {
+	s := ar.freeF32[i]
+	last := len(ar.freeF32) - 1
+	ar.freeF32[i] = ar.freeF32[last]
+	ar.freeF32[last] = nil
+	ar.freeF32 = ar.freeF32[:last]
 	return s[:cap(s)]
 }
 

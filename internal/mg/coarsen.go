@@ -231,6 +231,10 @@ type transfer struct {
 	pVal         []float64
 	ptPtr, ptCol []int32
 	ptVal        []float64
+	// pVal32/ptVal32 replace pVal/ptVal on a mixed-precision hierarchy
+	// (Options.Precision f32): the cycle dispatches on them being non-nil
+	// and runs the f32 raw-matvec kernels instead.
+	pVal32, ptVal32 []float32
 }
 
 // saOmega is the prolongation-smoothing damping 4/(3·λmax) applied to the

@@ -1,0 +1,359 @@
+package mg
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// poisson3D assembles the 7-point Dirichlet Laplacian on an nx×ny×nz grid —
+// the Cartesian member of the geometric property-test grid zoo.
+func poisson3D(nx, ny, nz int) (*sparse.CSR, []int) {
+	n := nx * ny * nz
+	coo := sparse.NewCOO(n, n)
+	for iz := 0; iz < nz; iz++ {
+		for iy := 0; iy < ny; iy++ {
+			for ix := 0; ix < nx; ix++ {
+				i := (iz*ny+iy)*nx + ix
+				coo.Add(i, i, 6)
+				if ix > 0 {
+					coo.Add(i, i-1, -1)
+				}
+				if ix < nx-1 {
+					coo.Add(i, i+1, -1)
+				}
+				if iy > 0 {
+					coo.Add(i, i-nx, -1)
+				}
+				if iy < ny-1 {
+					coo.Add(i, i+nx, -1)
+				}
+				if iz > 0 {
+					coo.Add(i, i-nx*ny, -1)
+				}
+				if iz < nz-1 {
+					coo.Add(i, i+nx*ny, -1)
+				}
+			}
+		}
+	}
+	return coo.ToCSR(), []int{nx, ny, nz}
+}
+
+func geomOpts(prec PrecisionKind) Options {
+	return Options{Hierarchy: HierarchyGeometric, Precision: prec}
+}
+
+// The geometric hierarchy must coarsen 2× per axis with no assembled coarse
+// CSRs: coefficient-backed stencil levels all the way down.
+func TestGeometricHierarchyShape(t *testing.T) {
+	a, dims := poisson2D(64, 64)
+	h, err := Build(a, dims, geomOpts(PrecisionF64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Geometric() {
+		t.Fatal("Geometric() = false on a geometric build")
+	}
+	sizes := h.LevelSizes()
+	want := []int{4096, 1024, 256}
+	if len(sizes) != len(want) {
+		t.Fatalf("level sizes %v, want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("level sizes %v, want %v", sizes, want)
+		}
+	}
+	for k, lv := range h.levels {
+		if k == 0 {
+			if lv.a == nil {
+				t.Fatal("finest level lost its assembled CSR")
+			}
+			continue
+		}
+		if lv.a != nil {
+			t.Fatalf("geometric level %d assembled a CSR", k)
+		}
+		if _, ok := lv.op.(*sparse.Stencil); !ok {
+			t.Fatalf("geometric level %d operator is %T, want *sparse.Stencil", k, lv.op)
+		}
+	}
+}
+
+// A mixed-precision build must carry float32 coarse stencils, transfers and
+// line-smoother factors on every level.
+func TestGeometricF32HierarchyStorage(t *testing.T) {
+	a, dims := poisson2D(64, 64)
+	h, err := Build(a, dims, geomOpts(PrecisionF32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, lv := range h.levels {
+		if len(lv.lines) == 0 {
+			t.Fatalf("level %d: geometric build has no line-smoother factors", k)
+		}
+		for _, ax := range lv.lines {
+			if ax.l32 == nil || ax.inv32 == nil || ax.l != nil || ax.invc != nil {
+				t.Fatalf("level %d axis %d: f32 build kept float64 line factors", k, ax.axis)
+			}
+		}
+		if k > 0 {
+			if _, ok := lv.op.(*sparse.StencilF32); !ok {
+				t.Fatalf("f32 level %d operator is %T, want *sparse.StencilF32", k, lv.op)
+			}
+		}
+		if lv.tr != nil && (lv.tr.pVal32 == nil || lv.tr.ptVal32 == nil) {
+			t.Fatalf("level %d: f32 build kept float64 transfer values", k)
+		}
+	}
+}
+
+func TestGeometricBuildRejections(t *testing.T) {
+	// An entry off the stencil pattern must be rejected.
+	a, dims := poisson2D(32, 32)
+	coo := sparse.NewCOO(a.Rows(), a.Cols())
+	a.Each(func(i, j int, v float64) { coo.Add(i, j, v) })
+	coo.Add(0, 5, -0.25)
+	coo.Add(5, 0, -0.25)
+	if _, err := Build(coo.ToCSR(), dims, geomOpts(PrecisionF64)); err == nil ||
+		!strings.Contains(err.Error(), "stencil neighbor") {
+		t.Fatalf("off-stencil entry: err = %v, want stencil-neighbor rejection", err)
+	}
+
+	// A positive off-diagonal (not a conductance network) must be rejected.
+	coo = sparse.NewCOO(a.Rows(), a.Cols())
+	a.Each(func(i, j int, v float64) {
+		if i != j && ((i == 0 && j == 1) || (i == 1 && j == 0)) {
+			v = 0.5
+		}
+		coo.Add(i, j, v)
+	})
+	if _, err := Build(coo.ToCSR(), dims, geomOpts(PrecisionF64)); err == nil ||
+		!strings.Contains(err.Error(), "conductance") {
+		t.Fatalf("positive off-diagonal: err = %v, want conductance-network rejection", err)
+	}
+
+	// f32 storage is a geometric-only feature.
+	if _, err := Build(a, dims, Options{Precision: PrecisionF32}); err == nil ||
+		!strings.Contains(err.Error(), "geometric") {
+		t.Fatalf("f32 galerkin: err = %v, want geometric-required rejection", err)
+	}
+}
+
+func TestParseHierarchyAndPrecision(t *testing.T) {
+	for s, want := range map[string]HierarchyKind{
+		"": HierarchyGalerkin, "auto": HierarchyGalerkin, "galerkin": HierarchyGalerkin,
+		"geometric": HierarchyGeometric, "geom": HierarchyGeometric,
+	} {
+		got, err := ParseHierarchy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseHierarchy(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseHierarchy("algebraic"); err == nil {
+		t.Fatal("ParseHierarchy accepted an unknown spelling")
+	}
+	for s, want := range map[string]PrecisionKind{
+		"": PrecisionF64, "auto": PrecisionF64, "f64": PrecisionF64,
+		"f32": PrecisionF32, "float32": PrecisionF32,
+	} {
+		got, err := ParsePrecision(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePrecision(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParsePrecision("f16"); err == nil {
+		t.Fatal("ParsePrecision accepted an unknown spelling")
+	}
+}
+
+// The geometric cycle — including the mixed-precision one — must stay a
+// fixed symmetric positive definite operator, or CG quietly loses its
+// convergence guarantee.
+func TestGeometricCycleSymmetricPositiveDefinite(t *testing.T) {
+	for _, prec := range []PrecisionKind{PrecisionF64, PrecisionF32} {
+		a, dims := layered2D(48, 48)
+		h, err := Build(a, dims, geomOpts(prec))
+		if err != nil {
+			t.Fatalf("%v: %v", prec, err)
+		}
+		p := sparse.NewPool(1)
+		n := a.Rows()
+		u := make([]float64, n)
+		v := make([]float64, n)
+		mu := make([]float64, n)
+		mv := make([]float64, n)
+		for trial := uint64(0); trial < 5; trial++ {
+			fillRand(u, 1000+trial)
+			fillRand(v, 2000+trial)
+			h.Cycle(mu, u, p)
+			h.Cycle(mv, v, p)
+			uMv, vMu, uMu := dot(u, mv), dot(v, mu), dot(u, mu)
+			if rel := math.Abs(uMv-vMu) / math.Max(math.Abs(uMv), 1e-300); rel > 1e-10 {
+				t.Fatalf("%v trial %d: cycle not symmetric: u·Mv = %.17g, v·Mu = %.17g (rel %g)", prec, trial, uMv, vMu, rel)
+			}
+			if uMu <= 0 {
+				t.Fatalf("%v trial %d: u·Mu = %g, cycle is not positive definite", prec, trial, uMu)
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestGeometricHierarchyProperty is the geometric-mode acceptance property
+// over the grid zoo (2-D Poisson, flipping-anisotropy layered, 3-D
+// Cartesian, high-contrast layered) × worker counts 1/2/4/8:
+//
+//   - cycle output is bit-identical for every worker count (per precision);
+//   - preconditioned CG takes at most 3 iterations more than the Galerkin
+//     hierarchy on the same system (on the physical fem stacks geometric
+//     needs FEWER iterations than Galerkin; the +3 headroom covers the
+//     synthetic 1000:1-contrast worst case, where W-cycle line smoothing
+//     plateaus at +3 for any damping factor);
+//   - the f32-preconditioned solution agrees with the f64 one within solver
+//     tolerance (the preconditioner shapes the Krylov space, it does not
+//     change what CG converges to).
+func TestGeometricHierarchyProperty(t *testing.T) {
+	grids := []struct {
+		name string
+		mk   func() (*sparse.CSR, []int)
+	}{
+		{"poisson2d", func() (*sparse.CSR, []int) { return poisson2D(64, 64) }},
+		{"layered2d", func() (*sparse.CSR, []int) { return layered2D(64, 64) }},
+		{"cart3d", func() (*sparse.CSR, []int) { return poisson3D(16, 16, 16) }},
+		{"contrast1e3", func() (*sparse.CSR, []int) { return layeredContrast(64, 64, 1000) }},
+	}
+	workers := []int{1, 2, 4, 8}
+	for _, g := range grids {
+		t.Run(g.name, func(t *testing.T) {
+			a, dims := g.mk()
+			n := a.Rows()
+			b := make([]float64, n)
+			fillRand(b, 77)
+
+			gal, err := Build(a, dims, Options{})
+			if err != nil {
+				t.Fatalf("galerkin build: %v", err)
+			}
+			_, galSt, err := sparse.SolveCG(a, b, sparse.Options{Precond: sparse.PrecondMG, MG: gal, Tol: 1e-10})
+			if err != nil {
+				t.Fatalf("galerkin solve: %v", err)
+			}
+
+			var x64 []float64
+			for _, prec := range []PrecisionKind{PrecisionF64, PrecisionF32} {
+				h, err := Build(a, dims, geomOpts(prec))
+				if err != nil {
+					t.Fatalf("geometric %v build: %v", prec, err)
+				}
+				// Bit-identical cycles across worker counts.
+				r := make([]float64, n)
+				fillRand(r, 5)
+				var ref []float64
+				for _, w := range workers {
+					p := sparse.NewPool(w)
+					z := make([]float64, n)
+					h.Cycle(z, r, p)
+					p.Close()
+					if ref == nil {
+						ref = z
+						continue
+					}
+					sameBits(t, g.name+" cycle workers", z, ref)
+				}
+				x, st, err := sparse.SolveCG(a, b, sparse.Options{Precond: sparse.PrecondMG, MG: h, Tol: 1e-10})
+				if err != nil {
+					t.Fatalf("geometric %v solve: %v", prec, err)
+				}
+				if st.Iterations > galSt.Iterations+3 {
+					t.Fatalf("geometric %v: %d CG iterations, galerkin took %d (allowed +3)",
+						prec, st.Iterations, galSt.Iterations)
+				}
+				if prec == PrecisionF64 {
+					x64 = x
+					continue
+				}
+				// f32 vs f64 preconditioning: same converged answer within
+				// solver tolerance.
+				var diff, ref64 float64
+				for i := range x {
+					diff = math.Max(diff, math.Abs(x[i]-x64[i]))
+					ref64 = math.Max(ref64, math.Abs(x64[i]))
+				}
+				if diff > 1e-6*math.Max(ref64, 1) {
+					t.Fatalf("f32-preconditioned solution differs from f64 by %g (ref %g)", diff, ref64)
+				}
+			}
+		})
+	}
+}
+
+// A geometric rebuild through a donated arena must be bit-identical to a
+// fresh build — the same re-discretization contract the Galerkin path keeps.
+func TestGeometricRebuildMatchesFreshBuild(t *testing.T) {
+	for _, prec := range []PrecisionKind{PrecisionF64, PrecisionF32} {
+		nx, ny := 48, 48
+		n := nx * ny
+		a1, dims := layeredContrast(nx, ny, 100)
+		a2, _ := layeredContrast(nx, ny, 37)
+
+		opts := geomOpts(prec)
+		fresh2, err := Build(a2, dims, opts)
+		if err != nil {
+			t.Fatalf("%v fresh Build(a2): %v", prec, err)
+		}
+		want2 := cycleBits(t, fresh2, n, 7)
+
+		donor, err := Build(a1, dims, opts)
+		if err != nil {
+			t.Fatalf("%v Build(a1): %v", prec, err)
+		}
+		re := opts
+		re.Prev = donor
+		re2, err := Build(a2, dims, re)
+		if err != nil {
+			t.Fatalf("%v recycled Build(a2): %v", prec, err)
+		}
+		sameBits(t, prec.String()+" rebuild cycle", cycleBits(t, re2, n, 7), want2)
+	}
+}
+
+// The stationary iteration x += M(b - Ax) with the geometric W-cycle must
+// still contract fast enough to be a useful preconditioner on its own.
+func TestGeometricStationaryConverges(t *testing.T) {
+	for name, mk := range map[string]func(int, int) (*sparse.CSR, []int){
+		"poisson": poisson2D, "layered": layered2D,
+	} {
+		a, dims := mk(48, 48)
+		h, err := Build(a, dims, geomOpts(PrecisionF64))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p := sparse.NewPool(1)
+		n := a.Rows()
+		b := make([]float64, n)
+		fillRand(b, 7)
+		x := make([]float64, n)
+		r := make([]float64, n)
+		z := make([]float64, n)
+		copy(r, b)
+		r0 := norm2(r)
+		for it := 0; it < 30; it++ {
+			h.Cycle(z, r, p)
+			for i := range x {
+				x[i] += z[i]
+			}
+			a.MulVec(x, r)
+			for i := range r {
+				r[i] = b[i] - r[i]
+			}
+		}
+		p.Close()
+		if rel := norm2(r) / r0; rel > 1e-6 {
+			t.Fatalf("%s: stationary geometric cycle reduced the residual only to %g in 30 iterations", name, rel)
+		}
+	}
+}

@@ -36,9 +36,103 @@ import (
 	"repro/internal/sparse"
 )
 
+// HierarchyKind selects how the coarse operators of a hierarchy are built.
+type HierarchyKind int
+
+const (
+	// HierarchyGalerkin (the default) coarsens by smoothed aggregation and
+	// forms each coarse operator as the Galerkin product A_c = Pᵀ·A·P — two
+	// sparse matrix-matrix products per level, stored as CSRs. Robust on any
+	// SPD input, at the cost of dominating fresh-build wall time and memory.
+	HierarchyGalerkin HierarchyKind = iota
+	// HierarchyGeometric re-discretizes each coarse level directly from the
+	// fine level's 7-point stencil coefficients: fine cells are merged 2×
+	// per axis and the face conductances collapse by series/parallel
+	// composition, yielding a coefficient-backed sparse.Stencil per level —
+	// no sparse matrix products, no coarse CSR storage, an O(n) build. It
+	// requires the matrix to be a structured-grid stencil with nonpositive
+	// off-diagonals (the fem finite-volume systems qualify); Build fails on
+	// anything else. Geometric levels pair Jacobi-smoothed box transfers
+	// with an alternating-direction line smoother (full coarsening keeps
+	// each level's anisotropy, which defeats point smoothing) and default
+	// to a truncated W-cycle (Gamma 2); on the fem stacks the combination
+	// takes fewer CG iterations than the Galerkin hierarchy.
+	HierarchyGeometric
+)
+
+func (k HierarchyKind) String() string {
+	switch k {
+	case HierarchyGalerkin:
+		return "galerkin"
+	case HierarchyGeometric:
+		return "geometric"
+	default:
+		return fmt.Sprintf("HierarchyKind(%d)", int(k))
+	}
+}
+
+// ParseHierarchy converts a command-line or deck spelling into a
+// HierarchyKind. "auto", "default" and "" select Galerkin.
+func ParseHierarchy(s string) (HierarchyKind, error) {
+	switch s {
+	case "auto", "default", "", "galerkin":
+		return HierarchyGalerkin, nil
+	case "geometric", "geom":
+		return HierarchyGeometric, nil
+	}
+	return HierarchyGalerkin, fmt.Errorf("mg: unknown hierarchy %q (want auto, galerkin or geometric)", s)
+}
+
+// PrecisionKind selects the storage precision of the hierarchy's
+// preconditioner data (line-smoother factors, transfer values, coarse
+// stencil coefficients). The outer CG and every residual stay float64 either way —
+// the preconditioner only shapes the Krylov space, so converged answers stay
+// within solver tolerance of the full-precision run.
+type PrecisionKind int
+
+const (
+	// PrecisionF64 (the default) stores everything as float64.
+	PrecisionF64 PrecisionKind = iota
+	// PrecisionF32 stores smoother/transfer/coarse-stencil data as float32,
+	// widened per term inside the kernels — roughly halving preconditioner
+	// memory traffic. Only the geometric hierarchy supports it (the Galerkin
+	// CSR kernels are float64-only).
+	PrecisionF32
+)
+
+func (k PrecisionKind) String() string {
+	switch k {
+	case PrecisionF64:
+		return "f64"
+	case PrecisionF32:
+		return "f32"
+	default:
+		return fmt.Sprintf("PrecisionKind(%d)", int(k))
+	}
+}
+
+// ParsePrecision converts a command-line or deck spelling into a
+// PrecisionKind. "auto", "default" and "" select f64.
+func ParsePrecision(s string) (PrecisionKind, error) {
+	switch s {
+	case "auto", "default", "", "f64", "float64":
+		return PrecisionF64, nil
+	case "f32", "float32":
+		return PrecisionF32, nil
+	}
+	return PrecisionF64, fmt.Errorf("mg: unknown precision %q (want auto, f64 or f32)", s)
+}
+
 // Options tunes hierarchy construction. The zero value selects defaults
 // appropriate for the heat-conduction systems in this repository.
 type Options struct {
+	// Hierarchy selects how coarse operators are built; see HierarchyKind.
+	// The zero value is HierarchyGalerkin.
+	Hierarchy HierarchyKind
+	// Precision selects the preconditioner-data storage precision; see
+	// PrecisionKind. The zero value is PrecisionF64. PrecisionF32 requires
+	// HierarchyGeometric.
+	Precision PrecisionKind
 	// CoarsestSize stops coarsening once a level has at most this many
 	// unknowns; that level is solved directly by dense Cholesky.
 	// Zero means 400.
@@ -61,12 +155,14 @@ type Options struct {
 	// Gamma is the number of coarse-grid visits per cycle below
 	// GammaFromLevel: 1 gives a pure V-cycle, 2 a truncated W-cycle (each
 	// extra visit is an additive residual correction, so the cycle stays a
-	// fixed symmetric operator and CG remains valid). Zero and negative
-	// mean 1, the V-cycle: on the nested mesh families fem's
-	// grading-preserving refinement produces, V-cycle iteration counts are
-	// already mesh-independent, so extra visits only add wall time. The
-	// knob remains for grids whose transfer quality the V-cycle cannot
-	// absorb.
+	// fixed symmetric operator and CG remains valid). Zero means 1 — the
+	// V-cycle — for the Galerkin hierarchy: on the nested mesh families
+	// fem's grading-preserving refinement produces, its V-cycle iteration
+	// counts are already mesh-independent, so extra visits only add wall
+	// time. For the geometric hierarchy zero means 2: full coarsening
+	// halves resolution per axis every level, so the cheap extra coarse
+	// visits buy back what the faster coarsening loses. Negative forces 1
+	// in either mode.
 	Gamma int
 	// GammaFromLevel is the first level index whose recursion into the next
 	// coarser level runs Gamma times; shallower levels recurse once. Zero
@@ -102,6 +198,12 @@ func (o Options) maxLevels() int    { return intDefault(o.MaxLevels, 24) }
 func (o Options) gamma() int {
 	if o.Gamma < 0 {
 		return 1
+	}
+	// The geometric hierarchy defaults to the truncated W-cycle to match
+	// the smoothed-aggregation V-cycle's convergence; Galerkin keeps the
+	// plain V-cycle (see Options.Gamma).
+	if o.Gamma == 0 && o.Hierarchy == HierarchyGeometric {
+		return 2
 	}
 	return intDefault(o.Gamma, 1)
 }
@@ -145,13 +247,16 @@ func intDefault(v, d int) int {
 // one. Scratch vectors live here so a cycle allocates nothing; consequently
 // a Hierarchy serves one solve at a time (like sparse.Pool).
 type level struct {
+	// a is the level's assembled CSR. The geometric hierarchy's coarse
+	// levels never assemble one: they carry only a coefficient-backed
+	// stencil in op, and a stays nil.
 	a *sparse.CSR
-	// op is the operator the level's matrix products run through. Every
-	// level starts at its assembled CSR; SetFineOperator can redirect the
-	// finest level to a matrix-free equivalent (fem's structured-grid
-	// stencil), which must match a bit for bit — the smoother bounds and the
-	// coarse hierarchy are built from a, so a mismatched operator would
-	// desynchronize them silently.
+	// op is the operator the level's matrix products run through. A
+	// Galerkin level starts at its assembled CSR; SetFineOperator can
+	// redirect the finest level to a matrix-free equivalent (fem's
+	// structured-grid stencil), which must match a bit for bit — the
+	// smoother bounds and the coarse hierarchy are built from a, so a
+	// mismatched operator would desynchronize them silently.
 	op sparse.Operator
 
 	// Chebyshev smoother data (see newSmoother). lmax is the Gershgorin
@@ -161,6 +266,12 @@ type level struct {
 	lmax         float64
 	theta, delta float64
 	degree       int
+
+	// lines switches the level to the alternating-direction line smoother
+	// (see linesmooth.go) — set on every geometric level, nil on Galerkin
+	// ones, which keep the Chebyshev smoother. Its factors are float32 in
+	// the mixed-precision cycle (Options.Precision).
+	lines []lineAxis
 
 	// Smoothed-aggregation transfer to the next-coarser level; nil on the
 	// coarsest level.
@@ -191,6 +302,11 @@ type Hierarchy struct {
 	// Options.Gamma): levels at index >= gammaFrom visit their coarse level
 	// gamma times per cycle.
 	gamma, gammaFrom int
+
+	// geometric and f32 record the hierarchy mode and storage precision
+	// chosen at Build time, for metrics and diagnostics.
+	geometric bool
+	f32       bool
 
 	// ar owns every array behind the hierarchy; Build(Options{Prev: h})
 	// resets and reuses it, which is why a donated hierarchy must never be
@@ -231,6 +347,9 @@ func Build(a *sparse.CSR, dims []int, opt Options) (*Hierarchy, error) {
 	if cells != n {
 		return nil, fmt.Errorf("mg: grid %v has %d cells, matrix has %d rows", dims, cells, n)
 	}
+	if opt.Precision == PrecisionF32 && opt.Hierarchy != HierarchyGeometric {
+		return nil, fmt.Errorf("mg: Precision f32 requires the geometric hierarchy (the Galerkin CSR kernels are float64-only)")
+	}
 
 	// Recycle the donated hierarchy's arena when there is one; every
 	// allocation below comes out of it, so a steady-state sweep rebuild
@@ -245,11 +364,27 @@ func Build(a *sparse.CSR, dims []int, opt Options) (*Hierarchy, error) {
 		opt.Prev.levels = nil
 		reused = true
 	}
-	h := &Hierarchy{ar: mem, gamma: opt.gamma(), gammaFrom: opt.gammaFromLevel()}
+	h := &Hierarchy{ar: mem, gamma: opt.gamma(), gammaFrom: opt.gammaFromLevel(),
+		geometric: opt.Hierarchy == HierarchyGeometric, f32: opt.Precision == PrecisionF32}
+	if opt.Hierarchy == HierarchyGeometric {
+		if err := h.buildGeometric(a, dims, opt, mem); err != nil {
+			return nil, err
+		}
+	} else if err := h.buildGalerkin(a, opt, mem); err != nil {
+		return nil, err
+	}
+	h.bindMetrics(time.Since(buildStart), reused)
+	return h, nil
+}
+
+// buildGalerkin runs the smoothed-aggregation coarsening loop and factors the
+// coarsest Galerkin operator.
+func (h *Hierarchy) buildGalerkin(a *sparse.CSR, opt Options, mem *arena) error {
+	n := a.Rows()
 	for {
 		lv, err := newLevel(a, opt, mem)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if len(h.levels) > 0 && h.gamma > 1 {
 			// This level can be a W-cycle recursion target: give it the
@@ -276,11 +411,11 @@ func Build(a *sparse.CSR, dims []int, opt Options) (*Hierarchy, error) {
 		}
 		lv.tr = smoothedProlongation(ar, lv.invDiag, lv.lmax, agg, nc, pDropTol, mem)
 		if a, err = galerkin(ar, lv.tr, nc, mem); err != nil {
-			return nil, fmt.Errorf("mg: level %d coarse operator: %w", len(h.levels), err)
+			return fmt.Errorf("mg: level %d coarse operator: %w", len(h.levels), err)
 		}
 	}
 	if len(h.levels) < 2 {
-		return nil, fmt.Errorf("mg: %d unknowns cannot coarsen (already at or below the coarse-solve size)", n)
+		return fmt.Errorf("mg: %d unknowns cannot coarsen (already at or below the coarse-solve size)", n)
 	}
 	// Direct coarse solve: factor once, backsolve per cycle. A factorization
 	// failure means the Galerkin operator lost positive definiteness, i.e.
@@ -290,11 +425,10 @@ func Build(a *sparse.CSR, dims []int, opt Options) (*Hierarchy, error) {
 	chol, err := linalg.FactorizeCholeskyInto(denseFrom(bottom, mem),
 		linalg.NewMatrixWithData(nb, nb, mem.f64(nb*nb)))
 	if err != nil {
-		return nil, fmt.Errorf("mg: coarse-grid factorization: %w", err)
+		return fmt.Errorf("mg: coarse-grid factorization: %w", err)
 	}
 	h.coarse = chol
-	h.bindMetrics(time.Since(buildStart), reused)
-	return h, nil
+	return nil
 }
 
 // bindMetrics records the finished build and caches per-level handles so
@@ -305,6 +439,9 @@ func (h *Hierarchy) bindMetrics(buildWall time.Duration, reused bool) {
 		return
 	}
 	r.Counter("mg.builds").Inc()
+	if h.geometric {
+		r.Counter("mg.builds.geometric").Inc()
+	}
 	if reused {
 		r.Counter("mg.rebuilds.recycled").Inc()
 	}
@@ -316,19 +453,35 @@ func (h *Hierarchy) bindMetrics(buildWall time.Duration, reused bool) {
 		h.levelWall[k] = r.Histogram(fmt.Sprintf("mg.cycle.level%d.seconds", k), obs.ExpBuckets(1e-7, 4, 12))
 		// Stored entries and mean stencil width per level: the Galerkin
 		// densification these gauges expose is what the deep-level
-		// aggregation and prolongation filtering exist to contain.
-		nnz := lv.a.NNZ()
+		// aggregation and prolongation filtering exist to contain (the
+		// re-discretized geometric levels report their fixed structural
+		// stencil counts instead).
+		nnz := lv.nnz()
 		r.Gauge(fmt.Sprintf("mg.level%d.nnz", k)).Set(float64(nnz))
-		r.Gauge(fmt.Sprintf("mg.level%d.density", k)).Set(float64(nnz) / float64(lv.a.Rows()))
+		r.Gauge(fmt.Sprintf("mg.level%d.density", k)).Set(float64(nnz) / float64(lv.op.Rows()))
 	}
 }
 
-// newLevel wraps a matrix with its smoother and scratch space.
-func newLevel(a *sparse.CSR, opt Options, mem *arena) (*level, error) {
-	n := a.Rows()
+// nnz reports the level operator's stored-entry count: the assembled CSR's
+// when the level has one, the structural stencil count of a coefficient-
+// backed geometric level otherwise.
+func (lv *level) nnz() int {
+	if lv.a != nil {
+		return lv.a.NNZ()
+	}
+	if z, ok := lv.op.(interface{ NNZ() int }); ok {
+		return z.NNZ()
+	}
+	return 0
+}
+
+// newLevelOp wraps an operator with its smoother and scratch space — the
+// shared core of newLevel and the geometric builder's coefficient-backed
+// coarse levels, which have no assembled CSR.
+func newLevelOp(op sparse.Operator, opt Options, mem *arena) (*level, error) {
+	n := op.Rows()
 	lv := &level{
-		a:      a,
-		op:     a,
+		op:     op,
 		degree: opt.degree(),
 		b:      mem.f64(n),
 		x:      mem.f64(n),
@@ -341,6 +494,16 @@ func newLevel(a *sparse.CSR, opt Options, mem *arena) (*level, error) {
 	if err := lv.newSmoother(opt.smootherRange(), mem); err != nil {
 		return nil, err
 	}
+	return lv, nil
+}
+
+// newLevel wraps a matrix with its smoother and scratch space.
+func newLevel(a *sparse.CSR, opt Options, mem *arena) (*level, error) {
+	lv, err := newLevelOp(a, opt, mem)
+	if err != nil {
+		return nil, err
+	}
+	lv.a = a
 	return lv, nil
 }
 
@@ -367,12 +530,21 @@ func (h *Hierarchy) Levels() int { return len(h.levels) }
 // Size implements sparse.MGSolver.
 func (h *Hierarchy) Size() int { return h.levels[0].a.Rows() }
 
+// Geometric reports whether the hierarchy was built in geometric mode —
+// diagnostics for span attributes and tests.
+func (h *Hierarchy) Geometric() bool { return h.geometric }
+
+// MixedPrecision reports whether the hierarchy stores its preconditioner
+// data as float32 (Options.Precision) — diagnostics for span attributes and
+// tests.
+func (h *Hierarchy) MixedPrecision() bool { return h.f32 }
+
 // LevelSizes returns the unknown count per level, finest first —
 // diagnostics for tests and the verbose CLI paths.
 func (h *Hierarchy) LevelSizes() []int {
 	out := make([]int, len(h.levels))
 	for i, lv := range h.levels {
-		out[i] = lv.a.Rows()
+		out[i] = lv.op.Rows()
 	}
 	return out
 }
@@ -409,7 +581,7 @@ func (h *Hierarchy) vcycle(k int, x, b []float64, p *sparse.Pool) {
 	}
 	next := h.levels[k+1]
 	// Pre-smooth from the zero initial guess: x = q(B)·D⁻¹·b.
-	lv.smooth(x, b, p)
+	lv.smooth(x, b, p, false)
 	// res = b - A·x, fused per row (same accumulation order as the
 	// unfused matvec-then-subtract).
 	res := lv.res
@@ -417,7 +589,11 @@ func (h *Hierarchy) vcycle(k int, x, b []float64, p *sparse.Pool) {
 	// Restrict: b_c = Pᵀ·res, parallel over coarse rows with the summation
 	// order fixed by the transposed CSR layout.
 	tr := lv.tr
-	p.MulVecRaw(tr.ptPtr, tr.ptCol, tr.ptVal, res, next.b)
+	if tr.ptVal32 != nil {
+		p.MulVecRawF32(tr.ptPtr, tr.ptCol, tr.ptVal32, res, next.b)
+	} else {
+		p.MulVecRaw(tr.ptPtr, tr.ptCol, tr.ptVal, res, next.b)
+	}
 	h.vcycle(k+1, next.x, next.b, p)
 	if k >= h.gammaFrom && k+1 < len(h.levels)-1 {
 		// Truncated W-cycle: revisit the coarse level gamma-1 more times,
@@ -433,10 +609,15 @@ func (h *Hierarchy) vcycle(k int, x, b []float64, p *sparse.Pool) {
 		}
 	}
 	// Prolong and correct: x += P·e, parallel over fine rows.
-	p.MulVecAddRaw(tr.pPtr, tr.pCol, tr.pVal, next.x, x)
-	// Post-smooth the correction: x += q(B)·D⁻¹·(b - A·x). Same polynomial
-	// as the pre-smoother, keeping the cycle symmetric.
+	if tr.pVal32 != nil {
+		p.MulVecAddRawF32(tr.pPtr, tr.pCol, tr.pVal32, next.x, x)
+	} else {
+		p.MulVecAddRaw(tr.pPtr, tr.pCol, tr.pVal, next.x, x)
+	}
+	// Post-smooth the correction: x += S'·(b - A·x) with S' the adjoint of
+	// the pre-smoother (the same Chebyshev polynomial, or the line sweep in
+	// reversed axis order), keeping the cycle symmetric.
 	p.ResidualOp(lv.op, x, b, res)
-	lv.smooth(lv.e, res, p)
+	lv.smooth(lv.e, res, p, true)
 	p.VecAdd(x, lv.e)
 }

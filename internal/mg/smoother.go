@@ -13,20 +13,20 @@ import (
 // preconditioner — which targets the whole spectrum — a smoother only has
 // to damp the upper part; the coarse-grid correction handles the rest. A
 // narrower interval makes the low-degree polynomial far more effective on
-// the modes it owns.
+// the modes it owns. It reads the level through the Operator interface, so
+// the coefficient-backed geometric levels need no assembled CSR.
 func (lv *level) newSmoother(rng float64, mem *arena) error {
-	a := lv.a
-	n := a.Rows()
+	op := lv.op
+	n := op.Rows()
+	d := op.DiagonalInto(mem.f64(n))
 	inv := mem.f64(n)
-	d := a.DiagonalInto(mem.f64(n))
 	for i, v := range d {
 		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("mg: diagonal %g at row %d of a %d-cell level (matrix not SPD?)", v, i, n)
 		}
 		inv[i] = 1 / v
 	}
-	rowAbs := mem.f64(n)
-	a.Each(func(i, _ int, v float64) { rowAbs[i] += math.Abs(v) })
+	rowAbs := op.AbsRowSumsInto(mem.f64(n))
 	var lmax float64
 	for i := 0; i < n; i++ {
 		if b := rowAbs[i] * inv[i]; b > lmax {
@@ -44,21 +44,30 @@ func (lv *level) newSmoother(rng float64, mem *arena) error {
 	return nil
 }
 
-// smooth runs the fixed-degree Chebyshev semi-iteration on B·z = D⁻¹r from
-// z = 0 (Saad, Iterative Methods, alg. 12.1), the same recurrence as
-// sparse's Chebyshev preconditioner but with smoother bounds. z is a fixed
-// polynomial in B applied to D⁻¹r — a linear, symmetric operation — and
-// every step is a pooled matvec or element-wise update, so the result is
-// bit-identical for any worker count. z must not alias r or the scratch.
-func (lv *level) smooth(z, r []float64, p *sparse.Pool) {
-	a, invD := lv.op, lv.invDiag
+// smooth applies the level's smoother to B·z = ?·r from z = 0: the fixed-
+// degree Chebyshev semi-iteration on the Jacobi-scaled operator (Saad,
+// Iterative Methods, alg. 12.1) for Galerkin levels, the alternating-
+// direction line relaxation for geometric levels (see smoothLines). Either
+// way z is a fixed linear operator applied to r, every step a pooled matvec,
+// line solve or element-wise update on the deterministic chunk grid, so the
+// result is bit-identical for any worker count. z must not alias r or the
+// scratch. reverse selects the adjoint sweep order (meaningful only for the
+// line smoother, whose axis sweeps do not commute): the post-smoother passes
+// true so the cycle stays a symmetric operator.
+func (lv *level) smooth(z, r []float64, p *sparse.Pool, reverse bool) {
+	if lv.lines != nil {
+		lv.smoothLines(z, r, p, reverse)
+		return
+	}
+	a := lv.op
 	d, res, t := lv.cd, lv.cres, lv.ct
 	// The element-wise recurrence steps run through sparse's fused Cheby
 	// kernels: a smoother application sits inside every vcycle of every CG
 	// iteration, and closure-based Range calls here allocated on each one.
-	p.ChebyBegin(z, d, res, invD, r, 1/lv.theta)
 	sigma := lv.theta / lv.delta
 	rhoOld := 1 / sigma
+	invD := lv.invDiag
+	p.ChebyBegin(z, d, res, invD, r, 1/lv.theta)
 	for k := 2; k <= lv.degree; k++ {
 		p.MulVecOp(a, d, t)
 		rho := 1 / (2*sigma - rhoOld)

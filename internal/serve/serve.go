@@ -62,6 +62,16 @@ type Config struct {
 	// PoolIdle caps the warm solver-state entries kept per grid topology;
 	// <= 0 selects 2.
 	PoolIdle int
+	// MGHierarchy, when non-empty ("galerkin" or "geometric"), is applied to
+	// JSON solve/sweep/plan requests whose models.mg_hierarchy field is
+	// empty, selecting how reference-solver multigrid coarse levels are
+	// built. Deck requests are unaffected — a deck spells mg.hierarchy=
+	// itself. Requests that do set the field always win. Invalid spellings
+	// surface as 400s on the affected requests.
+	MGHierarchy string
+	// MGPrecision is the matching default for models.mg_precision ("f64" or
+	// "f32"; "f32" requires the geometric hierarchy).
+	MGPrecision string
 	// Registry receives the service metrics; nil selects obs.Default().
 	Registry *obs.Registry
 	// Trace optionally records per-request and solver spans as NDJSON.
@@ -96,9 +106,9 @@ func New(cfg Config) *Server {
 		bucket: newTokenBucket(cfg.Rate, cfg.Burst),
 		reg:    reg,
 	}
-	s.mux.HandleFunc("POST /solve", s.handleRun("solve", lowerSolve))
+	s.mux.HandleFunc("POST /solve", s.handleRun("solve", s.lowerSolve))
 	s.mux.HandleFunc("POST /sweep", s.handleSweep)
-	s.mux.HandleFunc("POST /plan", s.handleRun("plan", lowerPlan))
+	s.mux.HandleFunc("POST /plan", s.handleRun("plan", s.lowerPlan))
 	s.mux.HandleFunc("POST /deck", s.handleRun("deck", lowerDeck))
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -281,7 +291,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	req, sc, spec, err := lowerSweepRequest(body)
+	req, sc, spec, err := s.lowerSweepRequest(body)
 	if err != nil {
 		s.reject(w, err.Error(), http.StatusBadRequest)
 		return
@@ -441,11 +451,23 @@ func decodeStrict(body []byte, v any) error {
 	return nil
 }
 
-func lowerSolve(body []byte) (*deck.Scenario, error) {
+// applyMGDefaults fills the service-level multigrid defaults into a JSON
+// request's model spec when the request left the fields empty.
+func (s *Server) applyMGDefaults(sp *deck.ModelSpec) {
+	if sp.MGHierarchy == "" {
+		sp.MGHierarchy = s.cfg.MGHierarchy
+	}
+	if sp.MGPrecision == "" {
+		sp.MGPrecision = s.cfg.MGPrecision
+	}
+}
+
+func (s *Server) lowerSolve(body []byte) (*deck.Scenario, error) {
 	req := SolveRequest{Block: stack.DefaultBlock()}
 	if err := decodeStrict(body, &req); err != nil {
 		return nil, err
 	}
+	s.applyMGDefaults(&req.Models)
 	models, err := req.Models.Models("all", opCoeffs)
 	if err != nil {
 		return nil, err
@@ -461,7 +483,7 @@ func lowerSolve(body []byte) (*deck.Scenario, error) {
 	}, nil
 }
 
-func lowerSweepRequest(body []byte) (SweepRequest, *deck.Scenario, sweep.ShardSpec, error) {
+func (s *Server) lowerSweepRequest(body []byte) (SweepRequest, *deck.Scenario, sweep.ShardSpec, error) {
 	req := SweepRequest{Block: stack.DefaultBlock()}
 	if err := decodeStrict(body, &req); err != nil {
 		return req, nil, sweep.ShardSpec{}, err
@@ -470,6 +492,7 @@ func lowerSweepRequest(body []byte) (SweepRequest, *deck.Scenario, sweep.ShardSp
 	if err != nil {
 		return req, nil, sweep.ShardSpec{}, err
 	}
+	s.applyMGDefaults(&req.Models)
 	models, err := req.Models.Models("all", opCoeffs)
 	if err != nil {
 		return req, nil, sweep.ShardSpec{}, err
@@ -503,11 +526,12 @@ func lowerSweepRequest(body []byte) (SweepRequest, *deck.Scenario, sweep.ShardSp
 	return req, sc, spec, nil
 }
 
-func lowerPlan(body []byte) (*deck.Scenario, error) {
+func (s *Server) lowerPlan(body []byte) (*deck.Scenario, error) {
 	req := PlanRequest{Tech: plan.DefaultTechnology()}
 	if err := decodeStrict(body, &req); err != nil {
 		return nil, err
 	}
+	s.applyMGDefaults(&req.Models)
 	models, err := req.Models.Models("a", planCoeffs)
 	if err != nil {
 		return nil, err

@@ -159,6 +159,55 @@ func NewStencil(a *CSR, dims []int) (*Stencil, error) {
 	return s, nil
 }
 
+// NewStencilCoeffs wraps caller-owned coefficient arrays as a matrix-free
+// stencil operator with no CSR backing — the storage format of the
+// re-discretized coarse levels of internal/mg's geometric hierarchy, which
+// never assemble a coarse matrix at all. diag holds the main diagonal;
+// off[d][i] = A[i, i+stride_d] must be nil exactly for axes of extent 1 and
+// is never read where the upper neighbor does not exist. The arrays are
+// retained, not copied: a caller refreshing coefficients in place just
+// overwrites them. Refresh is a no-op (there is no source matrix to re-read)
+// and symmetry is structural — the same off entry serves both triangles.
+func NewStencilCoeffs(dims []int, diag []float64, off [3][]float64) (*Stencil, error) {
+	nd, n, err := checkStencilDims(dims, len(diag))
+	if err != nil {
+		return nil, err
+	}
+	s := &Stencil{nx: nd[0], ny: nd[1], nz: nd[2], nxy: nd[0] * nd[1], n: n, diag: diag}
+	for d := 0; d < 3; d++ {
+		if nd[d] > 1 {
+			if len(off[d]) != n {
+				return nil, fmt.Errorf("sparse: stencil axis-%d coefficients have %d entries, want %d", d, len(off[d]), n)
+			}
+			s.off[d] = off[d]
+		} else if off[d] != nil {
+			return nil, fmt.Errorf("sparse: stencil axis %d has extent 1 but non-nil coefficients", d)
+		}
+	}
+	return s, nil
+}
+
+// checkStencilDims validates a 1-3 axis dims slice against the unknown count and
+// returns the padded per-axis extents.
+func checkStencilDims(dims []int, n int) ([3]int, int, error) {
+	nd := [3]int{1, 1, 1}
+	if len(dims) < 1 || len(dims) > 3 {
+		return nd, 0, fmt.Errorf("sparse: stencil supports 1-3 grid axes, got %d", len(dims))
+	}
+	cells := 1
+	for i, d := range dims {
+		if d < 1 {
+			return nd, 0, fmt.Errorf("sparse: invalid grid dimensions %v", dims)
+		}
+		nd[i] = d
+		cells *= d
+	}
+	if cells != n {
+		return nd, 0, fmt.Errorf("sparse: grid %v has %d cells, coefficients have %d", dims, cells, n)
+	}
+	return nd, cells, nil
+}
+
 // hasUp reports whether cell i has an upper neighbor along axis d.
 func (s *Stencil) hasUp(d, i int) bool {
 	switch d {
@@ -176,6 +225,11 @@ func (s *Stencil) hasUp(d, i int) bool {
 // in-place numeric refill. It verifies the off-diagonal symmetry the lower-
 // neighbor reuse depends on and fails when the refilled values broke it.
 func (s *Stencil) Refresh() error {
+	if s.a == nil {
+		// Coefficient-backed stencil (NewStencilCoeffs): the coefficient
+		// arrays ARE the storage, there is nothing to re-extract.
+		return nil
+	}
 	val := s.a.val
 	for i, k := range s.diagSlot {
 		s.diag[i] = val[k]
@@ -207,8 +261,27 @@ func (s *Stencil) Rows() int { return s.n }
 // Cols implements Operator.
 func (s *Stencil) Cols() int { return s.n }
 
-// NNZ returns the stored-entry count of the source matrix.
-func (s *Stencil) NNZ() int { return s.a.NNZ() }
+// NNZ returns the stored-entry count of the source matrix, or the structural
+// entry count (diagonal plus both triangles of every axis coupling) for a
+// coefficient-backed stencil with no CSR behind it.
+func (s *Stencil) NNZ() int {
+	if s.a != nil {
+		return s.a.NNZ()
+	}
+	return stencilNNZ(s.n, [3]int{s.nx, s.ny, s.nz})
+}
+
+// stencilNNZ counts the structural entries of a full nearest-neighbor stencil
+// on the given grid: n diagonals plus two stored values per axis face.
+func stencilNNZ(n int, nd [3]int) int {
+	nnz := n
+	for d := 0; d < 3; d++ {
+		if nd[d] > 1 {
+			nnz += 2 * (n / nd[d]) * (nd[d] - 1)
+		}
+	}
+	return nnz
+}
 
 // coords decomposes row i into its grid coordinates.
 func (s *Stencil) coords(i int) (ix, iy, iz int) {

@@ -1,0 +1,288 @@
+package sparse
+
+// Float32-storage stencil operator.
+//
+// StencilF32 is the mixed-precision sibling of the coefficient-backed
+// Stencil: the 7-point coefficients are stored as float32 while every vector
+// stays float64 and every accumulation runs in float64 after widening each
+// coefficient. Halving the coefficient bytes roughly halves the memory
+// traffic of a matvec this regular — and on the coarse levels of a multigrid
+// preconditioner, where the operator only shapes the Krylov space of the
+// float64 outer CG, the rounding never reaches the reported solution.
+//
+// The span loops walk the exact neighbor sequence of the float64 stencil
+// (−z, −y, −x, diagonal, +x, +y, +z), so results are deterministic and
+// bit-identical for any pool worker count.
+
+import "fmt"
+
+// StencilF32 is a matrix-free Operator over float32 coefficient arrays on a
+// structured grid. Off-diagonal symmetry is structural: off[d][i] serves as
+// both A[i, i+stride_d] and A[i+stride_d, i].
+type StencilF32 struct {
+	nx, ny, nz int // cells per axis, fastest-varying first; 1 when absent
+	nxy        int
+	n          int
+
+	diag []float32
+	// off[d][i] = A[i, i + stride_d]; nil for axes of extent 1, and never
+	// read where the upper neighbor does not exist.
+	off [3][]float32
+}
+
+// NewStencilF32Coeffs wraps caller-owned float32 coefficient arrays as a
+// matrix-free operator; see NewStencilCoeffs for the layout contract. The
+// arrays are retained, not copied.
+func NewStencilF32Coeffs(dims []int, diag []float32, off [3][]float32) (*StencilF32, error) {
+	nd, n, err := checkStencilDims(dims, len(diag))
+	if err != nil {
+		return nil, err
+	}
+	s := &StencilF32{nx: nd[0], ny: nd[1], nz: nd[2], nxy: nd[0] * nd[1], n: n, diag: diag}
+	for d := 0; d < 3; d++ {
+		if nd[d] > 1 {
+			if len(off[d]) != n {
+				return nil, fmt.Errorf("sparse: stencil axis-%d coefficients have %d entries, want %d", d, len(off[d]), n)
+			}
+			s.off[d] = off[d]
+		} else if off[d] != nil {
+			return nil, fmt.Errorf("sparse: stencil axis %d has extent 1 but non-nil coefficients", d)
+		}
+	}
+	return s, nil
+}
+
+// Rows implements Operator.
+func (s *StencilF32) Rows() int { return s.n }
+
+// Cols implements Operator.
+func (s *StencilF32) Cols() int { return s.n }
+
+// NNZ returns the structural entry count of the stencil.
+func (s *StencilF32) NNZ() int { return stencilNNZ(s.n, [3]int{s.nx, s.ny, s.nz}) }
+
+// coords decomposes row i into its grid coordinates.
+func (s *StencilF32) coords(i int) (ix, iy, iz int) {
+	iz = i / s.nxy
+	rem := i - iz*s.nxy
+	iy = rem / s.nx
+	return rem - iy*s.nx, iy, iz
+}
+
+// SpanMulVec implements Operator: y[i] = (A·x)[i] for lo <= i < hi.
+func (s *StencilF32) SpanMulVec(x, y []float64, lo, hi int) {
+	nx, ny, nz, nxy := s.nx, s.ny, s.nz, s.nxy
+	d, ox, oy, oz := s.diag, s.off[0], s.off[1], s.off[2]
+	ix, iy, iz := s.coords(lo)
+	for i := lo; i < hi; i++ {
+		var acc float64
+		if iz > 0 {
+			acc += float64(oz[i-nxy]) * x[i-nxy]
+		}
+		if iy > 0 {
+			acc += float64(oy[i-nx]) * x[i-nx]
+		}
+		if ix > 0 {
+			acc += float64(ox[i-1]) * x[i-1]
+		}
+		acc += float64(d[i]) * x[i]
+		if ix+1 < nx {
+			acc += float64(ox[i]) * x[i+1]
+		}
+		if iy+1 < ny {
+			acc += float64(oy[i]) * x[i+nx]
+		}
+		if iz+1 < nz {
+			acc += float64(oz[i]) * x[i+nxy]
+		}
+		y[i] = acc
+		if ix++; ix == nx {
+			ix = 0
+			if iy++; iy == ny {
+				iy = 0
+				iz++
+			}
+		}
+	}
+}
+
+// SpanMulVecAdd implements Operator: y[i] += (A·x)[i] for lo <= i < hi.
+func (s *StencilF32) SpanMulVecAdd(x, y []float64, lo, hi int) {
+	nx, ny, nz, nxy := s.nx, s.ny, s.nz, s.nxy
+	d, ox, oy, oz := s.diag, s.off[0], s.off[1], s.off[2]
+	ix, iy, iz := s.coords(lo)
+	for i := lo; i < hi; i++ {
+		var acc float64
+		if iz > 0 {
+			acc += float64(oz[i-nxy]) * x[i-nxy]
+		}
+		if iy > 0 {
+			acc += float64(oy[i-nx]) * x[i-nx]
+		}
+		if ix > 0 {
+			acc += float64(ox[i-1]) * x[i-1]
+		}
+		acc += float64(d[i]) * x[i]
+		if ix+1 < nx {
+			acc += float64(ox[i]) * x[i+1]
+		}
+		if iy+1 < ny {
+			acc += float64(oy[i]) * x[i+nx]
+		}
+		if iz+1 < nz {
+			acc += float64(oz[i]) * x[i+nxy]
+		}
+		y[i] += acc
+		if ix++; ix == nx {
+			ix = 0
+			if iy++; iy == ny {
+				iy = 0
+				iz++
+			}
+		}
+	}
+}
+
+// SpanMulVecDot implements Operator: y = A·x over the span plus the partial
+// Σ w[i]·y[i], accumulated in row order.
+func (s *StencilF32) SpanMulVecDot(x, y, w []float64, lo, hi int) float64 {
+	nx, ny, nz, nxy := s.nx, s.ny, s.nz, s.nxy
+	d, ox, oy, oz := s.diag, s.off[0], s.off[1], s.off[2]
+	ix, iy, iz := s.coords(lo)
+	var sum float64
+	for i := lo; i < hi; i++ {
+		var acc float64
+		if iz > 0 {
+			acc += float64(oz[i-nxy]) * x[i-nxy]
+		}
+		if iy > 0 {
+			acc += float64(oy[i-nx]) * x[i-nx]
+		}
+		if ix > 0 {
+			acc += float64(ox[i-1]) * x[i-1]
+		}
+		acc += float64(d[i]) * x[i]
+		if ix+1 < nx {
+			acc += float64(ox[i]) * x[i+1]
+		}
+		if iy+1 < ny {
+			acc += float64(oy[i]) * x[i+nx]
+		}
+		if iz+1 < nz {
+			acc += float64(oz[i]) * x[i+nxy]
+		}
+		y[i] = acc
+		sum += w[i] * acc
+		if ix++; ix == nx {
+			ix = 0
+			if iy++; iy == ny {
+				iy = 0
+				iz++
+			}
+		}
+	}
+	return sum
+}
+
+// SpanResidual implements Operator: r[i] = b[i] - (A·x)[i] for lo <= i < hi.
+func (s *StencilF32) SpanResidual(x, b, r []float64, lo, hi int) {
+	nx, ny, nz, nxy := s.nx, s.ny, s.nz, s.nxy
+	d, ox, oy, oz := s.diag, s.off[0], s.off[1], s.off[2]
+	ix, iy, iz := s.coords(lo)
+	for i := lo; i < hi; i++ {
+		var acc float64
+		if iz > 0 {
+			acc += float64(oz[i-nxy]) * x[i-nxy]
+		}
+		if iy > 0 {
+			acc += float64(oy[i-nx]) * x[i-nx]
+		}
+		if ix > 0 {
+			acc += float64(ox[i-1]) * x[i-1]
+		}
+		acc += float64(d[i]) * x[i]
+		if ix+1 < nx {
+			acc += float64(ox[i]) * x[i+1]
+		}
+		if iy+1 < ny {
+			acc += float64(oy[i]) * x[i+nx]
+		}
+		if iz+1 < nz {
+			acc += float64(oz[i]) * x[i+nxy]
+		}
+		r[i] = b[i] - acc
+		if ix++; ix == nx {
+			ix = 0
+			if iy++; iy == ny {
+				iy = 0
+				iz++
+			}
+		}
+	}
+}
+
+// MulVec computes y = A·x sequentially, reusing y when it has the right
+// length — for tests and diagnostics.
+func (s *StencilF32) MulVec(x, y []float64) []float64 {
+	if len(x) != s.n {
+		panic(fmt.Sprintf("sparse: stencil MulVec dimension mismatch: matrix %dx%d, x %d", s.n, s.n, len(x)))
+	}
+	if len(y) != s.n {
+		y = make([]float64, s.n)
+	}
+	s.SpanMulVec(x, y, 0, s.n)
+	return y
+}
+
+// DiagonalInto implements Operator, widening each stored value.
+func (s *StencilF32) DiagonalInto(d []float64) []float64 {
+	if len(d) != s.n {
+		panic("sparse: DiagonalInto length mismatch")
+	}
+	for i, v := range s.diag {
+		d[i] = float64(v)
+	}
+	return d
+}
+
+// AbsRowSumsInto implements Operator, accumulating each row's absolute sum
+// in the same ascending column order as the matvec.
+func (s *StencilF32) AbsRowSumsInto(out []float64) []float64 {
+	if len(out) != s.n {
+		panic("sparse: AbsRowSumsInto length mismatch")
+	}
+	nx, ny, nz, nxy := s.nx, s.ny, s.nz, s.nxy
+	d, ox, oy, oz := s.diag, s.off[0], s.off[1], s.off[2]
+	ix, iy, iz := 0, 0, 0
+	for i := 0; i < s.n; i++ {
+		var acc float64
+		if iz > 0 {
+			acc += abs(float64(oz[i-nxy]))
+		}
+		if iy > 0 {
+			acc += abs(float64(oy[i-nx]))
+		}
+		if ix > 0 {
+			acc += abs(float64(ox[i-1]))
+		}
+		acc += abs(float64(d[i]))
+		if ix+1 < nx {
+			acc += abs(float64(ox[i]))
+		}
+		if iy+1 < ny {
+			acc += abs(float64(oy[i]))
+		}
+		if iz+1 < nz {
+			acc += abs(float64(oz[i]))
+		}
+		out[i] = acc
+		if ix++; ix == nx {
+			ix = 0
+			if iy++; iy == ny {
+				iy = 0
+				iz++
+			}
+		}
+	}
+	return out
+}

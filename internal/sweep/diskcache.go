@@ -127,8 +127,11 @@ func (d *DiskCache) lookup(key string) (*core.Result, bool) {
 		d.miss()
 		return nil, false
 	}
+	// Best-effort recency bump for LRU eviction: a filesystem that rejects
+	// Chtimes (read-only remount, permission change) only costs this entry
+	// its recency, never the hit.
 	now := time.Now()
-	os.Chtimes(p, now, now) // best-effort recency bump for LRU eviction
+	_ = os.Chtimes(p, now, now)
 	d.mu.Lock()
 	d.hits++
 	d.mu.Unlock()
@@ -206,7 +209,15 @@ func (d *DiskCache) evict() {
 		}
 		files = append(files, aged{e.Name(), info.ModTime()})
 	}
-	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+	// Ties on mtime (coarse filesystem timestamps, entries written within
+	// one tick) break on the file name so the eviction order — and therefore
+	// the surviving set — is deterministic across runs and processes.
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mod.Equal(files[j].mod) {
+			return files[i].mod.Before(files[j].mod)
+		}
+		return files[i].name < files[j].name
+	})
 	d.count = len(files)
 	for _, f := range files {
 		if d.count <= d.cap {

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"reflect"
+	"sort"
 	"testing"
 	"time"
 
@@ -94,6 +96,46 @@ func TestDiskCacheEvictsOldest(t *testing.T) {
 	}
 	if _, ok := d.lookup("key-4"); !ok {
 		t.Fatal("newest entry evicted")
+	}
+}
+
+// TestDiskCacheEvictionTieBreak: entries sharing one mtime (coarse
+// filesystem timestamps) evict in file-name order, so the surviving set is
+// deterministic no matter which process runs the eviction.
+func TestDiskCacheEvictionTieBreak(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskCache(dir, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &core.Result{Model: "x", MaxDT: 1}
+	keys := []string{"key-0", "key-1", "key-2", "key-3", "key-4"}
+	stamp := time.Now().Add(-time.Hour)
+	names := make(map[string]string, len(keys))
+	for _, key := range keys {
+		d.store(key, res)
+		if err := os.Chtimes(d.path(key), stamp, stamp); err != nil {
+			t.Fatal(err)
+		}
+		names[key] = filepath.Base(d.path(key))
+	}
+	d.cap = 2
+	d.evict()
+	if d.Len() != 2 {
+		t.Fatalf("cache holds %d entries after eviction, want 2", d.Len())
+	}
+	// The two lexicographically-last hashed names must be the survivors.
+	sorted := append([]string(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return names[sorted[i]] < names[sorted[j]] })
+	for _, key := range sorted[:3] {
+		if _, ok := d.lookup(key); ok {
+			t.Errorf("entry %s (file %s) should have been evicted first", key, names[key])
+		}
+	}
+	for _, key := range sorted[3:] {
+		if _, ok := d.lookup(key); !ok {
+			t.Errorf("entry %s (file %s) should have survived", key, names[key])
+		}
 	}
 }
 

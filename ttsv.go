@@ -43,6 +43,7 @@ import (
 	"repro/internal/fem"
 	"repro/internal/fit"
 	"repro/internal/materials"
+	"repro/internal/mg"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/serve"
@@ -133,6 +134,12 @@ type (
 	// OperatorKind selects the reference solver's matrix representation;
 	// see Resolution.Operator and the Operator* constants.
 	OperatorKind = fem.OperatorKind
+	// MGHierarchyKind selects how multigrid coarse levels are built; see
+	// Resolution.Hierarchy and the MGHierarchy* constants.
+	MGHierarchyKind = mg.HierarchyKind
+	// MGPrecisionKind selects the multigrid preconditioner-data storage
+	// precision; see Resolution.Precision and the MGPrecision* constants.
+	MGPrecisionKind = mg.PrecisionKind
 	// PlanOptions controls worker count and memoization of insertion
 	// planning.
 	PlanOptions = plan.Options
@@ -206,6 +213,36 @@ const (
 // ParseOperator converts a command-line spelling ("auto", "csr", "stencil",
 // or "matfree") into an OperatorKind.
 func ParseOperator(s string) (OperatorKind, error) { return fem.ParseOperator(s) }
+
+// Multigrid hierarchy choices for Resolution.Hierarchy. MGHierarchyGalerkin
+// (the default) coarsens by smoothed aggregation with Galerkin coarse
+// operators — robust on any SPD system. MGHierarchyGeometric re-discretizes
+// each coarse level directly from the fine stencil coefficients — no sparse
+// matrix products, much cheaper fresh builds — and falls back to Galerkin
+// (counted in fem.mg.geometric.fallback) when the operator is not
+// stencil-structured. Converged temperatures agree within solver tolerance.
+const (
+	MGHierarchyGalerkin  = mg.HierarchyGalerkin
+	MGHierarchyGeometric = mg.HierarchyGeometric
+)
+
+// ParseMGHierarchy converts a command-line spelling ("auto", "galerkin",
+// "geometric") into an MGHierarchyKind.
+func ParseMGHierarchy(s string) (MGHierarchyKind, error) { return mg.ParseHierarchy(s) }
+
+// Multigrid precision choices for Resolution.Precision. MGPrecisionF32
+// stores the preconditioner's data (line-smoother factors, transfers, coarse
+// stencils) as float32, roughly halving its memory traffic; it requires the
+// geometric hierarchy. The outer CG stays float64 either way, so reported
+// temperatures stay within solver tolerance.
+const (
+	MGPrecisionF64 = mg.PrecisionF64
+	MGPrecisionF32 = mg.PrecisionF32
+)
+
+// ParseMGPrecision converts a command-line spelling ("auto", "f64", "f32")
+// into an MGPrecisionKind.
+func ParseMGPrecision(s string) (MGPrecisionKind, error) { return mg.ParsePrecision(s) }
 
 // Stock materials (conductivities from the paper's §IV).
 var (
